@@ -1,0 +1,162 @@
+//! Criterion benchmarks, one group per paper experiment plus the machinery
+//! they rely on. Inputs are sized so `cargo bench` completes in minutes on
+//! one core; the `tables` binary runs the paper-scale configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdlo_bench::{figure, table2, table3, Scale};
+use sdlo_cachesim::{simulate_stack_distances, Granularity, StackDistanceEngine};
+use sdlo_core::MissModel;
+use sdlo_ir::{programs, Bindings, CompiledProgram};
+use sdlo_parallel::kernels;
+use sdlo_tilesearch::{SearchSpace, TileSearcher};
+use std::hint::black_box;
+
+fn bindings_mm(n: i128, t: i128) -> Bindings {
+    Bindings::new()
+        .with("Ni", n)
+        .with("Nj", n)
+        .with("Nk", n)
+        .with("Ti", t)
+        .with("Tj", t)
+        .with("Tk", t)
+}
+
+/// The model itself: building the symbolic component set and predicting
+/// misses (the "compile time" cost the paper's compiler would pay).
+fn bench_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model");
+    g.bench_function("build/tiled-matmul", |b| {
+        let p = programs::tiled_matmul();
+        b.iter(|| MissModel::build(black_box(&p)));
+    });
+    g.bench_function("build/tiled-two-index", |b| {
+        let p = programs::tiled_two_index();
+        b.iter(|| MissModel::build(black_box(&p)));
+    });
+    g.bench_function("predict/tiled-two-index", |b| {
+        let p = programs::tiled_two_index();
+        let model = MissModel::build(&p);
+        let bind = Bindings::new()
+            .with("Ni", 256)
+            .with("Nj", 256)
+            .with("Nm", 256)
+            .with("Nn", 256)
+            .with("Ti", 64)
+            .with("Tj", 16)
+            .with("Tm", 16)
+            .with("Tn", 64);
+        b.iter(|| model.predict_misses(black_box(&bind), black_box(8192)).unwrap());
+    });
+    g.finish();
+}
+
+/// The cache-simulator substrate (Tables 2–3 "actual" columns).
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let p = programs::tiled_matmul();
+    for n in [32i128, 64] {
+        let compiled = CompiledProgram::compile(&p, &bindings_mm(n, 16)).unwrap();
+        g.bench_with_input(BenchmarkId::new("lru-stack-distances", n), &compiled, |b, cp| {
+            b.iter(|| simulate_stack_distances(black_box(cp), Granularity::Element));
+        });
+    }
+    g.bench_function("engine/random-1M", |b| {
+        let mut x = 99u64;
+        let trace: Vec<u64> = (0..1_000_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % 65536
+            })
+            .collect();
+        b.iter(|| {
+            let mut e = StackDistanceEngine::with_dense_addresses(65536);
+            for &a in &trace {
+                e.access(a);
+            }
+            black_box(e.distinct_blocks())
+        });
+    });
+    g.finish();
+}
+
+/// Tables 2–3 end to end at reduced scale.
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table2/small", |b| b.iter(|| black_box(table2(Scale::Small))));
+    g.bench_function("table3/small", |b| b.iter(|| black_box(table3(Scale::Small))));
+    g.finish();
+}
+
+/// Table 4 / §6: pruned vs exhaustive tile search.
+fn bench_tilesearch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tilesearch");
+    g.sample_size(10);
+    let model = MissModel::build(&programs::tiled_two_index());
+    let mk = || {
+        let base = Bindings::new()
+            .with("Ni", 1024)
+            .with("Nj", 1024)
+            .with("Nm", 1024)
+            .with("Nn", 1024);
+        TileSearcher::new(
+            &model,
+            base,
+            8192,
+            SearchSpace {
+                tile_syms: vec!["Ti".into(), "Tj".into(), "Tm".into(), "Tn".into()],
+                max: vec![512; 4],
+                min: 4,
+            },
+        )
+    };
+    g.bench_function("pruned", |b| {
+        let s = mk();
+        b.iter(|| black_box(s.pruned().best.misses));
+    });
+    g.bench_function("exhaustive", |b| {
+        let s = mk();
+        b.iter(|| black_box(s.exhaustive().best.misses));
+    });
+    g.finish();
+}
+
+/// Figures 10–11: the model-predicted curves, plus the real kernels at a
+/// bench-friendly size (tiled vs equi-tiled — the locality effect the
+/// figures demonstrate).
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig10-model-curves", |b| {
+        b.iter(|| black_box(figure(1024, false)));
+    });
+    let n = 256usize;
+    let a = kernels::test_matrix(n, 1);
+    let c1 = kernels::test_matrix(n, 2);
+    let c2 = kernels::test_matrix(n, 3);
+    for tiles in [(64usize, 16usize, 16usize, 64usize), (256, 256, 256, 256)] {
+        g.bench_with_input(
+            BenchmarkId::new("two-index-kernel", format!("{tiles:?}")),
+            &tiles,
+            |b, &t| {
+                b.iter(|| {
+                    black_box(kernels::tiled_two_index(&a, &c1, &c2, n, t, 1));
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model,
+    bench_simulator,
+    bench_tables,
+    bench_tilesearch,
+    bench_figures
+);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! tables <experiment> [--scale small|paper] [--measure] [--n <bound>]
+//!
+//! experiments: table1 table2 table3 table4 fig10 fig11
+//!              ablation-assoc ablation-line ablation-search ablation-limits
+//!              all
+//! ```
+
+use sdlo_bench::*;
+
+fn parse_scale(args: &[String]) -> Scale {
+    match args.iter().position(|a| a == "--scale") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("small") => Scale::Small,
+            Some("paper") | None => Scale::Paper,
+            Some(other) => {
+                eprintln!("unknown scale `{other}`");
+                std::process::exit(2);
+            }
+        },
+        None => Scale::Paper,
+    }
+}
+
+fn print_miss_rows(title: &str, rows: &[MissRow]) {
+    println!("{title}");
+    println!(
+        "{:<44} {:>10} {:>14} {:>14} {:>8}",
+        "config", "cache", "#predicted", "#actual", "err"
+    );
+    for r in rows {
+        println!(
+            "{:<44} {:>10} {:>14} {:>14} {:>7.2}%",
+            r.config,
+            r.cache,
+            r.predicted,
+            r.actual,
+            100.0 * r.rel_error()
+        );
+    }
+    println!();
+}
+
+fn run_table2(scale: Scale) {
+    print_miss_rows(
+        "Table 2 — tiled two-index transform: predicted vs simulated misses",
+        &table2(scale),
+    );
+}
+
+fn run_table3(scale: Scale) {
+    print_miss_rows(
+        "Table 3 — tiled matrix multiplication: predicted vs simulated misses",
+        &table3(scale),
+    );
+}
+
+fn run_table4() {
+    let (unknown, known) = table4();
+    println!("Table 4 — best tile sizes, 64 KB cache, two-index transform");
+    println!("{:<12} {:<24}", "loop bound", "best tiles (Ti,Tj,Tm,Tn)");
+    for row in &known {
+        println!("{:<12} {:?}", row.bound, row.tiles);
+    }
+    println!("{:<12} {:?}", "unknown", unknown.tiles);
+    println!();
+}
+
+fn run_figure(fig: &str, n: u64, measure: bool) {
+    println!(
+        "Figure {fig} — two-index transform, loop range {n}: time (s) vs processors"
+    );
+    let series = figure(n, measure);
+    print!("{:<28}", "tiles \\ P");
+    for p in [1, 2, 4, 8] {
+        print!(" {:>22}", format!("P={p} (bus/inf bw)"));
+    }
+    println!();
+    for s in &series {
+        print!("{:<28}", s.label);
+        for pt in &s.points {
+            let m = match pt.measured {
+                Some(t) => format!(" meas {t:.2}"),
+                None => String::new(),
+            };
+            print!(" {:>22}", format!("{:.2}/{:.2}{m}", pt.bus_limited, pt.infinite_bw));
+        }
+        println!();
+    }
+    println!();
+}
+
+fn run_ablations(scale: Scale) {
+    println!("Ablation — associativity / tile copying (tiled MM, 64³ tiles)");
+    for (label, misses) in ablation_associativity(scale) {
+        println!("  {label:<36} {misses}");
+    }
+    println!();
+    println!("Ablation — element vs 8-double-line granularity (tiled MM)");
+    for (label, elem, line) in ablation_line(scale) {
+        println!("  {label:<16} element {elem:>12}   line(8) {line:>12}");
+    }
+    println!();
+    println!("Ablation — pruned vs exhaustive tile search (two-index, 64 KB)");
+    for (label, frontier, exhaustive, same) in ablation_search() {
+        println!(
+            "  {label:<8} frontier miss-evals {frontier:>4} vs exhaustive {exhaustive:>5}, same best: {same}"
+        );
+    }
+    println!();
+    println!("Ablation — §7 limit-model bracket (N=512, tiles (64,16,16,64))");
+    for (p, bus, inf) in ablation_limits(512) {
+        println!("  P={p:<3} bus-limited {bus:>8.3}s   infinite-bw {inf:>8.3}s");
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let scale = parse_scale(&args);
+    let measure = args.iter().any(|a| a == "--measure");
+    let n_override = args
+        .iter()
+        .position(|a| a == "--n")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok());
+
+    match cmd {
+        "table1" => println!("{}", table1()),
+        "table2" => run_table2(scale),
+        "table3" => run_table3(scale),
+        "table4" => run_table4(),
+        "fig10" => run_figure("10", n_override.unwrap_or(1024), measure),
+        "fig11" => run_figure("11", n_override.unwrap_or(2048), measure),
+        "ablations" | "ablation-assoc" | "ablation-line" | "ablation-search"
+        | "ablation-limits" => run_ablations(scale),
+        "all" => {
+            println!("{}", table1());
+            run_table2(scale);
+            run_table3(scale);
+            run_table4();
+            run_figure("10", 1024, measure);
+            run_figure("11", 2048, measure);
+            run_ablations(scale);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!("usage: tables <table1|table2|table3|table4|fig10|fig11|ablations|all> [--scale small|paper] [--measure] [--n <bound>]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! # sdlo-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (see `DESIGN.md` §3 for the experiment index), plus the
+//! ablations. The heavy lifting lives in library functions here so both the
+//! `tables` binary and the criterion benches share one implementation.
+
+pub mod experiments;
+
+pub use experiments::*;

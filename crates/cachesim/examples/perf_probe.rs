@@ -1,0 +1,40 @@
+//! Throughput probe for the stack-distance engine on the tiled matrix
+//! multiplication trace.
+//!
+//! ```text
+//! cargo run --release -p sdlo-cachesim --example perf_probe [N Ti Tj Tk CS]
+//! ```
+
+use sdlo_cachesim::{simulate_stack_distances, Granularity};
+use sdlo_ir::{programs, Bindings, CompiledProgram};
+
+fn main() {
+    let args: Vec<i128> = std::env::args()
+        .skip(1)
+        .map(|s| s.parse().expect("numeric argument"))
+        .collect();
+    let n = args.first().copied().unwrap_or(256);
+    let ti = args.get(1).copied().unwrap_or(64);
+    let tj = args.get(2).copied().unwrap_or(64);
+    let tk = args.get(3).copied().unwrap_or(64);
+    let cs = args.get(4).copied().unwrap_or(8192) as u64;
+    let b = Bindings::new()
+        .with("Ni", n)
+        .with("Nj", n)
+        .with("Nk", n)
+        .with("Ti", ti)
+        .with("Tj", tj)
+        .with("Tk", tk);
+    let c = CompiledProgram::compile(&programs::tiled_matmul(), &b).unwrap();
+    let t0 = std::time::Instant::now();
+    let h = simulate_stack_distances(&c, Granularity::Element);
+    let dt = t0.elapsed();
+    println!(
+        "N={n} tiles=({ti},{tj},{tk}): {} accesses, misses({cs})={}, cold={}, {:.2?} ({:.1} M acc/s)",
+        h.total(),
+        h.misses(cs),
+        h.cold,
+        dt,
+        h.total() as f64 / dt.as_secs_f64() / 1e6
+    );
+}

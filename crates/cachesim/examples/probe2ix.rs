@@ -1,0 +1,33 @@
+//! Simulate the tiled two-index transform for one configuration.
+//!
+//! ```text
+//! cargo run --release -p sdlo-cachesim --example probe2ix -- N Ti Tj Tm Tn CS
+//! ```
+
+use sdlo_cachesim::{simulate_stack_distances, Granularity};
+use sdlo_ir::{programs, Bindings, CompiledProgram};
+
+fn main() {
+    let a: Vec<i128> = std::env::args()
+        .skip(1)
+        .map(|s| s.parse().expect("numeric argument"))
+        .collect();
+    assert_eq!(a.len(), 6, "usage: probe2ix N Ti Tj Tm Tn CS");
+    let (n, ti, tj, tm, tn, cs) = (a[0], a[1], a[2], a[3], a[4], a[5] as u64);
+    let b = Bindings::new()
+        .with("Ni", n)
+        .with("Nj", n)
+        .with("Nm", n)
+        .with("Nn", n)
+        .with("Ti", ti)
+        .with("Tj", tj)
+        .with("Tm", tm)
+        .with("Tn", tn);
+    let c = CompiledProgram::compile(&programs::tiled_two_index(), &b).unwrap();
+    let h = simulate_stack_distances(&c, Granularity::Element);
+    println!(
+        "Ti={ti} Tj={tj} Tm={tm} Tn={tn} CS={cs}: accesses={} misses={}",
+        h.total(),
+        h.misses(cs)
+    );
+}

@@ -1,0 +1,303 @@
+//! Arena-backed order-statistic treap over `u64` keys.
+//!
+//! This is the engine behind exact LRU stack-distance computation
+//! (Bennett–Kruskal style): the tree holds the *last access time* of every
+//! currently-tracked address, and the stack distance of a reuse is the number
+//! of keys greater than the previous access time. All three operations —
+//! insert (always a new maximum in our usage, but general keys are
+//! supported), remove-by-key, and `count_greater` — are `O(log n)`.
+//!
+//! Nodes live in a `Vec` arena with an intrusive free list: no per-node
+//! allocation, and the arena never exceeds the number of simultaneously
+//! tracked addresses (one node per distinct address).
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: u64,
+    priority: u64,
+    left: u32,
+    right: u32,
+    /// Subtree size, including this node.
+    size: u32,
+}
+
+/// Order-statistic treap. See module docs.
+#[derive(Debug, Clone)]
+pub struct Treap {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    rng: u64,
+}
+
+impl Default for Treap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Treap {
+    /// An empty treap.
+    pub fn new() -> Self {
+        Treap { nodes: Vec::new(), free: Vec::new(), root: NIL, rng: 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Pre-allocate room for `n` simultaneous keys.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut t = Self::new();
+        t.nodes.reserve(n);
+        t
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        if self.root == NIL {
+            0
+        } else {
+            self.nodes[self.root as usize].size as usize
+        }
+    }
+
+    /// Whether the treap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root == NIL
+    }
+
+    fn next_priority(&mut self) -> u64 {
+        // xorshift64* — cheap, good enough for treap balance.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn alloc(&mut self, key: u64) -> u32 {
+        let priority = self.next_priority();
+        let node = Node { key, priority, left: NIL, right: NIL, size: 1 };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    #[inline]
+    fn size(&self, n: u32) -> u32 {
+        if n == NIL {
+            0
+        } else {
+            self.nodes[n as usize].size
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, n: u32) {
+        let (l, r) = (self.nodes[n as usize].left, self.nodes[n as usize].right);
+        self.nodes[n as usize].size = 1 + self.size(l) + self.size(r);
+    }
+
+    /// Merge two treaps where every key of `a` is smaller than every key of `b`.
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].priority > self.nodes[b as usize].priority {
+            let ar = self.nodes[a as usize].right;
+            let m = self.merge(ar, b);
+            self.nodes[a as usize].right = m;
+            self.update(a);
+            a
+        } else {
+            let bl = self.nodes[b as usize].left;
+            let m = self.merge(a, bl);
+            self.nodes[b as usize].left = m;
+            self.update(b);
+            b
+        }
+    }
+
+    /// Split into `(keys ≤ key, keys > key)`.
+    fn split(&mut self, n: u32, key: u64) -> (u32, u32) {
+        if n == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[n as usize].key <= key {
+            let r = self.nodes[n as usize].right;
+            let (a, b) = self.split(r, key);
+            self.nodes[n as usize].right = a;
+            self.update(n);
+            (n, b)
+        } else {
+            let l = self.nodes[n as usize].left;
+            let (a, b) = self.split(l, key);
+            self.nodes[n as usize].left = b;
+            self.update(n);
+            (a, n)
+        }
+    }
+
+    /// Insert `key` (must not already be present).
+    pub fn insert(&mut self, key: u64) {
+        debug_assert!(!self.contains(key), "duplicate key {key}");
+        let node = self.alloc(key);
+        // Fast path: strictly increasing keys append at the far right.
+        if self.root == NIL {
+            self.root = node;
+            return;
+        }
+        let (a, b) = self.split(self.root, key);
+        let ab = self.merge(a, node);
+        self.root = self.merge(ab, b);
+    }
+
+    /// Remove `key`; returns whether it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        fn rec(t: &mut Treap, n: u32, key: u64, removed: &mut Option<u32>) -> u32 {
+            if n == NIL {
+                return NIL;
+            }
+            let nk = t.nodes[n as usize].key;
+            if nk == key {
+                *removed = Some(n);
+                let (l, r) = (t.nodes[n as usize].left, t.nodes[n as usize].right);
+                return t.merge(l, r);
+            }
+            if key < nk {
+                let l = t.nodes[n as usize].left;
+                let nl = rec(t, l, key, removed);
+                t.nodes[n as usize].left = nl;
+            } else {
+                let r = t.nodes[n as usize].right;
+                let nr = rec(t, r, key, removed);
+                t.nodes[n as usize].right = nr;
+            }
+            t.update(n);
+            n
+        }
+        let mut removed = None;
+        self.root = rec(self, self.root, key, &mut removed);
+        if let Some(i) = removed {
+            self.free.push(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of stored keys strictly greater than `key`.
+    pub fn count_greater(&self, key: u64) -> u64 {
+        let mut n = self.root;
+        let mut acc = 0u64;
+        while n != NIL {
+            let node = &self.nodes[n as usize];
+            if node.key <= key {
+                n = node.right;
+            } else {
+                acc += 1 + self.size(node.right) as u64;
+                n = node.left;
+            }
+        }
+        acc
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        let mut n = self.root;
+        while n != NIL {
+            let node = &self.nodes[n as usize];
+            if node.key == key {
+                return true;
+            }
+            n = if key < node.key { node.left } else { node.right };
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_count() {
+        let mut t = Treap::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            t.insert(k);
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.count_greater(0), 5);
+        assert_eq!(t.count_greater(5), 2);
+        assert_eq!(t.count_greater(9), 0);
+        assert!(t.remove(5));
+        assert!(!t.remove(5));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.count_greater(4), 2);
+    }
+
+    #[test]
+    fn arena_reuses_freed_nodes() {
+        let mut t = Treap::new();
+        for k in 0..100u64 {
+            t.insert(k);
+        }
+        for k in 0..50u64 {
+            assert!(t.remove(k));
+        }
+        let arena_before = t.nodes.len();
+        for k in 100..150u64 {
+            t.insert(k);
+        }
+        assert_eq!(t.nodes.len(), arena_before, "free list must be reused");
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn matches_naive_on_random_ops() {
+        let mut t = Treap::new();
+        let mut reference: Vec<u64> = Vec::new();
+        let mut x = 88172645463325252u64;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for step in 0..2000 {
+            let op = rand() % 3;
+            match op {
+                0 => {
+                    let k = rand() % 500;
+                    if !reference.contains(&k) {
+                        reference.push(k);
+                        t.insert(k);
+                    }
+                }
+                1 => {
+                    if !reference.is_empty() {
+                        let i = (rand() as usize) % reference.len();
+                        let k = reference.swap_remove(i);
+                        assert!(t.remove(k));
+                    }
+                }
+                _ => {
+                    let k = rand() % 500;
+                    let expected = reference.iter().filter(|&&x| x > k).count() as u64;
+                    assert_eq!(t.count_greater(k), expected, "step {step}");
+                }
+            }
+            assert_eq!(t.len(), reference.len());
+        }
+    }
+}

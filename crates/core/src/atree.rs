@@ -1,0 +1,222 @@
+//! Per-array loop trees.
+//!
+//! The paper's partitioning algorithm (§5.1, Fig. 3) operates on "a tree
+//! representing the loop structure for each array, created by deleting all
+//! the loop nests which do not contain any reference to that array". This
+//! module builds that filtered tree and the leaf paths the partition walk
+//! needs.
+
+use sdlo_ir::{ArrayId, Expr, Program, StmtId, Sym};
+
+/// A node of the per-array tree.
+#[derive(Debug, Clone)]
+pub enum ANode {
+    /// A loop that (transitively) contains references to the array.
+    Loop {
+        /// Loop index variable.
+        index: Sym,
+        /// Symbolic trip count.
+        bound: Expr,
+        /// Children in program order.
+        body: Vec<ANode>,
+    },
+    /// A statement referencing the array.
+    Leaf {
+        /// The statement.
+        stmt: StmtId,
+        /// Index of the reference to this array within the statement.
+        ref_idx: usize,
+    },
+}
+
+impl ANode {
+    /// The rightmost (= last in program order) leaf of this subtree.
+    pub fn rightmost_leaf(&self) -> (StmtId, usize) {
+        match self {
+            ANode::Leaf { stmt, ref_idx } => (*stmt, *ref_idx),
+            ANode::Loop { body, .. } => body
+                .last()
+                .expect("per-array loop nodes are non-empty by construction")
+                .rightmost_leaf(),
+        }
+    }
+
+    /// Visit every leaf in program order.
+    pub fn for_each_leaf(&self, f: &mut impl FnMut(StmtId, usize)) {
+        match self {
+            ANode::Leaf { stmt, ref_idx } => f(*stmt, *ref_idx),
+            ANode::Loop { body, .. } => {
+                for n in body {
+                    n.for_each_leaf(f);
+                }
+            }
+        }
+    }
+}
+
+/// The filtered loop tree of one array.
+#[derive(Debug, Clone)]
+pub struct ATree {
+    /// The array this tree describes.
+    pub array: ArrayId,
+    /// Top-level children in program order.
+    pub root: Vec<ANode>,
+}
+
+impl ATree {
+    /// Build the per-array tree for `array` from `program`.
+    pub fn build(program: &Program, array: ArrayId) -> ATree {
+        fn filter(node: &sdlo_ir::Node, array: ArrayId) -> Option<ANode> {
+            match node {
+                sdlo_ir::Node::Stmt(s) => s
+                    .refs
+                    .iter()
+                    .position(|r| r.array == array)
+                    .map(|ref_idx| ANode::Leaf { stmt: s.id, ref_idx }),
+                sdlo_ir::Node::Loop(l) => {
+                    let body: Vec<ANode> =
+                        l.body.iter().filter_map(|n| filter(n, array)).collect();
+                    if body.is_empty() {
+                        None
+                    } else {
+                        Some(ANode::Loop {
+                            index: l.index.clone(),
+                            bound: l.bound.clone(),
+                            body,
+                        })
+                    }
+                }
+            }
+        }
+        ATree {
+            array,
+            root: program.root.iter().filter_map(|n| filter(n, array)).collect(),
+        }
+    }
+
+    /// All leaves in program order.
+    pub fn leaves(&self) -> Vec<(StmtId, usize)> {
+        let mut out = Vec::new();
+        for n in &self.root {
+            n.for_each_leaf(&mut |s, r| out.push((s, r)));
+        }
+        out
+    }
+
+    /// The path from the root to the leaf for `stmt`: a list of
+    /// `(sequence, child position)` pairs, outermost first. The sequence at
+    /// level 0 is `self.root`; deeper sequences are loop bodies. Returns
+    /// `None` if the statement does not reference this array.
+    pub fn path_to(&self, stmt: StmtId) -> Option<Vec<PathStep<'_>>> {
+        fn walk<'a>(
+            seq: &'a [ANode],
+            owner: Option<(&'a Sym, &'a Expr)>,
+            stmt: StmtId,
+            acc: &mut Vec<PathStep<'a>>,
+        ) -> bool {
+            for (pos, child) in seq.iter().enumerate() {
+                acc.push(PathStep { seq, pos, owner });
+                match child {
+                    ANode::Leaf { stmt: s, .. } if *s == stmt => return true,
+                    ANode::Leaf { .. } => {}
+                    ANode::Loop { index, bound, body } => {
+                        if walk(body, Some((index, bound)), stmt, acc) {
+                            return true;
+                        }
+                    }
+                }
+                acc.pop();
+            }
+            false
+        }
+        let mut acc = Vec::new();
+        if walk(&self.root, None, stmt, &mut acc) {
+            Some(acc)
+        } else {
+            None
+        }
+    }
+}
+
+/// One step of a leaf path: a position within a sequence of siblings, plus
+/// the loop owning that sequence (`None` at the program root).
+#[derive(Debug, Clone, Copy)]
+pub struct PathStep<'a> {
+    /// The sibling sequence at this level.
+    pub seq: &'a [ANode],
+    /// Position of the child on the path within `seq`.
+    pub pos: usize,
+    /// The loop whose body is `seq` (`None` for the root sequence).
+    pub owner: Option<(&'a Sym, &'a Expr)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdlo_ir::programs;
+
+    #[test]
+    fn matmul_trees_are_single_leaves() {
+        let p = programs::matmul();
+        for name in ["A", "B", "C"] {
+            let id = p.array_by_name(name).unwrap().id;
+            let t = ATree::build(&p, id);
+            assert_eq!(t.leaves().len(), 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn two_index_t_tree_has_three_leaves() {
+        let p = programs::tiled_two_index();
+        let t_id = p.array_by_name("T").unwrap().id;
+        let t = ATree::build(&p, t_id);
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 3);
+        // S1 (zero), S2 (produce), S3 (consume) in program order.
+        assert_eq!(leaves[0].0, StmtId(1));
+        assert_eq!(leaves[1].0, StmtId(2));
+        assert_eq!(leaves[2].0, StmtId(3));
+        // The root of T's tree must contain only the iT loop (the B-init nest
+        // does not reference T).
+        assert_eq!(t.root.len(), 1);
+        match &t.root[0] {
+            ANode::Loop { index, .. } => assert_eq!(index.name(), "iT"),
+            ANode::Leaf { .. } => panic!("expected loop"),
+        }
+    }
+
+    #[test]
+    fn b_tree_keeps_init_nest() {
+        let p = programs::tiled_two_index();
+        let b_id = p.array_by_name("B").unwrap().id;
+        let t = ATree::build(&p, b_id);
+        assert_eq!(t.root.len(), 2); // init nest + main nest
+        assert_eq!(t.leaves().len(), 2); // S0 and S3
+    }
+
+    #[test]
+    fn path_to_reports_positions_and_owners() {
+        let p = programs::tiled_two_index();
+        let t_id = p.array_by_name("T").unwrap().id;
+        let t = ATree::build(&p, t_id);
+        // Path to S2 (produce): root(iT) → nT → produce-branch(jT) → iI → nI → jI → leaf.
+        let path = t.path_to(StmtId(2)).unwrap();
+        let owners: Vec<String> = path
+            .iter()
+            .map(|s| s.owner.map(|(i, _)| i.name().to_string()).unwrap_or("<root>".into()))
+            .collect();
+        assert_eq!(owners, ["<root>", "iT", "nT", "jT", "iI", "nI", "jI"]);
+        // Within nT's body, the produce branch is child 1 (after the zero branch).
+        assert_eq!(path[2].pos, 1);
+        // No path for a statement that does not touch T.
+        assert!(t.path_to(StmtId(0)).is_none());
+    }
+
+    #[test]
+    fn rightmost_leaf_of_main_nest_is_s3() {
+        let p = programs::tiled_two_index();
+        let t_id = p.array_by_name("T").unwrap().id;
+        let t = ATree::build(&p, t_id);
+        assert_eq!(t.root[0].rightmost_leaf().0, StmtId(3));
+    }
+}

@@ -1,0 +1,283 @@
+//! Symbolic distinct-element counting.
+//!
+//! The stack distance of a reuse is the number of **distinct** elements (of
+//! every array) accessed inside the reuse span. For the TCE loop class, a
+//! span decomposes into whole subtree traversals plus boundary
+//! suffixes/prefixes, and the distinct count of one reference over a whole
+//! subtree is a product of trip counts of the *free* loops contributing to
+//! each subscript dimension. This module computes those per-array counts.
+
+use sdlo_ir::{ArrayId, ArrayRef, Expr, Node, Sym};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-array distinct-element counts (symbolic).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CostMap {
+    map: BTreeMap<ArrayId, Vec<Vec<Expr>>>,
+}
+
+impl CostMap {
+    /// Record one reference's per-dimension extent vector.
+    fn push(&mut self, array: ArrayId, dims: Vec<Expr>) {
+        let boxes = self.map.entry(array).or_default();
+        // Union rule: identical boxes cover the same elements — count once.
+        // Distinct boxes are summed (overlap between genuinely different
+        // boxes does not occur in the TCE reference class: references to the
+        // same array in one program use identical subscript shapes).
+        if !boxes.contains(&dims) {
+            boxes.push(dims);
+        }
+    }
+
+    /// Merge another cost map (union semantics per array).
+    pub fn merge(&mut self, other: &CostMap) {
+        for (a, boxes) in &other.map {
+            for b in boxes {
+                self.push(*a, b.clone());
+            }
+        }
+    }
+
+    /// Distinct count for one array.
+    pub fn array_cost(&self, array: ArrayId) -> Expr {
+        match self.map.get(&array) {
+            None => Expr::zero(),
+            Some(boxes) => boxes
+                .iter()
+                .map(|dims| dims.iter().fold(Expr::one(), |acc, d| acc * d.clone()))
+                .fold(Expr::zero(), |acc, x| acc + x),
+        }
+    }
+
+    /// Total distinct count across all arrays (arrays occupy disjoint
+    /// address ranges, so the sum is exact given per-array counts).
+    pub fn total(&self) -> Expr {
+        self.map
+            .keys()
+            .map(|a| self.array_cost(*a))
+            .fold(Expr::zero(), |acc, x| acc + x)
+    }
+
+    /// Arrays present in the map.
+    pub fn arrays(&self) -> impl Iterator<Item = ArrayId> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Whether the map mentions `array`.
+    pub fn contains(&self, array: ArrayId) -> bool {
+        self.map.contains_key(&array)
+    }
+
+    /// Restrict to a single array.
+    pub fn only(&self, array: ArrayId) -> CostMap {
+        let mut out = CostMap::default();
+        if let Some(boxes) = self.map.get(&array) {
+            out.map.insert(array, boxes.clone());
+        }
+        out
+    }
+
+    /// Drop one array from the map.
+    pub fn without(&self, array: ArrayId) -> CostMap {
+        let mut out = self.clone();
+        out.map.remove(&array);
+        out
+    }
+}
+
+/// Environment for extent computation: which loop indices are *free*
+/// (iterate over their full range inside the region being costed) and the
+/// trip count of every loop.
+#[derive(Debug, Clone, Default)]
+pub struct ExtentCtx {
+    /// Trip count per loop index (loops on the path into the region).
+    bounds: BTreeMap<Sym, Expr>,
+    /// Indices considered free (full range) in the region.
+    free: BTreeSet<Sym>,
+}
+
+impl ExtentCtx {
+    /// Empty context: all indices fixed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn enter(&mut self, index: &Sym, bound: &Expr) -> Option<(Sym, Option<Expr>)> {
+        let prev = self.bounds.insert(index.clone(), bound.clone());
+        let newly_free = self.free.insert(index.clone());
+        if newly_free {
+            Some((index.clone(), prev))
+        } else {
+            None
+        }
+    }
+
+    fn exit(&mut self, token: Option<(Sym, Option<Expr>)>) {
+        if let Some((index, prev)) = token {
+            self.free.remove(&index);
+            match prev {
+                Some(b) => {
+                    self.bounds.insert(index, b);
+                }
+                None => {
+                    self.bounds.remove(&index);
+                }
+            }
+        }
+    }
+
+    /// Extent of one subscript dimension: the product of trip counts of the
+    /// free indices contributing to it (fixed indices contribute a single
+    /// value).
+    pub fn dim_extent(&self, dim: &sdlo_ir::DimExpr) -> Expr {
+        dim.parts.iter().fold(Expr::one(), |acc, (idx, _)| {
+            if self.free.contains(idx) {
+                acc * self.bounds[idx].clone()
+            } else {
+                acc
+            }
+        })
+    }
+
+    fn ref_extents(&self, r: &ArrayRef) -> Vec<Expr> {
+        r.dims.iter().map(|d| self.dim_extent(d)).collect()
+    }
+}
+
+/// Distinct-element costs of executing `seq` once in full, with every loop
+/// inside `seq` free and every enclosing loop fixed.
+pub fn seq_costs(seq: &[Node]) -> CostMap {
+    let mut ctx = ExtentCtx::new();
+    let mut out = CostMap::default();
+    for n in seq {
+        collect(n, &mut ctx, &mut out);
+    }
+    out
+}
+
+/// Distinct-element costs of one full traversal of `node`.
+pub fn subtree_costs(node: &Node) -> CostMap {
+    let mut ctx = ExtentCtx::new();
+    let mut out = CostMap::default();
+    collect(node, &mut ctx, &mut out);
+    out
+}
+
+fn collect(node: &Node, ctx: &mut ExtentCtx, out: &mut CostMap) {
+    match node {
+        Node::Loop(l) => {
+            let tok = ctx.enter(&l.index, &l.bound);
+            for n in &l.body {
+                collect(n, ctx, out);
+            }
+            ctx.exit(tok);
+        }
+        Node::Stmt(s) => {
+            for r in &s.refs {
+                out.push(r.array, ctx.ref_extents(r));
+            }
+        }
+    }
+}
+
+/// Costs of one iteration of the body of loop `outer` restricted to the
+/// subtree below it, i.e. with `outer`'s own index fixed and everything
+/// inside its body free.
+pub fn loop_body_costs(outer: &sdlo_ir::LoopNode) -> CostMap {
+    seq_costs(&outer.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdlo_ir::{programs, Bindings};
+
+    fn expect(e: &Expr, bindings: &Bindings, v: i64) {
+        assert_eq!(e.eval(bindings).unwrap(), v, "expr {e}");
+    }
+
+    #[test]
+    fn matmul_full_program_costs() {
+        let p = programs::matmul();
+        let m = seq_costs(&p.root);
+        let b = Bindings::new().with("Ni", 4).with("Nj", 5).with("Nk", 6);
+        expect(&m.array_cost(p.array_by_name("A").unwrap().id), &b, 20);
+        expect(&m.array_cost(p.array_by_name("B").unwrap().id), &b, 30);
+        expect(&m.array_cost(p.array_by_name("C").unwrap().id), &b, 24);
+        expect(&m.total(), &b, 74);
+    }
+
+    #[test]
+    fn inner_loop_body_costs_fix_outer_indices() {
+        // One iteration of matmul's j loop (body = k loop): A is fixed to a
+        // single element, B and C to one row / one row.
+        let p = programs::matmul();
+        let Node::Loop(i) = &p.root[0] else { panic!() };
+        let Node::Loop(j) = &i.body[0] else { panic!() };
+        let m = loop_body_costs(j);
+        let b = Bindings::new().with("Ni", 4).with("Nj", 5).with("Nk", 6);
+        expect(&m.array_cost(p.array_by_name("A").unwrap().id), &b, 1);
+        expect(&m.array_cost(p.array_by_name("B").unwrap().id), &b, 6);
+        expect(&m.array_cost(p.array_by_name("C").unwrap().id), &b, 6);
+    }
+
+    #[test]
+    fn tiled_two_index_nt_body_costs() {
+        // One iteration of the nT loop: T is the whole tile buffer, A a
+        // Ti × Nj slab, C2 a Tn × Nj slab, B an Nm × Tn slab, C1 Nm × Ti.
+        let p = programs::tiled_two_index();
+        let Node::Loop(it) = &p.root[1] else { panic!() };
+        let Node::Loop(nt) = &it.body[0] else { panic!() };
+        let m = loop_body_costs(nt);
+        let b = Bindings::new()
+            .with("Ni", 16)
+            .with("Nj", 16)
+            .with("Nm", 16)
+            .with("Nn", 16)
+            .with("Ti", 4)
+            .with("Tj", 2)
+            .with("Tm", 8)
+            .with("Tn", 2);
+        expect(&m.array_cost(p.array_by_name("T").unwrap().id), &b, 4 * 2);
+        expect(&m.array_cost(p.array_by_name("A").unwrap().id), &b, 4 * 16);
+        expect(&m.array_cost(p.array_by_name("C2").unwrap().id), &b, 2 * 16);
+        expect(&m.array_cost(p.array_by_name("B").unwrap().id), &b, 16 * 2);
+        expect(&m.array_cost(p.array_by_name("C1").unwrap().id), &b, 16 * 4);
+    }
+
+    #[test]
+    fn union_dedup_counts_t_once() {
+        // Within one nT-body iteration T is referenced by S1, S2 and S3 with
+        // the same box; the union must count Ti·Tn once, not three times.
+        let p = programs::tiled_two_index();
+        let Node::Loop(it) = &p.root[1] else { panic!() };
+        let Node::Loop(nt) = &it.body[0] else { panic!() };
+        let m = loop_body_costs(nt);
+        let t = p.array_by_name("T").unwrap().id;
+        let b = Bindings::new()
+            .with("Ti", 4)
+            .with("Tn", 2)
+            .with("Ni", 16)
+            .with("Nj", 16)
+            .with("Nm", 16)
+            .with("Nn", 16)
+            .with("Tj", 2)
+            .with("Tm", 8);
+        expect(&m.array_cost(t), &b, 8);
+    }
+
+    #[test]
+    fn cost_map_merge_and_restrict() {
+        let p = programs::tiled_two_index();
+        let m = seq_costs(&p.root);
+        let t = p.array_by_name("T").unwrap().id;
+        let only = m.only(t);
+        assert!(only.contains(t));
+        assert_eq!(only.arrays().count(), 1);
+        let without = m.without(t);
+        assert!(!without.contains(t));
+        let mut merged = only.clone();
+        merged.merge(&without);
+        assert_eq!(merged.total(), m.total());
+    }
+}

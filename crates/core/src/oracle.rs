@@ -1,0 +1,76 @@
+//! Ground-truth oracles for validating the symbolic model.
+//!
+//! Everything here is exact and brute-force: it exists so the test suite can
+//! pin the compile-time model to reality on sizes small enough to simulate.
+
+use sdlo_ir::{CompiledProgram, Program, StmtId};
+use std::collections::BTreeMap;
+
+/// Exact per-reference miss counts from a full LRU stack-distance
+/// simulation: key is `(statement, reference index within the statement)`.
+pub fn per_reference_misses(
+    program: &Program,
+    compiled: &CompiledProgram,
+    cache_size: u64,
+) -> BTreeMap<(StmtId, usize), u64> {
+    let nrefs: BTreeMap<StmtId, usize> = {
+        let mut m = BTreeMap::new();
+        program.for_each_stmt(|s| {
+            m.insert(s.id, s.refs.len());
+        });
+        m
+    };
+    let mut engine =
+        sdlo_cachesim::StackDistanceEngine::with_dense_addresses(compiled.total_elements());
+    let mut out: BTreeMap<(StmtId, usize), u64> = BTreeMap::new();
+    // References of one statement instance are emitted consecutively in
+    // declaration order, so a per-statement counter recovers the ref index.
+    let mut cursor: BTreeMap<StmtId, usize> = BTreeMap::new();
+    compiled.walk(&mut |a| {
+        let n = nrefs[&a.stmt];
+        let c = cursor.entry(a.stmt).or_insert(0);
+        let ref_idx = *c;
+        *c = (*c + 1) % n;
+        let miss = match engine.access(a.addr) {
+            sdlo_cachesim::Distance::Cold => true,
+            sdlo_cachesim::Distance::Finite(d) => d >= cache_size,
+        };
+        if miss {
+            *out.entry((a.stmt, ref_idx)).or_insert(0) += 1;
+        }
+    });
+    out
+}
+
+/// Exact total misses (fully associative LRU, element granularity).
+pub fn exact_misses(compiled: &CompiledProgram, cache_size: u64) -> u64 {
+    sdlo_cachesim::simulate_fully_associative(
+        compiled,
+        cache_size,
+        sdlo_cachesim::Granularity::Element,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdlo_ir::{programs, Bindings};
+
+    #[test]
+    fn per_reference_misses_sum_to_total() {
+        let p = programs::tiled_matmul();
+        let b = Bindings::new()
+            .with("Ni", 16)
+            .with("Nj", 16)
+            .with("Nk", 16)
+            .with("Ti", 4)
+            .with("Tj", 4)
+            .with("Tk", 4);
+        let c = sdlo_ir::CompiledProgram::compile(&p, &b).unwrap();
+        for cs in [8u64, 64, 512] {
+            let per = per_reference_misses(&p, &c, cs);
+            let total: u64 = per.values().sum();
+            assert_eq!(total, exact_misses(&c, cs), "cs={cs}");
+        }
+    }
+}

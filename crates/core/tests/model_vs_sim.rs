@@ -1,0 +1,135 @@
+//! End-to-end validation: the compile-time model's predicted miss counts
+//! must track the exact LRU simulation across workloads, tile shapes and
+//! cache sizes.
+
+use sdlo_cachesim::{simulate_stack_distances, Granularity};
+use sdlo_core::MissModel;
+use sdlo_ir::{programs, Bindings, CompiledProgram, Program};
+
+fn check(program: &Program, b: &Bindings, cache_sizes: &[u64], tol: f64) {
+    let model = MissModel::build(program);
+    let compiled = CompiledProgram::compile(program, b).unwrap();
+    assert_eq!(
+        model.total_instances(b).unwrap(),
+        compiled.total_accesses(),
+        "instance accounting"
+    );
+    let h = simulate_stack_distances(&compiled, Granularity::Element);
+    for &cs in cache_sizes {
+        let predicted = model.predict_misses(b, cs).unwrap();
+        let actual = h.misses(cs);
+        let denom = actual.max(1) as f64;
+        let err = (predicted as f64 - actual as f64).abs() / denom;
+        assert!(
+            err <= tol,
+            "{}: cs={cs}: predicted {predicted} vs actual {actual} (err {:.3})",
+            program.name,
+            err
+        );
+    }
+}
+
+fn tmm(n: i128, t: (i128, i128, i128)) -> Bindings {
+    Bindings::new()
+        .with("Ni", n)
+        .with("Nj", n)
+        .with("Nk", n)
+        .with("Ti", t.0)
+        .with("Tj", t.1)
+        .with("Tk", t.2)
+}
+
+fn t2i(n: i128, t: (i128, i128, i128, i128)) -> Bindings {
+    Bindings::new()
+        .with("Ni", n)
+        .with("Nj", n)
+        .with("Nm", n)
+        .with("Nn", n)
+        .with("Ti", t.0)
+        .with("Tj", t.1)
+        .with("Tm", t.2)
+        .with("Tn", t.3)
+}
+
+#[test]
+fn tiled_matmul_tracks_simulation() {
+    let p = programs::tiled_matmul();
+    for t in [(8, 8, 8), (16, 4, 8), (4, 16, 16), (32, 8, 4)] {
+        // Cache sizes straddling the intra/inter-tile knees (but not
+        // *exactly* on a knee -- see `knife_edge_capacity_is_bounded`).
+        check(&p, &tmm(64, t), &[16, 64, 320, 1024, 4096, 1 << 20], 0.02);
+    }
+}
+
+#[test]
+fn knife_edge_capacity_is_bounded() {
+    // When the capacity lands exactly inside a component's boundary
+    // shoulder (here: the kT-carried reuse of A at tiles (16,4,8) has its
+    // interior stack distance at 263 with boundary mass at 255/256), the
+    // interior-value model misclassifies the shoulder. The error must stay
+    // bounded by that component's share of the trace.
+    let p = programs::tiled_matmul();
+    check(&p, &tmm(64, (16, 4, 8)), &[256], 0.15);
+}
+
+#[test]
+fn untiled_matmul_tracks_simulation() {
+    let p = programs::matmul();
+    let b = Bindings::new().with("Ni", 48).with("Nj", 32).with("Nk", 40);
+    check(&p, &b, &[8, 64, 512, 2048, 8192], 0.05);
+}
+
+#[test]
+fn tiled_two_index_tracks_simulation() {
+    let p = programs::tiled_two_index();
+    for t in [(8, 8, 8, 8), (16, 4, 4, 16), (4, 16, 16, 4)] {
+        check(&p, &t2i(64, t), &[32, 128, 512, 2048, 8192, 1 << 20], 0.06);
+    }
+}
+
+#[test]
+fn fused_two_index_tracks_simulation() {
+    let p = programs::two_index_fused();
+    let b = Bindings::new()
+        .with("Ni", 24)
+        .with("Nj", 24)
+        .with("Nm", 24)
+        .with("Nn", 24);
+    check(&p, &b, &[8, 32, 128, 512, 4096], 0.08);
+}
+
+#[test]
+fn unfused_two_index_tracks_simulation() {
+    let p = programs::two_index_unfused();
+    let b = Bindings::new()
+        .with("Ni", 24)
+        .with("Nj", 24)
+        .with("Nm", 24)
+        .with("Nn", 24);
+    check(&p, &b, &[8, 32, 128, 512, 4096], 0.08);
+}
+
+#[test]
+fn per_reference_predictions_track_per_reference_simulation() {
+    // The strongest check of the partitioning itself: miss counts must be
+    // right *per reference*, not just in aggregate (aggregate agreement
+    // could hide compensating errors between references).
+    let p = programs::tiled_two_index();
+    let b = t2i(64, (16, 8, 8, 16));
+    let model = MissModel::build(&p);
+    let compiled = CompiledProgram::compile(&p, &b).unwrap();
+    for cs in [128u64, 1024, 4096] {
+        let predicted = model.predict_per_reference(&b, cs).unwrap();
+        let actual = sdlo_core::oracle::per_reference_misses(&p, &compiled, cs);
+        for (key, act) in &actual {
+            let pred = predicted.get(key).copied().unwrap_or(0);
+            let err = (pred as f64 - *act as f64).abs() / (*act).max(1) as f64;
+            assert!(
+                err < 0.10 || pred.abs_diff(*act) < 2000,
+                "cs={cs} stmt S{} ref {}: predicted {pred} vs actual {act}",
+                key.0 .0,
+                key.1
+            );
+        }
+    }
+}

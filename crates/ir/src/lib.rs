@@ -1,0 +1,40 @@
+//! # sdlo-ir
+//!
+//! Loop-nest intermediate representation for the class of programs the
+//! paper's analysis targets: **imperfectly nested** loop structures with
+//! **symbolic bounds** whose array subscripts are (strided sums of) loop
+//! indices — exactly what the Tensor Contraction Engine emits after operation
+//! minimization, loop fusion and tiling.
+//!
+//! The crate provides:
+//!
+//! * the loop tree itself ([`Program`], [`Node`], [`LoopNode`], [`Stmt`],
+//!   [`ArrayRef`], [`DimExpr`]),
+//! * program builders for the paper's workloads ([`programs`]): matrix
+//!   multiplication (plain and tiled, Fig. 2/8), the fused and tiled
+//!   two-index transform (Fig. 1/6), and the four-index transform (§2),
+//! * a perfect-nest tiling transform ([`tile_perfect_nest`]),
+//! * a compiler from (program, concrete bindings) to a flat, allocation-free
+//!   walker that streams the exact memory reference trace ([`trace`]), and
+//! * an interpreter executing statement semantics over `f64` arrays for
+//!   end-to-end numerical checks ([`execute`]).
+//!
+//! Loops iterate `1..=bound` following the paper's notation. Tiled index
+//! pairs are modelled as two loop indices contributing to one subscript
+//! dimension with different strides: `A[iT+iI]` becomes the dimension
+//! expression `(iT-1)*Ti + (iI-1) + 1`.
+
+mod exec;
+mod node;
+mod program;
+pub mod programs;
+mod tile;
+pub mod trace;
+
+pub use exec::{execute, ExecError, Memory};
+pub use node::{ArrayRef, DimExpr, LoopNode, Node, Stmt, StmtKind};
+pub use program::{ArrayDecl, ArrayId, Program, StmtId, ValidateError};
+pub use tile::tile_perfect_nest;
+pub use trace::{Access, CompileError, CompiledProgram};
+
+pub use sdlo_symbolic::{Bindings, Expr, Sym};

@@ -1,0 +1,182 @@
+//! Loop-tree node types.
+
+use crate::program::{ArrayId, StmtId};
+use sdlo_symbolic::{Expr, Sym};
+
+/// One subscript dimension of an array reference.
+///
+/// The value of the dimension at a given iteration point is
+/// `1 + Σ (value(index_k) − 1) · stride_k`. A plain loop-index subscript
+/// `A[i]` has one part `(i, 1)`; a tiled subscript `A[iT+iI]` has parts
+/// `[(iT, Ti), (iI, 1)]` — tile loop `iT` selects the tile origin in element
+/// units, intra-tile loop `iI` the offset inside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimExpr {
+    /// `(loop index, stride)` pairs; strides are symbolic expressions
+    /// (typically `1` or a tile-size variable).
+    pub parts: Vec<(Sym, Expr)>,
+}
+
+impl DimExpr {
+    /// A single-index dimension with stride 1: `A[i]`.
+    pub fn index(i: impl Into<Sym>) -> Self {
+        DimExpr { parts: vec![(i.into(), Expr::one())] }
+    }
+
+    /// A tiled dimension `A[iT + iI]`: tile loop `t` with stride = tile size,
+    /// intra loop `i` with stride 1.
+    pub fn tiled(t: impl Into<Sym>, tile_size: Expr, i: impl Into<Sym>) -> Self {
+        DimExpr { parts: vec![(t.into(), tile_size), (i.into(), Expr::one())] }
+    }
+
+    /// Every loop index contributing to this dimension.
+    pub fn indices(&self) -> impl Iterator<Item = &Sym> {
+        self.parts.iter().map(|(s, _)| s)
+    }
+
+    /// Whether loop index `sym` contributes to this dimension.
+    pub fn uses(&self, sym: &Sym) -> bool {
+        self.parts.iter().any(|(s, _)| s == sym)
+    }
+}
+
+/// One array reference inside a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayRef {
+    /// Which array is referenced.
+    pub array: ArrayId,
+    /// One [`DimExpr`] per array dimension.
+    pub dims: Vec<DimExpr>,
+    /// Whether the reference writes (LHS) — reads and writes are identical
+    /// for the LRU analysis but matter for execution.
+    pub is_write: bool,
+}
+
+impl ArrayRef {
+    /// A read reference.
+    pub fn read(array: ArrayId, dims: Vec<DimExpr>) -> Self {
+        ArrayRef { array, dims, is_write: false }
+    }
+
+    /// A write reference.
+    pub fn write(array: ArrayId, dims: Vec<DimExpr>) -> Self {
+        ArrayRef { array, dims, is_write: true }
+    }
+
+    /// Whether loop index `sym` **appears** in the reference (paper's
+    /// `Appears[]`): it contributes to some subscript dimension.
+    pub fn appears(&self, sym: &Sym) -> bool {
+        self.dims.iter().any(|d| d.uses(sym))
+    }
+}
+
+/// Executable semantics of a statement, over the references in `refs` order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `refs[0] = 0`.
+    ZeroLhs,
+    /// `refs[0] += refs[1] * refs[2]`.
+    MulAddAssign,
+    /// `refs[0] = refs[1]`.
+    Assign,
+}
+
+/// A statement: an ordered list of array references plus semantics.
+///
+/// References are listed in the order they are touched during one execution
+/// of the statement (reads before the write for `+=`), which is the order the
+/// trace generator emits them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Program-order statement number (assigned by [`Program`](crate::Program)).
+    pub id: StmtId,
+    /// Human-readable form for diagnostics and table output.
+    pub label: String,
+    /// References in access order.
+    pub refs: Vec<ArrayRef>,
+    /// Executable semantics.
+    pub kind: StmtKind,
+}
+
+/// A loop with its symbolic trip count; iterates `1..=bound`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNode {
+    /// The loop index variable (unique within a program).
+    pub index: Sym,
+    /// Number of iterations (symbolic).
+    pub bound: Expr,
+    /// Loop body — a sequence of loops and/or statements (imperfect nesting).
+    pub body: Vec<Node>,
+}
+
+/// A node of the loop tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A `for` loop.
+    Loop(LoopNode),
+    /// A statement.
+    Stmt(Stmt),
+}
+
+impl Node {
+    /// Build a loop node.
+    pub fn loop_(index: impl Into<Sym>, bound: Expr, body: Vec<Node>) -> Self {
+        Node::Loop(LoopNode { index: index.into(), bound, body })
+    }
+
+    /// Visit every statement in program order.
+    pub fn for_each_stmt<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        match self {
+            Node::Loop(l) => {
+                for n in &l.body {
+                    n.for_each_stmt(f);
+                }
+            }
+            Node::Stmt(s) => f(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_expr_uses() {
+        let d = DimExpr::tiled("iT", Expr::var("Ti"), "iI");
+        assert!(d.uses(&Sym::new("iT")));
+        assert!(d.uses(&Sym::new("iI")));
+        assert!(!d.uses(&Sym::new("j")));
+        assert_eq!(d.indices().count(), 2);
+    }
+
+    #[test]
+    fn array_ref_appears() {
+        let r = ArrayRef::read(
+            ArrayId(0),
+            vec![DimExpr::index("i"), DimExpr::index("j")],
+        );
+        assert!(r.appears(&Sym::new("i")));
+        assert!(!r.appears(&Sym::new("k")));
+    }
+
+    #[test]
+    fn for_each_stmt_walks_in_order() {
+        let s = |id: usize| {
+            Node::Stmt(Stmt {
+                id: StmtId(id),
+                label: format!("s{id}"),
+                refs: vec![],
+                kind: StmtKind::ZeroLhs,
+            })
+        };
+        let tree = Node::loop_(
+            "i",
+            Expr::var("N"),
+            vec![s(0), Node::loop_("j", Expr::var("N"), vec![s(1)]), s(2)],
+        );
+        let mut ids = vec![];
+        tree.for_each_stmt(&mut |st| ids.push(st.id.0));
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

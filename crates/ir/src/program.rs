@@ -1,0 +1,343 @@
+//! Whole-program container: array declarations plus the loop tree.
+
+use crate::node::{Node, Stmt};
+use sdlo_symbolic::{Expr, Sym};
+use std::collections::BTreeSet;
+
+/// Identifier of a declared array (index into [`Program::arrays`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub usize);
+
+/// Program-order statement number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub usize);
+
+/// A declared array with symbolic per-dimension extents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Stable identifier.
+    pub id: ArrayId,
+    /// Array name (`A`, `B`, `C1`, `T`, …).
+    pub name: Sym,
+    /// Extent of each dimension, row-major (first dimension slowest).
+    pub dims: Vec<Expr>,
+}
+
+impl ArrayDecl {
+    /// Total number of elements (symbolic product of extents).
+    pub fn size(&self) -> Expr {
+        self.dims
+            .iter()
+            .fold(Expr::one(), |acc, d| acc * d.clone())
+    }
+}
+
+/// Structural problems detected by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A reference used a loop index not bound by an enclosing loop.
+    UnboundIndex { stmt: StmtId, index: Sym },
+    /// Two loops in the same nesting path share an index name.
+    DuplicateIndex { index: Sym },
+    /// A reference's dimension count does not match the declaration.
+    DimMismatch { stmt: StmtId, array: Sym, expected: usize, got: usize },
+    /// A statement's reference count does not fit its [`StmtKind`](crate::StmtKind).
+    RefCount { stmt: StmtId, expected: usize, got: usize },
+    /// Statement ids are not 0..n in program order.
+    BadStmtNumbering { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::UnboundIndex { stmt, index } => {
+                write!(f, "statement {} uses unbound index `{index}`", stmt.0)
+            }
+            ValidateError::DuplicateIndex { index } => {
+                write!(f, "loop index `{index}` shadowed along one nesting path")
+            }
+            ValidateError::DimMismatch { stmt, array, expected, got } => write!(
+                f,
+                "statement {} references `{array}` with {got} dims, declared {expected}",
+                stmt.0
+            ),
+            ValidateError::RefCount { stmt, expected, got } => write!(
+                f,
+                "statement {} has {got} references, its kind requires {expected}",
+                stmt.0
+            ),
+            ValidateError::BadStmtNumbering { expected, got } => {
+                write!(f, "statement numbered {got}, expected {expected} in program order")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// A complete program of the TCE class: declarations + imperfect loop nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Diagnostic name (`"tiled-matmul"`, …).
+    pub name: String,
+    /// All arrays touched by the program.
+    pub arrays: Vec<ArrayDecl>,
+    /// Top-level sequence of loops/statements.
+    pub root: Vec<Node>,
+}
+
+impl Program {
+    /// Create an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program { name: name.into(), arrays: Vec::new(), root: Vec::new() }
+    }
+
+    /// Declare an array and get its id.
+    pub fn declare(&mut self, name: impl Into<Sym>, dims: Vec<Expr>) -> ArrayId {
+        let id = ArrayId(self.arrays.len());
+        self.arrays.push(ArrayDecl { id, name: name.into(), dims });
+        id
+    }
+
+    /// Look up an array declaration.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0]
+    }
+
+    /// Find an array by name.
+    pub fn array_by_name(&self, name: &str) -> Option<&ArrayDecl> {
+        self.arrays.iter().find(|a| a.name.name() == name)
+    }
+
+    /// Visit every statement in program order.
+    pub fn for_each_stmt<'a>(&'a self, mut f: impl FnMut(&'a Stmt)) {
+        for n in &self.root {
+            n.for_each_stmt(&mut f);
+        }
+    }
+
+    /// All statements in program order.
+    pub fn stmts(&self) -> Vec<&Stmt> {
+        let mut v = Vec::new();
+        self.for_each_stmt(|s| v.push(s));
+        v
+    }
+
+    /// Number of statements.
+    pub fn stmt_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_stmt(|_| n += 1);
+        n
+    }
+
+    /// All free symbols of the program: loop bounds, strides, array extents.
+    /// (Loop index variables are *not* free — they are bound by their loops.)
+    pub fn free_symbols(&self) -> BTreeSet<Sym> {
+        let mut out = BTreeSet::new();
+        for a in &self.arrays {
+            for d in &a.dims {
+                d.collect_vars(&mut out);
+            }
+        }
+        fn walk(node: &Node, out: &mut BTreeSet<Sym>, bound: &mut Vec<Sym>) {
+            match node {
+                Node::Loop(l) => {
+                    l.bound.collect_vars(out);
+                    bound.push(l.index.clone());
+                    for n in &l.body {
+                        walk(n, out, bound);
+                    }
+                    bound.pop();
+                }
+                Node::Stmt(s) => {
+                    for r in &s.refs {
+                        for d in &r.dims {
+                            for (_, stride) in &d.parts {
+                                stride.collect_vars(out);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut bound = Vec::new();
+        for n in &self.root {
+            walk(n, &mut out, &mut bound);
+        }
+        for s in &bound {
+            out.remove(s);
+        }
+        out
+    }
+
+    /// Structural validation; returns the first problem found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        fn walk(
+            prog: &Program,
+            node: &Node,
+            enclosing: &mut Vec<Sym>,
+            next_stmt: &mut usize,
+        ) -> Result<(), ValidateError> {
+            match node {
+                Node::Loop(l) => {
+                    if enclosing.contains(&l.index) {
+                        return Err(ValidateError::DuplicateIndex { index: l.index.clone() });
+                    }
+                    enclosing.push(l.index.clone());
+                    for n in &l.body {
+                        walk(prog, n, enclosing, next_stmt)?;
+                    }
+                    enclosing.pop();
+                    Ok(())
+                }
+                Node::Stmt(s) => {
+                    if s.id.0 != *next_stmt {
+                        return Err(ValidateError::BadStmtNumbering {
+                            expected: *next_stmt,
+                            got: s.id.0,
+                        });
+                    }
+                    *next_stmt += 1;
+                    let expected_refs = match s.kind {
+                        crate::StmtKind::ZeroLhs => 1,
+                        crate::StmtKind::Assign => 2,
+                        crate::StmtKind::MulAddAssign => 3,
+                    };
+                    if s.refs.len() != expected_refs {
+                        return Err(ValidateError::RefCount {
+                            stmt: s.id,
+                            expected: expected_refs,
+                            got: s.refs.len(),
+                        });
+                    }
+                    for r in &s.refs {
+                        let decl = prog.array(r.array);
+                        if r.dims.len() != decl.dims.len() {
+                            return Err(ValidateError::DimMismatch {
+                                stmt: s.id,
+                                array: decl.name.clone(),
+                                expected: decl.dims.len(),
+                                got: r.dims.len(),
+                            });
+                        }
+                        for d in &r.dims {
+                            for idx in d.indices() {
+                                if !enclosing.contains(idx) {
+                                    return Err(ValidateError::UnboundIndex {
+                                        stmt: s.id,
+                                        index: idx.clone(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    Ok(())
+                }
+            }
+        }
+        let mut enclosing = Vec::new();
+        let mut next_stmt = 0;
+        for n in &self.root {
+            walk(self, n, &mut enclosing, &mut next_stmt)?;
+        }
+        Ok(())
+    }
+
+    /// Pretty-print the loop structure (for docs, examples and debugging).
+    pub fn render(&self) -> String {
+        fn walk(node: &Node, depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            match node {
+                Node::Loop(l) => {
+                    out.push_str(&format!("{pad}for {} = 1..={}\n", l.index, l.bound));
+                    for n in &l.body {
+                        walk(n, depth + 1, out);
+                    }
+                }
+                Node::Stmt(s) => {
+                    out.push_str(&format!("{pad}S{}: {}\n", s.id.0, s.label));
+                }
+            }
+        }
+        let mut out = String::new();
+        for n in &self.root {
+            walk(n, 0, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{ArrayRef, DimExpr, Stmt, StmtKind};
+
+    fn tiny() -> Program {
+        let mut p = Program::new("tiny");
+        let a = p.declare("A", vec![Expr::var("N")]);
+        p.root = vec![Node::loop_(
+            "i",
+            Expr::var("N"),
+            vec![Node::Stmt(Stmt {
+                id: StmtId(0),
+                label: "A[i] = 0".into(),
+                refs: vec![ArrayRef::write(a, vec![DimExpr::index("i")])],
+                kind: StmtKind::ZeroLhs,
+            })],
+        )];
+        p
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert_eq!(tiny().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_unbound_index() {
+        let mut p = tiny();
+        if let Node::Loop(l) = &mut p.root[0] {
+            if let Node::Stmt(s) = &mut l.body[0] {
+                s.refs[0].dims[0] = DimExpr::index("q");
+            }
+        }
+        assert!(matches!(p.validate(), Err(ValidateError::UnboundIndex { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_dim_mismatch() {
+        let mut p = tiny();
+        if let Node::Loop(l) = &mut p.root[0] {
+            if let Node::Stmt(s) = &mut l.body[0] {
+                s.refs[0].dims.push(DimExpr::index("i"));
+            }
+        }
+        assert!(matches!(p.validate(), Err(ValidateError::DimMismatch { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_bad_numbering() {
+        let mut p = tiny();
+        if let Node::Loop(l) = &mut p.root[0] {
+            if let Node::Stmt(s) = &mut l.body[0] {
+                s.id = StmtId(7);
+            }
+        }
+        assert!(matches!(p.validate(), Err(ValidateError::BadStmtNumbering { .. })));
+    }
+
+    #[test]
+    fn free_symbols_excludes_loop_indices() {
+        let p = tiny();
+        let syms = p.free_symbols();
+        assert!(syms.contains(&Sym::new("N")));
+        assert!(!syms.contains(&Sym::new("i")));
+    }
+
+    #[test]
+    fn render_shows_structure() {
+        let text = tiny().render();
+        assert!(text.contains("for i = 1..=N"));
+        assert!(text.contains("S0: A[i] = 0"));
+    }
+}

@@ -1,0 +1,426 @@
+//! Builders for the paper's workloads.
+//!
+//! * [`matmul`] / [`tiled_matmul`] — Fig. 2/8: `C[i,k] += A[i,j] * B[j,k]`,
+//!   untiled (loop order `i, j, k`) and tiled (`iT, jT, kT, iI, jI, kI`).
+//! * [`two_index_unfused`] — Fig. 1(a): the two-index transform with a full
+//!   `T[Nn, Ni]` intermediate array.
+//! * [`two_index_fused`] — Fig. 1(c): loops `i, n` fused, `T` contracted to a
+//!   scalar.
+//! * [`tiled_two_index`] — Fig. 6: the tiled two-index transform with a
+//!   tile-local `T[Ti, Tn]` buffer, the paper's main workload.
+//!
+//! All tiled builders pad array extents to whole tiles
+//! (`ceil(N/T)*T`), matching the model's whole-tile iteration spaces.
+
+use crate::node::{ArrayRef, DimExpr, Node, Stmt, StmtKind};
+use crate::program::{Program, StmtId};
+use sdlo_symbolic::Expr;
+
+fn v(name: &str) -> Expr {
+    Expr::var(name)
+}
+
+/// Padded extent `ceil(bound/tile)*tile` for tiled array dimensions.
+fn padded(bound: &str, tile: &str) -> Expr {
+    v(bound).ceil_div(&v(tile)) * v(tile)
+}
+
+struct StmtFactory {
+    next: usize,
+}
+
+impl StmtFactory {
+    fn new() -> Self {
+        StmtFactory { next: 0 }
+    }
+
+    fn stmt(&mut self, label: &str, kind: StmtKind, refs: Vec<ArrayRef>) -> Node {
+        let id = StmtId(self.next);
+        self.next += 1;
+        Node::Stmt(Stmt { id, label: label.to_string(), refs, kind })
+    }
+}
+
+/// Untiled matrix multiplication, loop order `i, j, k` (paper Fig. 8):
+///
+/// ```text
+/// for i = 1..=Ni, j = 1..=Nj, k = 1..=Nk:
+///     C[i,k] += A[i,j] * B[j,k]
+/// ```
+///
+/// Free symbols: `Ni`, `Nj`, `Nk` (bind them equal for the paper's square
+/// cases).
+pub fn matmul() -> Program {
+    let mut p = Program::new("matmul");
+    let c = p.declare("C", vec![v("Ni"), v("Nk")]);
+    let a = p.declare("A", vec![v("Ni"), v("Nj")]);
+    let b = p.declare("B", vec![v("Nj"), v("Nk")]);
+    let mut f = StmtFactory::new();
+    let body = f.stmt(
+        "C[i,k] += A[i,j] * B[j,k]",
+        StmtKind::MulAddAssign,
+        vec![
+            ArrayRef::write(c, vec![DimExpr::index("i"), DimExpr::index("k")]),
+            ArrayRef::read(a, vec![DimExpr::index("i"), DimExpr::index("j")]),
+            ArrayRef::read(b, vec![DimExpr::index("j"), DimExpr::index("k")]),
+        ],
+    );
+    p.root = vec![Node::loop_(
+        "i",
+        v("Ni"),
+        vec![Node::loop_("j", v("Nj"), vec![Node::loop_("k", v("Nk"), vec![body])])],
+    )];
+    debug_assert_eq!(p.validate(), Ok(()));
+    p
+}
+
+/// Tiled matrix multiplication (paper Fig. 2, the Table 1/3 workload):
+///
+/// ```text
+/// for iT, jT, kT:            # ceil(N/T) tile origins each
+///   for iI, jI, kI:          # Ti, Tj, Tk iterations each
+///     C[iT+iI, kT+kI] += A[iT+iI, jT+jI] * B[jT+jI, kT+kI]
+/// ```
+///
+/// Free symbols: bounds `Ni, Nj, Nk`; tile sizes `Ti, Tj, Tk`.
+pub fn tiled_matmul() -> Program {
+    let mut p = Program::new("tiled-matmul");
+    let c = p.declare("C", vec![padded("Ni", "Ti"), padded("Nk", "Tk")]);
+    let a = p.declare("A", vec![padded("Ni", "Ti"), padded("Nj", "Tj")]);
+    let b = p.declare("B", vec![padded("Nj", "Tj"), padded("Nk", "Tk")]);
+    let (ti, tj, tk) = (v("Ti"), v("Tj"), v("Tk"));
+    let di = DimExpr::tiled("iT", ti.clone(), "iI");
+    let dj = DimExpr::tiled("jT", tj.clone(), "jI");
+    let dk = DimExpr::tiled("kT", tk.clone(), "kI");
+    let mut f = StmtFactory::new();
+    let body = f.stmt(
+        "C[iT+iI,kT+kI] += A[iT+iI,jT+jI] * B[jT+jI,kT+kI]",
+        StmtKind::MulAddAssign,
+        vec![
+            ArrayRef::write(c, vec![di.clone(), dk.clone()]),
+            ArrayRef::read(a, vec![di, dj.clone()]),
+            ArrayRef::read(b, vec![dj, dk]),
+        ],
+    );
+    let inner = Node::loop_(
+        "iI",
+        ti.clone(),
+        vec![Node::loop_("jI", tj.clone(), vec![Node::loop_("kI", tk.clone(), vec![body])])],
+    );
+    p.root = vec![Node::loop_(
+        "iT",
+        v("Ni").ceil_div(&ti),
+        vec![Node::loop_(
+            "jT",
+            v("Nj").ceil_div(&tj),
+            vec![Node::loop_("kT", v("Nk").ceil_div(&tk), vec![inner])],
+        )],
+    )];
+    debug_assert_eq!(p.validate(), Ok(()));
+    p
+}
+
+/// Unfused two-index transform (paper Fig. 1(a)): full intermediate
+/// `T[Nn, Ni]`.
+///
+/// ```text
+/// for i, n, j:  T[n,i] += C2[n,j] * A[i,j]
+/// for i, n, m:  B[m,n] += C1[m,i] * T[n,i]
+/// ```
+///
+/// Free symbols: `Ni, Nj, Nm, Nn`. (The paper's `V`/`N` orbital ranges map to
+/// these bounds.)
+pub fn two_index_unfused() -> Program {
+    let mut p = Program::new("two-index-unfused");
+    let t = p.declare("T", vec![v("Nn"), v("Ni")]);
+    let b = p.declare("B", vec![v("Nm"), v("Nn")]);
+    let a = p.declare("A", vec![v("Ni"), v("Nj")]);
+    let c2 = p.declare("C2", vec![v("Nn"), v("Nj")]);
+    let c1 = p.declare("C1", vec![v("Nm"), v("Ni")]);
+    let mut f = StmtFactory::new();
+    let s1 = f.stmt(
+        "T[n,i] += C2[n,j] * A[i,j]",
+        StmtKind::MulAddAssign,
+        vec![
+            ArrayRef::write(t, vec![DimExpr::index("n"), DimExpr::index("i")]),
+            ArrayRef::read(c2, vec![DimExpr::index("n"), DimExpr::index("j")]),
+            ArrayRef::read(a, vec![DimExpr::index("i"), DimExpr::index("j")]),
+        ],
+    );
+    let s2 = f.stmt(
+        "B[m,n] += C1[m,i] * T[n,i]",
+        StmtKind::MulAddAssign,
+        vec![
+            ArrayRef::write(b, vec![DimExpr::index("m"), DimExpr::index("n")]),
+            ArrayRef::read(c1, vec![DimExpr::index("m"), DimExpr::index("i")]),
+            ArrayRef::read(t, vec![DimExpr::index("n"), DimExpr::index("i")]),
+        ],
+    );
+    p.root = vec![
+        Node::loop_(
+            "i",
+            v("Ni"),
+            vec![Node::loop_("n", v("Nn"), vec![Node::loop_("j", v("Nj"), vec![s1])])],
+        ),
+        // Sibling nest reuses names `i`, `n` (distinct loops; matching names
+        // let the analysis relate T's producer and consumer instances).
+        Node::loop_(
+            "i",
+            v("Ni"),
+            vec![Node::loop_("n", v("Nn"), vec![Node::loop_("m", v("Nm"), vec![s2])])],
+        ),
+    ];
+    debug_assert_eq!(p.validate(), Ok(()));
+    p
+}
+
+/// Fused two-index transform (paper Fig. 1(c)): loops `i, n` fused across the
+/// two contractions, `T` contracted to a scalar.
+///
+/// ```text
+/// for i, n:
+///   T = 0
+///   for j:  T += C2[n,j] * A[i,j]
+///   for m:  B[m,n] += C1[m,i] * T
+/// ```
+pub fn two_index_fused() -> Program {
+    let mut p = Program::new("two-index-fused");
+    let t = p.declare("T", vec![Expr::one()]);
+    let b = p.declare("B", vec![v("Nm"), v("Nn")]);
+    let a = p.declare("A", vec![v("Ni"), v("Nj")]);
+    let c2 = p.declare("C2", vec![v("Nn"), v("Nj")]);
+    let c1 = p.declare("C1", vec![v("Nm"), v("Ni")]);
+    let scalar = || DimExpr { parts: vec![] };
+    let mut f = StmtFactory::new();
+    let s0 = f.stmt("T = 0", StmtKind::ZeroLhs, vec![ArrayRef::write(t, vec![scalar()])]);
+    let s1 = f.stmt(
+        "T += C2[n,j] * A[i,j]",
+        StmtKind::MulAddAssign,
+        vec![
+            ArrayRef::write(t, vec![scalar()]),
+            ArrayRef::read(c2, vec![DimExpr::index("n"), DimExpr::index("j")]),
+            ArrayRef::read(a, vec![DimExpr::index("i"), DimExpr::index("j")]),
+        ],
+    );
+    let s2 = f.stmt(
+        "B[m,n] += C1[m,i] * T",
+        StmtKind::MulAddAssign,
+        vec![
+            ArrayRef::write(b, vec![DimExpr::index("m"), DimExpr::index("n")]),
+            ArrayRef::read(c1, vec![DimExpr::index("m"), DimExpr::index("i")]),
+            ArrayRef::read(t, vec![scalar()]),
+        ],
+    );
+    p.root = vec![Node::loop_(
+        "i",
+        v("Ni"),
+        vec![Node::loop_(
+            "n",
+            v("Nn"),
+            vec![
+                s0,
+                Node::loop_("j", v("Nj"), vec![s1]),
+                Node::loop_("m", v("Nm"), vec![s2]),
+            ],
+        )],
+    )];
+    debug_assert_eq!(p.validate(), Ok(()));
+    p
+}
+
+/// Tiled two-index transform (paper Fig. 6, the Table 2/4 and Fig. 10/11
+/// workload):
+///
+/// ```text
+/// S0: for mT, nT, mI, nI:        B[mT+mI, nT+nI] = 0
+///     for iT, nT:
+/// S1:   for iI, nI:              T[iI, nI] = 0
+/// S2:   for jT, iI, nI, jI:      T[iI, nI] += A[iT+iI, jT+jI] * C2[nT+nI, jT+jI]
+/// S3:   for mT, iI, nI, mI:      B[mT+mI, nT+nI] += T[iI, nI] * C1[mT+mI, iT+iI]
+/// ```
+///
+/// `T` is a tile-local `Ti × Tn` buffer. Free symbols: bounds
+/// `Ni, Nj, Nm, Nn`; tile sizes `Ti, Tj, Tm, Tn` (the paper's tile tuples are
+/// written in this order, e.g. `(64,16,16,128)` = `(Ti,Tj,Tm,Tn)`).
+pub fn tiled_two_index() -> Program {
+    let mut p = Program::new("tiled-two-index");
+    let t = p.declare("T", vec![v("Ti"), v("Tn")]);
+    let b = p.declare("B", vec![padded("Nm", "Tm"), padded("Nn", "Tn")]);
+    let a = p.declare("A", vec![padded("Ni", "Ti"), padded("Nj", "Tj")]);
+    let c2 = p.declare("C2", vec![padded("Nn", "Tn"), padded("Nj", "Tj")]);
+    let c1 = p.declare("C1", vec![padded("Nm", "Tm"), padded("Ni", "Ti")]);
+    let (ti, tj, tm, tn) = (v("Ti"), v("Tj"), v("Tm"), v("Tn"));
+    // Sibling nests deliberately reuse the paper's index names (`iI`, `nI`,
+    // `mT`, `nT`, …): distinct loops may share a name as long as they are not
+    // nested inside one another, and the shared names are what lets the
+    // analysis match `T[iI,nI]` instances across S1/S2/S3 (paper Fig. 7).
+    let di = DimExpr::tiled("iT", ti.clone(), "iI");
+    let dj = DimExpr::tiled("jT", tj.clone(), "jI");
+    let dm = DimExpr::tiled("mT", tm.clone(), "mI");
+    let dn = DimExpr::tiled("nT", tn.clone(), "nI");
+    let d_t = vec![DimExpr::index("iI"), DimExpr::index("nI")];
+
+    let mut f = StmtFactory::new();
+    let s0 = f.stmt(
+        "B[mT+mI, nT+nI] = 0",
+        StmtKind::ZeroLhs,
+        vec![ArrayRef::write(b, vec![dm.clone(), dn.clone()])],
+    );
+    let s1 = f.stmt(
+        "T[iI, nI] = 0",
+        StmtKind::ZeroLhs,
+        vec![ArrayRef::write(t, d_t.clone())],
+    );
+    let s2 = f.stmt(
+        "T[iI, nI] += A[iT+iI, jT+jI] * C2[nT+nI, jT+jI]",
+        StmtKind::MulAddAssign,
+        vec![
+            ArrayRef::write(t, d_t.clone()),
+            ArrayRef::read(a, vec![di.clone(), dj.clone()]),
+            ArrayRef::read(c2, vec![dn.clone(), dj.clone()]),
+        ],
+    );
+    let s3 = f.stmt(
+        "B[mT+mI, nT+nI] += T[iI, nI] * C1[mT+mI, iT+iI]",
+        StmtKind::MulAddAssign,
+        vec![
+            ArrayRef::write(b, vec![dm.clone(), dn.clone()]),
+            ArrayRef::read(t, d_t),
+            ArrayRef::read(c1, vec![dm, di]),
+        ],
+    );
+
+    let init_nest = Node::loop_(
+        "mT",
+        v("Nm").ceil_div(&tm),
+        vec![Node::loop_(
+            "nT",
+            v("Nn").ceil_div(&tn),
+            vec![Node::loop_(
+                "mI",
+                tm.clone(),
+                vec![Node::loop_("nI", tn.clone(), vec![s0])],
+            )],
+        )],
+    );
+    let zero_t = Node::loop_("iI", ti.clone(), vec![Node::loop_("nI", tn.clone(), vec![s1])]);
+    let produce_t = Node::loop_(
+        "jT",
+        v("Nj").ceil_div(&tj),
+        vec![Node::loop_(
+            "iI",
+            ti.clone(),
+            vec![Node::loop_(
+                "nI",
+                tn.clone(),
+                vec![Node::loop_("jI", tj.clone(), vec![s2])],
+            )],
+        )],
+    );
+    let consume_t = Node::loop_(
+        "mT",
+        v("Nm").ceil_div(&tm),
+        vec![Node::loop_(
+            "iI",
+            ti.clone(),
+            vec![Node::loop_(
+                "nI",
+                tn.clone(),
+                vec![Node::loop_("mI", tm.clone(), vec![s3])],
+            )],
+        )],
+    );
+    p.root = vec![
+        init_nest,
+        Node::loop_(
+            "iT",
+            v("Ni").ceil_div(&ti),
+            vec![Node::loop_(
+                "nT",
+                v("Nn").ceil_div(&tn),
+                vec![zero_t, produce_t, consume_t],
+            )],
+        ),
+    ];
+    debug_assert_eq!(p.validate(), Ok(()));
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdlo_symbolic::{Bindings, Sym};
+
+    fn square_bindings(n: i128) -> Bindings {
+        Bindings::new()
+            .with("Ni", n)
+            .with("Nj", n)
+            .with("Nk", n)
+            .with("Nm", n)
+            .with("Nn", n)
+    }
+
+    #[test]
+    fn all_builders_validate() {
+        for p in [
+            matmul(),
+            tiled_matmul(),
+            two_index_unfused(),
+            two_index_fused(),
+            tiled_two_index(),
+        ] {
+            assert_eq!(p.validate(), Ok(()), "{} failed validation", p.name);
+        }
+    }
+
+    #[test]
+    fn matmul_access_count() {
+        let p = matmul();
+        let c = crate::CompiledProgram::compile(&p, &square_bindings(4)).unwrap();
+        // N^3 statement instances × 3 refs.
+        assert_eq!(c.total_accesses(), 64 * 3);
+    }
+
+    #[test]
+    fn tiled_matmul_matches_untiled_access_count() {
+        let b = square_bindings(8).with("Ti", 4).with("Tj", 2).with("Tk", 8);
+        let c = crate::CompiledProgram::compile(&tiled_matmul(), &b).unwrap();
+        assert_eq!(c.total_accesses(), 512 * 3);
+    }
+
+    #[test]
+    fn tiled_two_index_access_count() {
+        let b = square_bindings(4)
+            .with("Ti", 2)
+            .with("Tj", 2)
+            .with("Tm", 2)
+            .with("Tn", 2);
+        let c = crate::CompiledProgram::compile(&tiled_two_index(), &b).unwrap();
+        // S0: Nm*Nn = 16 accesses; S1: (Ni/Ti)*(Nn/Tn)*Ti*Tn = 16;
+        // S2 and S3: N^3 stmt instances × 3 refs = 192 each.
+        assert_eq!(c.total_accesses(), 16 + 16 + 192 + 192);
+    }
+
+    #[test]
+    fn tiled_two_index_free_symbols() {
+        let syms = tiled_two_index().free_symbols();
+        for s in ["Ni", "Nj", "Nm", "Nn", "Ti", "Tj", "Tm", "Tn"] {
+            assert!(syms.contains(&Sym::new(s)), "missing {s}");
+        }
+        assert!(!syms.contains(&Sym::new("iT")));
+    }
+
+    #[test]
+    fn fused_scalar_t_has_single_address() {
+        let p = two_index_fused();
+        let c = crate::CompiledProgram::compile(&p, &square_bindings(3)).unwrap();
+        let t_id = p.array_by_name("T").unwrap().id;
+        let mut t_addrs = std::collections::BTreeSet::new();
+        c.walk(&mut |a| {
+            if a.array == t_id {
+                t_addrs.insert(a.addr);
+            }
+        });
+        assert_eq!(t_addrs.len(), 1);
+    }
+}

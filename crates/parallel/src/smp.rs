@@ -1,0 +1,228 @@
+//! Per-processor miss analysis and the §7 limit cost models.
+
+use sdlo_core::{MissModel, ModelError};
+use sdlo_ir::Bindings;
+
+/// The two §7 limit models of shared-memory access cost (and a convex blend
+/// for machines between the extremes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LimitModel {
+    /// Memory bus bandwidth is the bottleneck: processors serialize on main
+    /// memory, cost ∝ **total** misses across processors.
+    BusLimited,
+    /// Unlimited bandwidth: processors overlap perfectly, cost ∝ the
+    /// **maximum** per-processor miss count.
+    InfiniteBandwidth,
+    /// `λ·total + (1−λ)·max` — real machines sit between the limits.
+    Mixed(f64),
+}
+
+/// Calibration constants turning operation/miss counts into seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineParams {
+    /// Sustained multiply–add throughput of one processor (ops/s).
+    pub flops_per_sec: f64,
+    /// Cost of one cache miss (s).
+    pub miss_penalty: f64,
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        // Representative of the paper's era (Sun Sunfire, ~2004): ~300
+        // Mflop/s sustained per CPU, ~250 ns per miss to shared memory.
+        MachineParams { flops_per_sec: 3.0e8, miss_penalty: 2.5e-7 }
+    }
+}
+
+/// Errors from the SMP analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmpError {
+    /// Underlying model evaluation failed.
+    Model(ModelError),
+    /// The split loop's bound is not divisible by the processor count.
+    UnevenSplit {
+        /// The bound being split.
+        bound: u64,
+        /// Number of processors.
+        processors: u64,
+    },
+}
+
+impl std::fmt::Display for SmpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmpError::Model(e) => write!(f, "{e}"),
+            SmpError::UnevenSplit { bound, processors } => {
+                write!(f, "bound {bound} not divisible by {processors} processors")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SmpError {}
+
+impl From<ModelError> for SmpError {
+    fn from(e: ModelError) -> Self {
+        SmpError::Model(e)
+    }
+}
+
+/// Block-partitioned SMP analysis of a tiled loop nest.
+///
+/// The split loop must be synchronization-free (no loop-carried
+/// dependences), which holds for the common outer loops of TCE-generated
+/// imperfect nests (§7). Each processor's subproblem is the same program
+/// with the split bound divided by `P` — so the *sequential* model answers
+/// every per-processor question.
+pub struct SmpAnalysis<'a> {
+    model: &'a MissModel,
+    /// Symbol of the loop bound being block-partitioned (e.g. `"Nn"`).
+    split_sym: String,
+    /// Statement-instance work is proportional to total accesses; we charge
+    /// one multiply–add per three accesses.
+    ops_total: u64,
+}
+
+impl<'a> SmpAnalysis<'a> {
+    /// Create an analysis splitting the loop whose bound symbol is
+    /// `split_sym`. `ops_total` is the total multiply–add count of the
+    /// whole problem (used for the compute term).
+    pub fn new(model: &'a MissModel, split_sym: impl Into<String>, ops_total: u64) -> Self {
+        SmpAnalysis { model, split_sym: split_sym.into(), ops_total }
+    }
+
+    /// Bindings of one processor's subproblem.
+    fn sub_bindings(&self, full: &Bindings, p: u64) -> Result<Bindings, SmpError> {
+        let sym = sdlo_symbolic::Sym::new(self.split_sym.as_str());
+        let bound = full.get(&sym).expect("split bound must be bound") as u64;
+        if !bound.is_multiple_of(p) {
+            return Err(SmpError::UnevenSplit { bound, processors: p });
+        }
+        let mut b = full.clone();
+        b.set(self.split_sym.as_str(), (bound / p) as i128);
+        Ok(b)
+    }
+
+    /// Misses of one processor's subproblem (all processors are symmetric
+    /// under block partitioning of a full-range parallel loop).
+    pub fn per_processor_misses(
+        &self,
+        full: &Bindings,
+        cache_size: u64,
+        p: u64,
+    ) -> Result<u64, SmpError> {
+        let sub = self.sub_bindings(full, p)?;
+        Ok(self.model.predict_misses(&sub, cache_size)?)
+    }
+
+    /// Total misses across all processors.
+    pub fn total_misses(
+        &self,
+        full: &Bindings,
+        cache_size: u64,
+        p: u64,
+    ) -> Result<u64, SmpError> {
+        Ok(self.per_processor_misses(full, cache_size, p)? * p)
+    }
+
+    /// Predicted wall-clock time on `p` processors under a limit model.
+    pub fn predicted_time(
+        &self,
+        full: &Bindings,
+        cache_size: u64,
+        p: u64,
+        machine: &MachineParams,
+        limit: LimitModel,
+    ) -> Result<f64, SmpError> {
+        let per = self.per_processor_misses(full, cache_size, p)? as f64;
+        let total = per * p as f64;
+        let memory = match limit {
+            LimitModel::BusLimited => total,
+            LimitModel::InfiniteBandwidth => per,
+            LimitModel::Mixed(lambda) => lambda * total + (1.0 - lambda) * per,
+        } * machine.miss_penalty;
+        let compute = self.ops_total as f64 / (p as f64 * machine.flops_per_sec);
+        Ok(compute + memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdlo_ir::programs;
+
+    fn bindings(n: i128, t: (i128, i128, i128, i128)) -> Bindings {
+        Bindings::new()
+            .with("Ni", n)
+            .with("Nj", n)
+            .with("Nm", n)
+            .with("Nn", n)
+            .with("Ti", t.0)
+            .with("Tj", t.1)
+            .with("Tm", t.2)
+            .with("Tn", t.3)
+    }
+
+    #[test]
+    fn subproblem_misses_shrink_with_processors() {
+        let p = programs::tiled_two_index();
+        let model = MissModel::build(&p);
+        let smp = SmpAnalysis::new(&model, "Nn", 2 * 256u64.pow(3));
+        let b = bindings(256, (64, 16, 16, 16));
+        let mut prev = u64::MAX;
+        for procs in [1u64, 2, 4, 8] {
+            let per = smp.per_processor_misses(&b, 8192, procs).unwrap();
+            assert!(per < prev, "P={procs}: {per} >= {prev}");
+            prev = per;
+        }
+    }
+
+    #[test]
+    fn limit_models_bracket_mixed() {
+        let p = programs::tiled_two_index();
+        let model = MissModel::build(&p);
+        let smp = SmpAnalysis::new(&model, "Nn", 2 * 256u64.pow(3));
+        let b = bindings(256, (64, 16, 16, 16));
+        let m = MachineParams::default();
+        let procs = 4;
+        let bus = smp
+            .predicted_time(&b, 8192, procs, &m, LimitModel::BusLimited)
+            .unwrap();
+        let inf = smp
+            .predicted_time(&b, 8192, procs, &m, LimitModel::InfiniteBandwidth)
+            .unwrap();
+        let mid = smp
+            .predicted_time(&b, 8192, procs, &m, LimitModel::Mixed(0.5))
+            .unwrap();
+        assert!(inf <= mid && mid <= bus, "{inf} {mid} {bus}");
+    }
+
+    #[test]
+    fn time_decreases_with_processors_under_infinite_bandwidth() {
+        let p = programs::tiled_two_index();
+        let model = MissModel::build(&p);
+        let smp = SmpAnalysis::new(&model, "Nn", 2 * 256u64.pow(3));
+        let b = bindings(256, (64, 16, 16, 16));
+        let m = MachineParams::default();
+        let mut prev = f64::MAX;
+        for procs in [1u64, 2, 4, 8] {
+            let t = smp
+                .predicted_time(&b, 8192, procs, &m, LimitModel::InfiniteBandwidth)
+                .unwrap();
+            assert!(t < prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn uneven_split_is_rejected() {
+        let p = programs::tiled_two_index();
+        let model = MissModel::build(&p);
+        let smp = SmpAnalysis::new(&model, "Nn", 1);
+        let b = bindings(256, (16, 16, 16, 16));
+        assert!(matches!(
+            smp.per_processor_misses(&b, 8192, 3),
+            Err(SmpError::UnevenSplit { .. })
+        ));
+    }
+}

@@ -1,0 +1,112 @@
+//! Variable assignments used to evaluate symbolic expressions.
+
+use crate::Sym;
+use std::collections::BTreeMap;
+
+/// A mapping from symbols to concrete integer values.
+///
+/// Bindings are deliberately small and cheap; the tile-size search evaluates
+/// thousands of candidate expressions and rebinding tile sizes must be fast.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bindings {
+    map: BTreeMap<Sym, i128>,
+}
+
+impl Bindings {
+    /// An empty set of bindings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `sym` to `value`, replacing any previous binding.
+    pub fn set(&mut self, sym: impl Into<Sym>, value: i128) -> &mut Self {
+        self.map.insert(sym.into(), value);
+        self
+    }
+
+    /// Builder-style [`set`](Self::set).
+    pub fn with(mut self, sym: impl Into<Sym>, value: i128) -> Self {
+        self.set(sym, value);
+        self
+    }
+
+    /// Look up a symbol.
+    pub fn get(&self, sym: &Sym) -> Option<i128> {
+        self.map.get(sym).copied()
+    }
+
+    /// Whether `sym` is bound.
+    pub fn contains(&self, sym: &Sym) -> bool {
+        self.map.contains_key(sym)
+    }
+
+    /// Remove a binding, returning its value if present.
+    pub fn unset(&mut self, sym: &Sym) -> Option<i128> {
+        self.map.remove(sym)
+    }
+
+    /// Number of bound symbols.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no symbols are bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over `(symbol, value)` pairs in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Sym, i128)> {
+        self.map.iter().map(|(s, v)| (s, *v))
+    }
+
+    /// Merge `other` into `self`; bindings in `other` win on conflict.
+    pub fn extend(&mut self, other: &Bindings) {
+        for (s, v) in other.iter() {
+            self.map.insert(s.clone(), v);
+        }
+    }
+}
+
+impl<S: Into<Sym>> FromIterator<(S, i128)> for Bindings {
+    fn from_iter<T: IntoIterator<Item = (S, i128)>>(iter: T) -> Self {
+        let mut b = Bindings::new();
+        for (s, v) in iter {
+            b.set(s, v);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset() {
+        let mut b = Bindings::new();
+        assert!(b.is_empty());
+        b.set("N", 512).set("Ti", 64);
+        assert_eq!(b.get(&Sym::new("N")), Some(512));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.unset(&Sym::new("N")), Some(512));
+        assert_eq!(b.get(&Sym::new("N")), None);
+    }
+
+    #[test]
+    fn overwrite_and_extend() {
+        let mut a = Bindings::new().with("x", 1).with("y", 2);
+        let b = Bindings::new().with("y", 20).with("z", 30);
+        a.extend(&b);
+        assert_eq!(a.get(&Sym::new("y")), Some(20));
+        assert_eq!(a.get(&Sym::new("z")), Some(30));
+        assert_eq!(a.get(&Sym::new("x")), Some(1));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let b: Bindings = [("a", 1i128), ("b", 2)].into_iter().collect();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(&Sym::new("b")), Some(2));
+    }
+}

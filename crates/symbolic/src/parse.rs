@@ -1,0 +1,256 @@
+//! A small recursive-descent parser for symbolic expressions.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr   := term (('+' | '-') term)*
+//! term   := unary ('*' unary)*
+//! unary  := '-' unary | power
+//! power  := factor ('^' integer)?
+//! factor := integer | ident | func '(' expr (',' expr)* ')' | '(' expr ')'
+//! func   := "min" | "max" | "ceil_div" | "floor_div"
+//! ```
+//!
+//! This is used by the CLI tools and tests; the analysis itself builds
+//! [`Expr`]s programmatically.
+
+use crate::Expr;
+
+/// Error from [`parse_expr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+/// Parse a textual expression such as `"Ti*Tn + 2*ceil_div(N, Ti)"`.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser { src: src.as_bytes(), pos: 0 };
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError { at: self.pos, message: message.to_string() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.term()?;
+        loop {
+            if self.eat(b'+') {
+                acc += self.term()?;
+            } else if self.eat(b'-') {
+                acc -= self.term()?;
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.unary()?;
+        while self.eat(b'*') {
+            acc *= self.unary()?;
+        }
+        Ok(acc)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(b'-') {
+            Ok(-self.unary()?)
+        } else {
+            self.power()
+        }
+    }
+
+    fn power(&mut self) -> Result<Expr, ParseError> {
+        let base = self.factor()?;
+        if self.eat(b'^') {
+            let e = self.integer()?;
+            let e = u32::try_from(e).map_err(|_| self.err("exponent out of range"))?;
+            Ok(base.pow(e))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected integer"));
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("digits are utf8")
+            .parse()
+            .map_err(|_| self.err("integer out of range"))
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(b')')?;
+                Ok(e)
+            }
+            Some(c) if c.is_ascii_digit() => Ok(Expr::from(self.integer()?)),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                let ident = std::str::from_utf8(&self.src[start..self.pos]).expect("ident utf8");
+                if self.peek() == Some(b'(') {
+                    self.pos += 1;
+                    let mut args = vec![self.expr()?];
+                    while self.eat(b',') {
+                        args.push(self.expr()?);
+                    }
+                    self.expect(b')')?;
+                    self.apply_func(ident, args)
+                } else {
+                    Ok(Expr::var(ident))
+                }
+            }
+            _ => Err(self.err("expected factor")),
+        }
+    }
+
+    fn apply_func(&mut self, name: &str, args: Vec<Expr>) -> Result<Expr, ParseError> {
+        let need = |n: usize| -> Result<(), ParseError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(ParseError {
+                    at: self.pos,
+                    message: format!("`{name}` expects {n} arguments, got {}", args.len()),
+                })
+            }
+        };
+        match name {
+            "ceil_div" => {
+                need(2)?;
+                Ok(args[0].ceil_div(&args[1]))
+            }
+            "floor_div" => {
+                need(2)?;
+                Ok(args[0].floor_div(&args[1]))
+            }
+            "min" => {
+                if args.len() < 2 {
+                    return Err(self.err("`min` expects at least 2 arguments"));
+                }
+                Ok(args.into_iter().reduce(|a, b| a.min(&b)).expect("nonempty"))
+            }
+            "max" => {
+                if args.len() < 2 {
+                    return Err(self.err("`max` expects at least 2 arguments"));
+                }
+                Ok(args.into_iter().reduce(|a, b| a.max(&b)).expect("nonempty"))
+            }
+            _ => Err(self.err("unknown function")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bindings;
+
+    #[test]
+    fn parses_polynomials() {
+        let e = parse_expr("Ti*Tn + 2*Tj - 7").unwrap();
+        assert_eq!(e.to_string(), "-7 + Ti*Tn + 2*Tj");
+    }
+
+    #[test]
+    fn parses_functions_and_powers() {
+        let e = parse_expr("ceil_div(N, Ti) * Ti + min(a, b) + x^2").unwrap();
+        let b = Bindings::new()
+            .with("N", 100)
+            .with("Ti", 30)
+            .with("a", 5)
+            .with("b", 3)
+            .with("x", 4);
+        assert_eq!(e.eval(&b).unwrap(), 4 * 30 + 3 + 16);
+    }
+
+    #[test]
+    fn parses_negation_and_parens() {
+        let e = parse_expr("-(x - y) * 2").unwrap();
+        let b = Bindings::new().with("x", 3).with("y", 10);
+        assert_eq!(e.eval(&b).unwrap(), 14);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("foo(1)").is_err());
+        assert!(parse_expr("min(1)").is_err());
+        assert!(parse_expr("2 2").is_err());
+        assert!(parse_expr("").is_err());
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let src = "Ti*Tj + 2*Tk + ceil_div(N, Ti)";
+        let e = parse_expr(src).unwrap();
+        let again = parse_expr(&e.to_string()).unwrap();
+        assert_eq!(e, again);
+    }
+}

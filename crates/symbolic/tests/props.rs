@@ -1,0 +1,94 @@
+//! Property tests: the canonical sum-of-products form must respect ring laws
+//! and evaluation must commute with every structural operation.
+
+use proptest::prelude::*;
+use sdlo_symbolic::{parse_expr, Bindings, Expr, Sym};
+
+const VARS: [&str; 4] = ["N", "Ti", "Tj", "Tk"];
+
+/// A small random expression together with bindings that keep evaluation
+/// well inside `i128` range.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..=20).prop_map(Expr::from),
+        (0usize..VARS.len()).prop_map(|i| Expr::var(VARS[i])),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.min(&b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.max(&b)),
+            (inner.clone(), inner).prop_map(|(a, b)| {
+                // Keep denominators nonzero by offsetting with a constant.
+                a.ceil_div(&(b * Expr::zero() + Expr::from(3)))
+            }),
+        ]
+    })
+}
+
+fn arb_bindings() -> impl Strategy<Value = Bindings> {
+    proptest::collection::vec(1i128..=50, VARS.len()).prop_map(|vals| {
+        VARS.iter().zip(vals).map(|(s, v)| (*s, v)).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in arb_expr(), b in arb_expr(), bind in arb_bindings()) {
+        let l = (a.clone() + b.clone()).eval_i128(&bind).unwrap();
+        let r = (b + a).eval_i128(&bind).unwrap();
+        prop_assert_eq!(l, r);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in arb_expr(), b in arb_expr(), c in arb_expr(),
+                                bind in arb_bindings()) {
+        let l = (a.clone() * (b.clone() + c.clone())).eval_i128(&bind).unwrap();
+        let r = (a.clone() * b + a * c).eval_i128(&bind).unwrap();
+        prop_assert_eq!(l, r);
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(a in arb_expr(), b in arb_expr(), bind in arb_bindings()) {
+        let l = ((a.clone() - b.clone()) + b).eval_i128(&bind).unwrap();
+        prop_assert_eq!(l, a.eval_i128(&bind).unwrap());
+    }
+
+    #[test]
+    fn display_parse_roundtrip_preserves_value(a in arb_expr(), bind in arb_bindings()) {
+        let text = a.to_string();
+        let back = parse_expr(&text).unwrap();
+        prop_assert_eq!(back.eval_i128(&bind).unwrap(), a.eval_i128(&bind).unwrap(),
+                        "text was {}", text);
+    }
+
+    #[test]
+    fn substitution_commutes_with_eval(a in arb_expr(), bind in arb_bindings(),
+                                       v in 1i128..=50) {
+        // Substituting N := v then evaluating equals evaluating with N bound to v.
+        let sym = Sym::new("N");
+        let subbed = a.substitute(&sym, &Expr::from(v as i64));
+        let mut bind2 = bind.clone();
+        bind2.set("N", v);
+        prop_assert_eq!(subbed.eval_i128(&bind2).unwrap(), a.eval_i128(&bind2).unwrap());
+    }
+
+    #[test]
+    fn min_max_bracket_value(a in arb_expr(), b in arb_expr(), bind in arb_bindings()) {
+        let va = a.clone().eval_i128(&bind).unwrap();
+        let vb = b.clone().eval_i128(&bind).unwrap();
+        let mn = a.clone().min(&b).eval_i128(&bind).unwrap();
+        let mx = a.max(&b).eval_i128(&bind).unwrap();
+        prop_assert_eq!(mn, va.min(vb));
+        prop_assert_eq!(mx, va.max(vb));
+    }
+
+    #[test]
+    fn ceil_div_matches_reference(n in -1000i64..=1000, d in 1i64..=60) {
+        let e = Expr::from(n).ceil_div(&Expr::from(d));
+        let expected = (n as f64 / d as f64).ceil() as i64;
+        prop_assert_eq!(e.as_const().unwrap(), expected);
+    }
+}

@@ -1,0 +1,253 @@
+//! Tensor-contraction expressions and their textual form.
+//!
+//! A contraction is written in Einstein-free explicit form:
+//!
+//! ```text
+//! B[a,b] = C1[a,i] * C2[b,j] * A[i,j]
+//! ```
+//!
+//! Every index not appearing on the left-hand side is summed over. Index
+//! extents are attached separately (symbolically, e.g. `i -> V`).
+
+use sdlo_symbolic::{Expr, Sym};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A tensor name plus its index list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorRef {
+    /// Tensor name.
+    pub name: Sym,
+    /// Index variables, one per dimension.
+    pub indices: Vec<Sym>,
+}
+
+impl TensorRef {
+    /// Build from name and index names.
+    pub fn new(name: impl Into<Sym>, indices: &[&str]) -> Self {
+        TensorRef {
+            name: name.into(),
+            indices: indices.iter().map(Sym::new).collect(),
+        }
+    }
+
+    /// The set of indices used by this tensor.
+    pub fn index_set(&self) -> BTreeSet<Sym> {
+        self.indices.iter().cloned().collect()
+    }
+}
+
+impl std::fmt::Display for TensorRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[", self.name)?;
+        for (i, idx) in self.indices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{idx}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A multi-tensor contraction: `output = Σ Π inputs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Contraction {
+    /// The produced tensor.
+    pub output: TensorRef,
+    /// The multiplied input tensors.
+    pub inputs: Vec<TensorRef>,
+    /// Extent of each index (symbolic).
+    pub extents: BTreeMap<Sym, Expr>,
+}
+
+impl Contraction {
+    /// Indices summed over (appear in inputs but not in the output).
+    pub fn summation_indices(&self) -> BTreeSet<Sym> {
+        let mut all: BTreeSet<Sym> = BTreeSet::new();
+        for t in &self.inputs {
+            all.extend(t.index_set());
+        }
+        for i in &self.output.indices {
+            all.remove(i);
+        }
+        all
+    }
+
+    /// All indices of the contraction.
+    pub fn all_indices(&self) -> BTreeSet<Sym> {
+        let mut all = self.output.index_set();
+        for t in &self.inputs {
+            all.extend(t.index_set());
+        }
+        all
+    }
+
+    /// Extent of one index.
+    pub fn extent(&self, idx: &Sym) -> &Expr {
+        self.extents
+            .get(idx)
+            .unwrap_or_else(|| panic!("no extent declared for index `{idx}`"))
+    }
+
+    /// Multiply–add count of evaluating the contraction directly as one
+    /// loop nest over all indices.
+    pub fn naive_cost(&self) -> Expr {
+        self.all_indices()
+            .iter()
+            .fold(Expr::one(), |acc, i| acc * self.extent(i).clone())
+    }
+
+    /// Structural sanity checks: the output uses only input indices, every
+    /// index has an extent, no tensor repeats an index.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut input_indices = BTreeSet::new();
+        for t in &self.inputs {
+            let set = t.index_set();
+            if set.len() != t.indices.len() {
+                return Err(format!("tensor {t} repeats an index"));
+            }
+            input_indices.extend(set);
+        }
+        for i in &self.output.indices {
+            if !input_indices.contains(i) {
+                return Err(format!("output index `{i}` not produced by any input"));
+            }
+        }
+        if self.output.index_set().len() != self.output.indices.len() {
+            return Err(format!("output {} repeats an index", self.output));
+        }
+        for i in &self.all_indices() {
+            if !self.extents.contains_key(i) {
+                return Err(format!("index `{i}` has no declared extent"));
+            }
+        }
+        if self.inputs.is_empty() {
+            return Err("contraction needs at least one input".into());
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Contraction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} =", self.output)?;
+        for (i, t) in self.inputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " *")?;
+            }
+            write!(f, " {t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from [`parse_contraction`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TceParseError(pub String);
+
+impl std::fmt::Display for TceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "contraction parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TceParseError {}
+
+/// Parse `"B[a,b] = C1[a,i] * C2[b,j] * A[i,j]"`.
+/// Extents must be attached afterwards (see [`Contraction::extents`]).
+pub fn parse_contraction(src: &str) -> Result<Contraction, TceParseError> {
+    let (lhs, rhs) = src
+        .split_once('=')
+        .ok_or_else(|| TceParseError("missing `=`".into()))?;
+    let output = parse_tensor(lhs.trim())?;
+    let mut inputs = Vec::new();
+    for part in rhs.split('*') {
+        inputs.push(parse_tensor(part.trim())?);
+    }
+    if inputs.is_empty() {
+        return Err(TceParseError("no inputs".into()));
+    }
+    Ok(Contraction { output, inputs, extents: BTreeMap::new() })
+}
+
+fn parse_tensor(src: &str) -> Result<TensorRef, TceParseError> {
+    let open = src
+        .find('[')
+        .ok_or_else(|| TceParseError(format!("`{src}`: missing `[`")))?;
+    if !src.ends_with(']') {
+        return Err(TceParseError(format!("`{src}`: missing closing `]`")));
+    }
+    let name = src[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(TceParseError(format!("`{src}`: bad tensor name")));
+    }
+    let indices: Vec<Sym> = src[open + 1..src.len() - 1]
+        .split(',')
+        .map(|s| s.trim())
+        .filter(|s| !s.is_empty())
+        .map(Sym::new)
+        .collect();
+    if indices.is_empty() {
+        return Err(TceParseError(format!("`{src}`: tensor needs at least one index")));
+    }
+    Ok(TensorRef { name: Sym::new(name), indices })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_index() -> Contraction {
+        let mut c = parse_contraction("B[a,b] = C1[a,i] * C2[b,j] * A[i,j]").unwrap();
+        for (i, e) in [("a", "V"), ("b", "V"), ("i", "N"), ("j", "N")] {
+            c.extents.insert(Sym::new(i), Expr::var(e));
+        }
+        c
+    }
+
+    #[test]
+    fn parses_and_prints() {
+        let c = two_index();
+        assert_eq!(c.to_string(), "B[a,b] = C1[a,i] * C2[b,j] * A[i,j]");
+        assert_eq!(c.inputs.len(), 3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn summation_indices_are_non_output() {
+        let c = two_index();
+        let s = c.summation_indices();
+        assert!(s.contains(&Sym::new("i")));
+        assert!(s.contains(&Sym::new("j")));
+        assert!(!s.contains(&Sym::new("a")));
+    }
+
+    #[test]
+    fn naive_cost_is_product_of_extents() {
+        let c = two_index();
+        let b = sdlo_symbolic::Bindings::new().with("V", 10).with("N", 20);
+        assert_eq!(c.naive_cost().eval(&b).unwrap(), 10 * 10 * 20 * 20);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_contraction("B[a,b]").is_err());
+        assert!(parse_contraction("B = A[i]").is_err());
+        assert!(parse_contraction("B[a] = A[i] * ").is_err());
+        assert!(parse_contraction("[a] = A[a]").is_err());
+    }
+
+    #[test]
+    fn validate_catches_unknown_output_index() {
+        let mut c = parse_contraction("B[z] = A[i]").unwrap();
+        c.extents.insert(Sym::new("z"), Expr::var("V"));
+        c.extents.insert(Sym::new("i"), Expr::var("V"));
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_missing_extent() {
+        let c = parse_contraction("B[i] = A[i,j]").unwrap();
+        assert!(c.validate().is_err());
+    }
+}

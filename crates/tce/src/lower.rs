@@ -1,0 +1,332 @@
+//! Lowering binary-contraction plans to the loop IR, with optional loop
+//! fusion (paper §2, Fig. 1).
+//!
+//! * [`lower_unfused`] — one zero-init nest plus one perfectly nested
+//!   compute nest per binary step, intermediates fully materialized
+//!   (Fig. 1(a)).
+//! * [`lower_fused_pair`] — producer/consumer fusion over the
+//!   intermediate's indices, contracting the intermediate to a scalar
+//!   (Fig. 1(c)): the imperfectly nested shape whose cache behaviour the
+//!   rest of the workspace analyzes.
+
+use crate::ast::Contraction;
+use crate::opmin::Plan;
+use sdlo_ir::{ArrayId, ArrayRef, DimExpr, Expr, Node, Program, Stmt, StmtId, StmtKind, Sym};
+use std::collections::BTreeMap;
+
+/// Error from fusion lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuseError {
+    /// Fusion of a pair needs a plan with exactly two steps chained through
+    /// one intermediate.
+    NotAPair,
+}
+
+impl std::fmt::Display for FuseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FuseError::NotAPair => write!(f, "plan is not a two-step chain"),
+        }
+    }
+}
+
+impl std::error::Error for FuseError {}
+
+struct Lowering<'c> {
+    contraction: &'c Contraction,
+    program: Program,
+    ids: BTreeMap<Sym, ArrayId>,
+    next_stmt: usize,
+}
+
+impl<'c> Lowering<'c> {
+    fn new(contraction: &'c Contraction, name: &str) -> Self {
+        Lowering {
+            contraction,
+            program: Program::new(name),
+            ids: BTreeMap::new(),
+            next_stmt: 0,
+        }
+    }
+
+    fn declare(&mut self, t: &crate::ast::TensorRef) -> ArrayId {
+        if let Some(id) = self.ids.get(&t.name) {
+            return *id;
+        }
+        let dims: Vec<Expr> = t
+            .indices
+            .iter()
+            .map(|i| self.contraction.extent(i).clone())
+            .collect();
+        let id = self.program.declare(t.name.clone(), dims);
+        self.ids.insert(t.name.clone(), id);
+        id
+    }
+
+    fn declare_scalar(&mut self, name: &Sym) -> ArrayId {
+        if let Some(id) = self.ids.get(name) {
+            return *id;
+        }
+        let id = self.program.declare(name.clone(), vec![Expr::one()]);
+        self.ids.insert(name.clone(), id);
+        id
+    }
+
+    fn stmt(&mut self, label: String, kind: StmtKind, refs: Vec<ArrayRef>) -> Node {
+        let id = StmtId(self.next_stmt);
+        self.next_stmt += 1;
+        Node::Stmt(Stmt { id, label, refs, kind })
+    }
+
+    fn array_ref(&mut self, t: &crate::ast::TensorRef, write: bool) -> ArrayRef {
+        let id = self.declare(t);
+        let dims = t.indices.iter().map(|i| DimExpr::index(i.clone())).collect();
+        if write {
+            ArrayRef::write(id, dims)
+        } else {
+            ArrayRef::read(id, dims)
+        }
+    }
+
+    fn nest(&self, indices: &[Sym], body: Node) -> Node {
+        let mut node = body;
+        for i in indices.iter().rev() {
+            node = Node::loop_(i.clone(), self.contraction.extent(i).clone(), vec![node]);
+        }
+        node
+    }
+}
+
+/// Lower a plan to fully materialized, unfused loop nests (Fig. 1(a) shape).
+pub fn lower_unfused(plan: &Plan, c: &Contraction) -> Program {
+    let mut lw = Lowering::new(c, &format!("tce-{}-unfused", c.output.name));
+    let mut root = Vec::new();
+    for step in &plan.steps {
+        // Zero-init nest for the step output.
+        let out_w = lw.array_ref(&step.out, true);
+        let zero = lw.stmt(format!("{} = 0", step.out), StmtKind::ZeroLhs, vec![out_w]);
+        root.push(lw.nest(&step.out.indices, zero));
+        // Compute nest: output indices outer, summation indices inner.
+        let mut loops: Vec<Sym> = step.out.indices.clone();
+        loops.extend(step.sum_indices.iter().cloned());
+        let refs = vec![
+            lw.array_ref(&step.out, true),
+            lw.array_ref(&step.lhs, false),
+            lw.array_ref(&step.rhs, false),
+        ];
+        let compute = lw.stmt(
+            format!("{} += {} * {}", step.out, step.lhs, step.rhs),
+            StmtKind::MulAddAssign,
+            refs,
+        );
+        root.push(lw.nest(&loops, compute));
+    }
+    lw.program.root = root;
+    lw.program
+        .validate()
+        .expect("lowering produces well-formed programs");
+    lw.program
+}
+
+/// Lower a two-step chain with producer/consumer fusion: the intermediate's
+/// loops are fused and the intermediate is contracted to a scalar
+/// (Fig. 1(c) shape).
+pub fn lower_fused_pair(plan: &Plan, c: &Contraction) -> Result<Program, FuseError> {
+    if plan.steps.len() != 2 {
+        return Err(FuseError::NotAPair);
+    }
+    let producer = &plan.steps[0];
+    let consumer = &plan.steps[1];
+    let t = &producer.out;
+    let (other, t_is_lhs) = if consumer.lhs == *t {
+        (&consumer.rhs, true)
+    } else if consumer.rhs == *t {
+        (&consumer.lhs, false)
+    } else {
+        return Err(FuseError::NotAPair);
+    };
+
+    let mut lw = Lowering::new(c, &format!("tce-{}-fused", c.output.name));
+    let mut root = Vec::new();
+
+    // Zero-init of the final output stays a separate nest.
+    let out_w = lw.array_ref(&consumer.out, true);
+    let zero_out = lw.stmt(format!("{} = 0", consumer.out), StmtKind::ZeroLhs, vec![out_w]);
+    root.push(lw.nest(&consumer.out.indices, zero_out));
+
+    // Fused nest over the intermediate's indices.
+    let scalar_name = Sym::new(format!("{}_s", t.name));
+    let t_id = lw.declare_scalar(&scalar_name);
+    let scalar = || DimExpr { parts: vec![] };
+
+    let zero_t = lw.stmt(
+        format!("{scalar_name} = 0"),
+        StmtKind::ZeroLhs,
+        vec![ArrayRef::write(t_id, vec![scalar()])],
+    );
+    let produce_refs = vec![
+        ArrayRef::write(t_id, vec![scalar()]),
+        lw.array_ref(&producer.lhs, false),
+        lw.array_ref(&producer.rhs, false),
+    ];
+    let produce = lw.stmt(
+        format!("{scalar_name} += {} * {}", producer.lhs, producer.rhs),
+        StmtKind::MulAddAssign,
+        produce_refs,
+    );
+    let (first, second) = if t_is_lhs {
+        (format!("{scalar_name}"), format!("{other}"))
+    } else {
+        (format!("{other}"), format!("{scalar_name}"))
+    };
+    let t_read = ArrayRef::read(t_id, vec![scalar()]);
+    let other_read = lw.array_ref(other, false);
+    let consume_refs = vec![
+        lw.array_ref(&consumer.out, true),
+        if t_is_lhs { t_read.clone() } else { other_read.clone() },
+        if t_is_lhs { other_read } else { t_read },
+    ];
+    let consume = lw.stmt(
+        format!("{} += {first} * {second}", consumer.out),
+        StmtKind::MulAddAssign,
+        consume_refs,
+    );
+
+    // Producer's remaining (summation) loops; consumer's remaining loops.
+    let produce_inner: Vec<Sym> = producer.sum_indices.iter().cloned().collect();
+    let consume_inner: Vec<Sym> = consumer
+        .out
+        .indices
+        .iter()
+        .chain(consumer.sum_indices.iter())
+        .filter(|i| !t.indices.contains(i))
+        .cloned()
+        .collect();
+
+    let inner = vec![
+        zero_t,
+        lw.nest(&produce_inner, produce),
+        lw.nest(&consume_inner, consume),
+    ];
+    let mut node_body = inner;
+    for i in t.indices.iter().rev() {
+        node_body = vec![Node::loop_(
+            i.clone(),
+            lw.contraction.extent(i).clone(),
+            node_body,
+        )];
+    }
+    root.extend(node_body);
+    lw.program.root = root;
+    lw.program
+        .validate()
+        .expect("fused lowering produces well-formed programs");
+    Ok(lw.program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_contraction;
+    use crate::opmin::minimize_operations;
+    use sdlo_ir::{execute, Bindings, CompiledProgram, Memory};
+    use sdlo_symbolic::Expr as SExpr;
+
+    fn two_index() -> Contraction {
+        let mut c = parse_contraction("B[a,b] = C1[a,i] * C2[b,j] * A[i,j]").unwrap();
+        for i in ["a", "b", "i", "j"] {
+            c.extents.insert(Sym::new(i), SExpr::var("N"));
+        }
+        c
+    }
+
+    fn sizes() -> Bindings {
+        Bindings::new().with("N", 6)
+    }
+
+    #[test]
+    fn unfused_lowering_validates_and_runs() {
+        let c = two_index();
+        let plan = minimize_operations(&c, &sizes()).unwrap();
+        let p = lower_unfused(&plan, &c);
+        assert_eq!(p.validate(), Ok(()));
+        let compiled = CompiledProgram::compile(&p, &sizes()).unwrap();
+        let mut mem = Memory::zeroed(&compiled);
+        execute(&compiled, &mut mem).unwrap();
+    }
+
+    #[test]
+    fn fused_equals_unfused_numerically() {
+        let c = two_index();
+        let plan = minimize_operations(&c, &sizes()).unwrap();
+        let pu = lower_unfused(&plan, &c);
+        let pf = lower_fused_pair(&plan, &c).unwrap();
+        let cu = CompiledProgram::compile(&pu, &sizes()).unwrap();
+        let cf = CompiledProgram::compile(&pf, &sizes()).unwrap();
+        let mut mu = Memory::zeroed(&cu);
+        let mut mf = Memory::zeroed(&cf);
+        for (p, m) in [(&pu, &mut mu), (&pf, &mut mf)] {
+            for name in ["A", "C1", "C2"] {
+                let id = p.array_by_name(name).unwrap().id;
+                m.fill_with(id, |i| ((i * 13 + 5) % 31) as f64 - 15.0);
+            }
+        }
+        execute(&cu, &mut mu).unwrap();
+        execute(&cf, &mut mf).unwrap();
+        let bu = mu.array(pu.array_by_name("B").unwrap().id);
+        let bf = mf.array(pf.array_by_name("B").unwrap().id);
+        for (x, y) in bu.iter().zip(bf) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fusion_reduces_intermediate_storage() {
+        let c = two_index();
+        let plan = minimize_operations(&c, &sizes()).unwrap();
+        let pu = lower_unfused(&plan, &c);
+        let pf = lower_fused_pair(&plan, &c).unwrap();
+        let b = sizes();
+        let tmp_name = plan.steps[0].out.name.clone();
+        let unfused_t = pu
+            .array_by_name(tmp_name.name())
+            .unwrap()
+            .size()
+            .eval(&b)
+            .unwrap();
+        let fused_t = pf
+            .array_by_name(&format!("{}_s", tmp_name))
+            .unwrap()
+            .size()
+            .eval(&b)
+            .unwrap();
+        assert_eq!(unfused_t, 36); // N × N intermediate
+        assert_eq!(fused_t, 1); // contracted to a scalar
+    }
+
+    #[test]
+    fn fused_structure_is_imperfect_nest() {
+        let c = two_index();
+        let plan = minimize_operations(&c, &sizes()).unwrap();
+        let pf = lower_fused_pair(&plan, &c).unwrap();
+        let text = pf.render();
+        // Fused loops (the intermediate's two indices) enclose three
+        // children: zero, produce, consume.
+        let model = sdlo_core::MissModel::build(&pf);
+        assert!(model
+            .components()
+            .iter()
+            .any(|cmp| matches!(cmp.kind, sdlo_core::ComponentKind::CrossStmt { .. })),
+            "fused program should show cross-statement reuse\n{text}"
+        );
+    }
+
+    #[test]
+    fn fusing_non_pair_fails() {
+        let c = two_index();
+        let plan = minimize_operations(&c, &sizes()).unwrap();
+        let mut broken = plan.clone();
+        broken.steps.truncate(1);
+        assert_eq!(lower_fused_pair(&broken, &c), Err(FuseError::NotAPair));
+    }
+}

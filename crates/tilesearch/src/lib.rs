@@ -1,0 +1,390 @@
+//! # sdlo-tilesearch
+//!
+//! The paper's §6 tile-size search. Exhaustively trying every tile tuple is
+//! wasteful; two properties of stack distances prune the space:
+//!
+//! 1. inter-tile reuses always have larger stack distances than intra-tile
+//!    reuses, and
+//! 2. growing a tile converts inter-tile reuses into intra-tile reuses
+//!    monotonically.
+//!
+//! Consequently the miss count, as a function of tile size, *decreases*
+//! between the points where some stack distance crosses the cache size and
+//! *jumps* exactly at those points (the four phases of §6). Only tile
+//! tuples that cannot be grown in any dimension without an additional stack
+//! distance exceeding the cache size can be optimal; the search keeps those
+//! *frontier* tuples and evaluates miss counts only for them.
+//!
+//! The bounds-free variant ([`TileSearcher::bounds_free`]) reproduces the
+//! paper's Table 4: using only the stack-distance expressions that do not
+//! involve loop bounds (bound-dependent distances certainly exceed any
+//! fixed cache for large bounds, so they are treated as always missing), it
+//! predicts tiles before the problem size is known.
+
+use sdlo_core::{MissModel, StackDistance};
+use sdlo_ir::Bindings;
+use sdlo_symbolic::Sym;
+use std::collections::BTreeSet;
+
+/// One evaluated tile tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evaluation {
+    /// Tile sizes, in `tile_syms` order.
+    pub tiles: Vec<u64>,
+    /// Predicted misses for the configured cache.
+    pub misses: u64,
+}
+
+/// Outcome of a search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best tile tuple found.
+    pub best: Evaluation,
+    /// Number of model evaluations performed (the pruning metric).
+    pub evaluations: usize,
+    /// The frontier tuples the pruned search considered promising.
+    pub frontier: Vec<Evaluation>,
+}
+
+/// Configuration of the search space.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Tile-size symbols, e.g. `["Ti","Tj","Tm","Tn"]`.
+    pub tile_syms: Vec<String>,
+    /// Inclusive upper bound per dimension (usually the loop bound).
+    pub max: Vec<u64>,
+    /// Smallest tile considered.
+    pub min: u64,
+}
+
+impl SearchSpace {
+    /// Power-of-two candidate values for dimension `d` (powers of two keep
+    /// tiles dividing the power-of-two bounds the paper uses).
+    fn candidates(&self, d: usize) -> Vec<u64> {
+        let mut v = Vec::new();
+        let mut x = self.min.max(1);
+        while x <= self.max[d] {
+            v.push(x);
+            x *= 2;
+        }
+        v
+    }
+}
+
+/// Preference order: fewer misses wins; ties break toward the larger tile
+/// volume (larger tiles have fewer inter-tile reuses and remain robust when
+/// counts are approximate), then lexicographically for determinism.
+fn better(candidate: &Evaluation, incumbent: &Evaluation) -> bool {
+    let vol = |e: &Evaluation| e.tiles.iter().product::<u64>();
+    (candidate.misses, std::cmp::Reverse(vol(candidate)), &candidate.tiles)
+        < (incumbent.misses, std::cmp::Reverse(vol(incumbent)), &incumbent.tiles)
+}
+
+/// Tile-size searcher over a [`MissModel`].
+pub struct TileSearcher<'a> {
+    model: &'a MissModel,
+    /// Bindings for everything except the tile symbols.
+    base: Bindings,
+    cache_size: u64,
+    space: SearchSpace,
+}
+
+impl<'a> TileSearcher<'a> {
+    /// Create a searcher. `base` must bind every free symbol except the
+    /// tile symbols.
+    pub fn new(
+        model: &'a MissModel,
+        base: Bindings,
+        cache_size: u64,
+        space: SearchSpace,
+    ) -> Self {
+        assert_eq!(space.tile_syms.len(), space.max.len());
+        TileSearcher { model, base, cache_size, space }
+    }
+
+    fn bindings_for(&self, tiles: &[u64]) -> Bindings {
+        let mut b = self.base.clone();
+        for (s, t) in self.space.tile_syms.iter().zip(tiles) {
+            b.set(s.as_str(), *t as i128);
+        }
+        b
+    }
+
+    /// Predicted misses for a tile tuple.
+    pub fn misses(&self, tiles: &[u64]) -> u64 {
+        self.model
+            .predict_misses(&self.bindings_for(tiles), self.cache_size)
+            .expect("model evaluation")
+    }
+
+    /// Number of distinct stack-distance values at or above the cache size —
+    /// the quantity whose *increase* marks a phase boundary (§6).
+    pub fn distances_above(&self, tiles: &[u64]) -> usize {
+        self.model
+            .distance_values(&self.bindings_for(tiles))
+            .expect("model evaluation")
+            .into_iter()
+            .filter(|d| *d >= self.cache_size)
+            .count()
+    }
+
+    fn grid(&self) -> Vec<Vec<u64>> {
+        let dims = self.space.tile_syms.len();
+        let mut grid = vec![Vec::new()];
+        for d in 0..dims {
+            let mut next = Vec::new();
+            for prefix in &grid {
+                for v in self.space.candidates(d) {
+                    let mut t = prefix.clone();
+                    t.push(v);
+                    next.push(t);
+                }
+            }
+            grid = next;
+        }
+        grid
+    }
+
+    /// Exhaustive baseline: a full miss-count evaluation at every grid
+    /// point.
+    pub fn exhaustive(&self) -> SearchOutcome {
+        let mut best: Option<Evaluation> = None;
+        let mut evaluations = 0;
+        for tiles in self.grid() {
+            evaluations += 1;
+            let misses = self.misses(&tiles);
+            let e = Evaluation { tiles, misses };
+            if best.as_ref().is_none_or(|b| better(&e, b)) {
+                best = Some(e);
+            }
+        }
+        SearchOutcome {
+            best: best.expect("non-empty space"),
+            evaluations,
+            frontier: Vec::new(),
+        }
+    }
+
+    /// The paper's pruned search: keep only *frontier* tuples — tuples
+    /// where no dimension can grow one grid step without an additional
+    /// stack distance crossing the cache size — and evaluate miss counts
+    /// only for those.
+    pub fn pruned(&self) -> SearchOutcome {
+        let dims = self.space.tile_syms.len();
+        let mut frontier_tiles: Vec<Vec<u64>> = Vec::new();
+        let mut sd_evals = 0usize;
+        for tiles in self.grid() {
+            let here = self.distances_above(&tiles);
+            sd_evals += 1;
+            let mut is_frontier = true;
+            for d in 0..dims {
+                let grown = tiles[d] * 2;
+                if grown > self.space.max[d] {
+                    continue;
+                }
+                let mut t2 = tiles.clone();
+                t2[d] = grown;
+                sd_evals += 1;
+                if self.distances_above(&t2) <= here {
+                    // Can grow without crossing a phase boundary: the larger
+                    // tile has no additional misses and strictly fewer
+                    // inter-tile reuses.
+                    is_frontier = false;
+                    break;
+                }
+            }
+            if is_frontier {
+                frontier_tiles.push(tiles);
+            }
+        }
+
+        let mut best: Option<Evaluation> = None;
+        let mut frontier = Vec::new();
+        for tiles in frontier_tiles {
+            let misses = self.misses(&tiles);
+            let e = Evaluation { tiles, misses };
+            if best.as_ref().is_none_or(|b| better(&e, b)) {
+                best = Some(e.clone());
+            }
+            frontier.push(e);
+        }
+        SearchOutcome {
+            best: best.expect("frontier non-empty: the max tile is always maximal"),
+            evaluations: sd_evals + frontier.len(),
+            frontier,
+        }
+    }
+
+    /// §6 / Table 4: search **without knowing the loop bounds**, using only
+    /// the stack-distance expressions that do not involve the given
+    /// loop-bound symbols. A stack distance that mentions a bound scales
+    /// with the problem size, so for large (unknown) bounds it certainly
+    /// exceeds the cache — those components are treated as always missing.
+    /// Loop bounds are set to `nominal` (a large representative size) only
+    /// for instance counting.
+    pub fn bounds_free(
+        model: &MissModel,
+        bound_syms: &[&str],
+        nominal: i128,
+        cache_size: u64,
+        space: SearchSpace,
+    ) -> SearchOutcome {
+        let bounds: BTreeSet<Sym> = bound_syms.iter().map(|s| Sym::new(*s)).collect();
+        let mentions =
+            |e: &sdlo_symbolic::Expr| e.vars().iter().any(|v| bounds.contains(v));
+        let components = model
+            .components()
+            .iter()
+            .map(|c| {
+                let bound_dependent = match &c.distance {
+                    StackDistance::Infinite => false,
+                    StackDistance::Constant(e) => mentions(e),
+                    StackDistance::Varying { lo, hi } => mentions(lo) || mentions(hi),
+                };
+                if bound_dependent {
+                    let mut c2 = c.clone();
+                    c2.distance = StackDistance::Infinite;
+                    c2
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        let filtered = MissModel::from_components(components);
+        let mut base = Bindings::new();
+        for s in bound_syms {
+            base.set(*s, nominal);
+        }
+        let searcher = TileSearcher::new(&filtered, base, cache_size, space);
+        searcher.pruned()
+    }
+
+    /// Miss counts along one tile dimension with the others fixed — the §6
+    /// four-phase curve.
+    pub fn miss_curve(&self, dim: usize, fixed: &[u64]) -> Vec<(u64, u64)> {
+        self.space
+            .candidates(dim)
+            .into_iter()
+            .map(|v| {
+                let mut tiles = fixed.to_vec();
+                tiles[dim] = v;
+                (v, self.misses(&tiles))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdlo_ir::programs;
+
+    fn searcher_matmul(model: &MissModel, n: i128, cs: u64) -> TileSearcher<'_> {
+        let base = Bindings::new().with("Ni", n).with("Nj", n).with("Nk", n);
+        TileSearcher::new(
+            model,
+            base,
+            cs,
+            SearchSpace {
+                tile_syms: vec!["Ti".into(), "Tj".into(), "Tk".into()],
+                max: vec![n as u64, n as u64, n as u64],
+                min: 4,
+            },
+        )
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_best() {
+        let model = MissModel::build(&programs::tiled_matmul());
+        for cs in [2048u64, 8192] {
+            let s = searcher_matmul(&model, 256, cs);
+            let ex = s.exhaustive();
+            let pr = s.pruned();
+            assert_eq!(
+                pr.best.misses, ex.best.misses,
+                "cs={cs}: pruned best {:?} vs exhaustive {:?}",
+                pr.best, ex.best
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_search_evaluates_fewer_miss_counts() {
+        let model = MissModel::build(&programs::tiled_matmul());
+        let s = searcher_matmul(&model, 512, 8192);
+        let pr = s.pruned();
+        let grid = 8usize.pow(3); // candidates 4..=512 per dim
+        assert!(
+            pr.frontier.len() * 2 < grid,
+            "{} frontier tuples of {grid} grid points",
+            pr.frontier.len()
+        );
+    }
+
+    #[test]
+    fn best_tile_beats_untiled() {
+        let model = MissModel::build(&programs::tiled_matmul());
+        let s = searcher_matmul(&model, 256, 2048);
+        let best = s.pruned().best;
+        let full = s.misses(&[256, 256, 256]);
+        assert!(best.misses < full, "best {best:?} vs untiled {full}");
+    }
+
+    #[test]
+    fn miss_curve_shows_jump_at_phase_boundary() {
+        let model = MissModel::build(&programs::tiled_matmul());
+        let s = searcher_matmul(&model, 256, 2048);
+        // With Tj = Tk = 8 the kT-carried stack distance of A crosses the
+        // 2048-element cache between Ti = 64 and Ti = 128.
+        let curve = s.miss_curve(0, &[4, 8, 8]);
+        let ups = curve.windows(2).filter(|w| w[1].1 > w[0].1).count();
+        let downs = curve.windows(2).filter(|w| w[1].1 < w[0].1).count();
+        assert!(ups >= 1, "expected at least one jump: {curve:?}");
+        assert!(downs >= 1, "expected decreasing stretches: {curve:?}");
+    }
+
+    #[test]
+    fn bounds_free_matches_known_bounds_for_large_n() {
+        // Table 4's headline property, on the paper's workload: the tile
+        // tuple chosen without knowing the loop bounds equals the
+        // known-bounds choice once bounds are large, and both are invariant
+        // in the bound.
+        let model = MissModel::build(&programs::tiled_two_index());
+        let space = SearchSpace {
+            tile_syms: vec!["Ti".into(), "Tj".into(), "Tm".into(), "Tn".into()],
+            max: vec![512, 512, 512, 512],
+            min: 4,
+        };
+        let free = TileSearcher::bounds_free(
+            &model,
+            &["Ni", "Nj", "Nm", "Nn"],
+            1 << 14,
+            8192,
+            space.clone(),
+        );
+        for n in [256i128, 512, 1024] {
+            let base = Bindings::new()
+                .with("Ni", n)
+                .with("Nj", n)
+                .with("Nm", n)
+                .with("Nn", n);
+            let known = TileSearcher::new(&model, base, 8192, space.clone()).pruned();
+            assert_eq!(
+                free.best.tiles, known.best.tiles,
+                "N={n}: bounds-free {:?} vs known {:?}",
+                free.best, known.best
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_bounds_pick_whole_problem_tiles() {
+        // Table 4's last rows: when everything fits in cache, the best tile
+        // is the full loop bound (no tiling needed).
+        let model = MissModel::build(&programs::tiled_matmul());
+        let n = 32i128; // footprint 3·32² = 3072 ≤ 8192
+        let s = searcher_matmul(&model, n, 8192);
+        let best = s.pruned().best;
+        assert_eq!(best.tiles, vec![32, 32, 32], "{best:?}");
+    }
+}

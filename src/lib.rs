@@ -1,0 +1,31 @@
+//! # sdlo — Stack-Distance Locality Optimizer
+//!
+//! A reproduction of *“Cache Miss Characterization and Data Locality
+//! Optimization for Imperfectly Nested Loops on Shared Memory
+//! Multiprocessors”* (Sahoo, Panuganti, Krishnamoorthy, Sadayappan —
+//! IPPS/IPDPS 2005) as a production-quality Rust workspace.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`symbolic`] — symbolic integer expressions (bounds, tile sizes, stack
+//!   distances),
+//! * [`ir`] — the imperfectly-nested loop IR, workload builders, tiling,
+//!   trace generation and execution,
+//! * [`cachesim`] — exact trace-driven LRU/set-associative cache simulation,
+//! * [`core`] — the paper's contribution: iteration-space partitioning and
+//!   symbolic stack-distance cache-miss characterization,
+//! * [`tce`] — a mini Tensor Contraction Engine (parser, operation
+//!   minimization, fusion, lowering),
+//! * [`tilesearch`] — the pruned tile-size search of §6,
+//! * [`parallel`] — the shared-memory parallelization and cost models of §7.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! paper-to-code map.
+
+pub use sdlo_cachesim as cachesim;
+pub use sdlo_core as core;
+pub use sdlo_ir as ir;
+pub use sdlo_parallel as parallel;
+pub use sdlo_symbolic as symbolic;
+pub use sdlo_tce as tce;
+pub use sdlo_tilesearch as tilesearch;

@@ -1,0 +1,137 @@
+//! End-to-end pipeline tests: contraction text → mini-TCE (operation
+//! minimization + fusion) → loop IR → miss model → exact simulation.
+
+use sdlo::cachesim::{simulate_stack_distances, Granularity};
+use sdlo::core::MissModel;
+use sdlo::ir::{execute, Bindings, CompiledProgram, Memory};
+use sdlo::symbolic::{Expr, Sym};
+use sdlo::tce;
+
+fn two_index_contraction() -> tce::Contraction {
+    let mut c = tce::parse_contraction("B[a,b] = C1[a,i] * C2[b,j] * A[i,j]").unwrap();
+    for i in ["a", "b", "i", "j"] {
+        c.extents.insert(Sym::new(i), Expr::var("N"));
+    }
+    c
+}
+
+#[test]
+fn synthesized_fused_program_is_analyzable_and_accurate() {
+    let c = two_index_contraction();
+    let sizes = Bindings::new().with("N", 24);
+    let plan = tce::minimize_operations(&c, &sizes).unwrap();
+    let fused = tce::lower_fused_pair(&plan, &c).unwrap();
+
+    let model = MissModel::build(&fused);
+    let compiled = CompiledProgram::compile(&fused, &sizes).unwrap();
+    assert_eq!(
+        model.total_instances(&sizes).unwrap(),
+        compiled.total_accesses(),
+        "model must account for every access of the synthesized program"
+    );
+    let hist = simulate_stack_distances(&compiled, Granularity::Element);
+    for cs in [16u64, 64, 256, 2048] {
+        let predicted = model.predict_misses(&sizes, cs).unwrap();
+        let actual = hist.misses(cs);
+        let err = (predicted as f64 - actual as f64).abs() / actual.max(1) as f64;
+        assert!(err < 0.10, "cs={cs}: predicted {predicted} vs actual {actual}");
+    }
+}
+
+#[test]
+fn fusion_reduces_misses_when_intermediate_exceeds_cache() {
+    let c = two_index_contraction();
+    let sizes = Bindings::new().with("N", 32);
+    let plan = tce::minimize_operations(&c, &sizes).unwrap();
+    let fused = tce::lower_fused_pair(&plan, &c).unwrap();
+    let unfused = tce::lower_unfused(&plan, &c);
+
+    // Cache smaller than the N×N intermediate: the fused version avoids
+    // re-loading the intermediate from memory.
+    let cache = 256u64;
+    let mf = simulate_stack_distances(
+        &CompiledProgram::compile(&fused, &sizes).unwrap(),
+        Granularity::Element,
+    )
+    .misses(cache);
+    let mu = simulate_stack_distances(
+        &CompiledProgram::compile(&unfused, &sizes).unwrap(),
+        Granularity::Element,
+    )
+    .misses(cache);
+    assert!(mf < mu, "fused {mf} should miss less than unfused {mu}");
+}
+
+#[test]
+fn four_index_plan_lowers_and_executes() {
+    let mut c = tce::parse_contraction(
+        "B[a,b,c,d] = C1[a,p] * C2[b,q] * C3[c,r] * C4[d,s] * A[p,q,r,s]",
+    )
+    .unwrap();
+    for i in ["a", "b", "c", "d", "p", "q", "r", "s"] {
+        c.extents.insert(Sym::new(i), Expr::var("V"));
+    }
+    let sizes = Bindings::new().with("V", 4);
+    let plan = tce::minimize_operations(&c, &sizes).unwrap();
+    assert_eq!(plan.steps.len(), 4);
+    let program = tce::lower_unfused(&plan, &c);
+    let compiled = CompiledProgram::compile(&program, &sizes).unwrap();
+    let mut mem = Memory::zeroed(&compiled);
+    for name in ["A", "C1", "C2", "C3", "C4"] {
+        let id = program.array_by_name(name).unwrap().id;
+        mem.fill_with(id, |i| ((i * 7 + 1) % 11) as f64 * 0.25 - 1.0);
+    }
+    execute(&compiled, &mut mem).unwrap();
+
+    // Check one output element against the naive O(V⁸) definition.
+    let v = 4usize;
+    let get = |name: &str| mem.array(program.array_by_name(name).unwrap().id).to_vec();
+    let (a, c1, c2, c3, c4) = (get("A"), get("C1"), get("C2"), get("C3"), get("C4"));
+    let b = get("B");
+    let idx2 = |m: &[f64], x: usize, y: usize| m[x * v + y];
+    for (ai, bi, ci, di) in [(0usize, 1usize, 2usize, 3usize), (3, 2, 1, 0)] {
+        let mut expect = 0.0;
+        for p in 0..v {
+            for q in 0..v {
+                for r in 0..v {
+                    for s in 0..v {
+                        expect += idx2(&c1, ai, p)
+                            * idx2(&c2, bi, q)
+                            * idx2(&c3, ci, r)
+                            * idx2(&c4, di, s)
+                            * a[((p * v + q) * v + r) * v + s];
+                    }
+                }
+            }
+        }
+        let got = b[((ai * v + bi) * v + ci) * v + di];
+        assert!((got - expect).abs() < 1e-9, "B[{ai},{bi},{ci},{di}] = {got} vs {expect}");
+    }
+}
+
+#[test]
+fn opmin_cost_matches_lowered_statement_instances() {
+    // The plan's multiply–add count must equal the number of MulAdd
+    // statement instances the lowered program actually executes.
+    let c = two_index_contraction();
+    let sizes = Bindings::new().with("N", 8);
+    let plan = tce::minimize_operations(&c, &sizes).unwrap();
+    let program = tce::lower_unfused(&plan, &c);
+    let compiled = CompiledProgram::compile(&program, &sizes).unwrap();
+    let mut muladds = 0u64;
+    let mut zeroes = 0u64;
+    program.for_each_stmt(|s| match s.kind {
+        sdlo::ir::StmtKind::MulAddAssign => muladds += 1,
+        sdlo::ir::StmtKind::ZeroLhs => zeroes += 1,
+        _ => {}
+    });
+    assert_eq!(muladds, 2);
+    assert_eq!(zeroes, 2);
+    // Total accesses = 3·(muladd instances) + zero-init instances.
+    let muladd_instances = plan.cost;
+    let zero_instances: u64 = 8 * 8 * 2; // both T and B are N×N here
+    assert_eq!(
+        compiled.total_accesses(),
+        3 * muladd_instances + zero_instances
+    );
+}

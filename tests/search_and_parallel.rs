@@ -1,0 +1,139 @@
+//! End-to-end validation of the §6 search and §7 parallelization against
+//! the exact simulator (not just against the model that drives them).
+
+use sdlo::cachesim::{simulate_stack_distances, Granularity};
+use sdlo::core::MissModel;
+use sdlo::ir::{programs, Bindings, CompiledProgram};
+use sdlo::parallel::{kernels, SmpAnalysis};
+use sdlo::tilesearch::{SearchSpace, TileSearcher};
+
+fn t2i(n: i128, t: &[u64]) -> Bindings {
+    Bindings::new()
+        .with("Ni", n)
+        .with("Nj", n)
+        .with("Nm", n)
+        .with("Nn", n)
+        .with("Ti", t[0] as i128)
+        .with("Tj", t[1] as i128)
+        .with("Tm", t[2] as i128)
+        .with("Tn", t[3] as i128)
+}
+
+#[test]
+fn searched_tile_is_best_under_exact_simulation() {
+    // The tile the model-driven search picks must (near-)minimize the
+    // *simulated* miss count among a spread of competitors.
+    let n = 64i128;
+    let cache = 512u64;
+    let p = programs::tiled_two_index();
+    let model = MissModel::build(&p);
+    let base = Bindings::new().with("Ni", n).with("Nj", n).with("Nm", n).with("Nn", n);
+    let s = TileSearcher::new(
+        &model,
+        base,
+        cache,
+        SearchSpace {
+            tile_syms: vec!["Ti".into(), "Tj".into(), "Tm".into(), "Tn".into()],
+            max: vec![n as u64; 4],
+            min: 4,
+        },
+    );
+    let best = s.pruned().best;
+
+    let simulate = |tiles: &[u64]| {
+        let c = CompiledProgram::compile(&p, &t2i(n, tiles)).unwrap();
+        simulate_stack_distances(&c, Granularity::Element).misses(cache)
+    };
+    let best_sim = simulate(&best.tiles);
+    let competitors: [[u64; 4]; 6] = [
+        [4, 4, 4, 4],
+        [8, 8, 8, 8],
+        [16, 16, 16, 16],
+        [32, 32, 32, 32],
+        [64, 64, 64, 64],
+        [64, 4, 4, 64],
+    ];
+    for comp in competitors {
+        let m = simulate(&comp);
+        assert!(
+            best_sim <= m + m / 20,
+            "searched tile {:?} ({best_sim} sim misses) loses to {comp:?} ({m})",
+            best.tiles
+        );
+    }
+}
+
+#[test]
+fn per_processor_model_matches_subproblem_simulation() {
+    // §7: a processor's subproblem is the same program with the split
+    // bound divided by P — verify the model's per-processor misses against
+    // simulating exactly that subproblem.
+    let p = programs::tiled_two_index();
+    let model = MissModel::build(&p);
+    let smp = SmpAnalysis::new(&model, "Nn", 1);
+    let full = t2i(64, &[16, 8, 8, 16]);
+    for procs in [1u64, 2, 4] {
+        let predicted = smp.per_processor_misses(&full, 512, procs).unwrap();
+        let mut sub = full.clone();
+        sub.set("Nn", 64 / procs as i128);
+        let compiled = CompiledProgram::compile(&p, &sub).unwrap();
+        let actual = simulate_stack_distances(&compiled, Granularity::Element).misses(512);
+        let err = (predicted as f64 - actual as f64).abs() / actual.max(1) as f64;
+        assert!(err < 0.06, "P={procs}: predicted {predicted} vs simulated {actual}");
+    }
+}
+
+#[test]
+fn figure_claim_predicted_tiles_beat_equi_tiles_in_simulation() {
+    // The headline of Figures 10–11, checked against the simulator at a
+    // tractable size: the search-predicted tuple has fewer misses than all
+    // equi-sized tilings.
+    let n = 128i128;
+    let cache = 8192u64;
+    let p = programs::tiled_two_index();
+    let model = MissModel::build(&p);
+    let base = Bindings::new().with("Ni", n).with("Nj", n).with("Nm", n).with("Nn", n);
+    let s = TileSearcher::new(
+        &model,
+        base,
+        cache,
+        SearchSpace {
+            tile_syms: vec!["Ti".into(), "Tj".into(), "Tm".into(), "Tn".into()],
+            max: vec![n as u64; 4],
+            min: 4,
+        },
+    );
+    let best = s.pruned().best;
+    let simulate = |tiles: &[u64]| {
+        let c = CompiledProgram::compile(&p, &t2i(n, tiles)).unwrap();
+        simulate_stack_distances(&c, Granularity::Element).misses(cache)
+    };
+    let best_sim = simulate(&best.tiles);
+    for t in [8u64, 16, 32, 64, 128] {
+        let equi = simulate(&[t, t, t, t]);
+        assert!(
+            best_sim <= equi,
+            "predicted {:?} ({best_sim}) vs equi {t} ({equi})",
+            best.tiles
+        );
+    }
+}
+
+#[test]
+fn parallel_kernel_equals_sequential_and_balances_work() {
+    let n = 64usize;
+    let a = kernels::test_matrix(n, 21);
+    let c1 = kernels::test_matrix(n, 22);
+    let c2 = kernels::test_matrix(n, 23);
+    let tiles = (16, 8, 8, 16);
+    let seq = kernels::tiled_two_index(&a, &c1, &c2, n, tiles, 1);
+    for threads in [2usize, 4, 8] {
+        let par = kernels::tiled_two_index(&a, &c1, &c2, n, tiles, threads);
+        assert_eq!(seq, par, "threads={threads}");
+    }
+    // And the tiled result is numerically the naive transform.
+    let naive = kernels::naive_two_index(&a, &c1, &c2, n);
+    for (x, y) in seq.iter().zip(&naive) {
+        assert!((x - y).abs() < 1e-9);
+    }
+}
