@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local CI gate: formatting, lints, release build, tests.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "CI green."

@@ -45,7 +45,11 @@ fn bench_model(c: &mut Criterion) {
             .with("Tj", 16)
             .with("Tm", 16)
             .with("Tn", 64);
-        b.iter(|| model.predict_misses(black_box(&bind), black_box(8192)).unwrap());
+        b.iter(|| {
+            model
+                .predict_misses(black_box(&bind), black_box(8192))
+                .unwrap()
+        });
     });
     g.finish();
 }
@@ -57,9 +61,13 @@ fn bench_simulator(c: &mut Criterion) {
     let p = programs::tiled_matmul();
     for n in [32i128, 64] {
         let compiled = CompiledProgram::compile(&p, &bindings_mm(n, 16)).unwrap();
-        g.bench_with_input(BenchmarkId::new("lru-stack-distances", n), &compiled, |b, cp| {
-            b.iter(|| simulate_stack_distances(black_box(cp), Granularity::Element));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("lru-stack-distances", n),
+            &compiled,
+            |b, cp| {
+                b.iter(|| simulate_stack_distances(black_box(cp), Granularity::Element));
+            },
+        );
     }
     g.bench_function("engine/random-1M", |b| {
         let mut x = 99u64;
@@ -86,8 +94,12 @@ fn bench_simulator(c: &mut Criterion) {
 fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables");
     g.sample_size(10);
-    g.bench_function("table2/small", |b| b.iter(|| black_box(table2(Scale::Small))));
-    g.bench_function("table3/small", |b| b.iter(|| black_box(table3(Scale::Small))));
+    g.bench_function("table2/small", |b| {
+        b.iter(|| black_box(table2(Scale::Small)))
+    });
+    g.bench_function("table3/small", |b| {
+        b.iter(|| black_box(table3(Scale::Small)))
+    });
     g.finish();
 }
 

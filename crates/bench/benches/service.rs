@@ -1,0 +1,109 @@
+//! Service throughput: memoization is the tentpole claim of `sdlo-service`
+//! (analyze once, query many), so this bench measures the same `batch` of
+//! predict requests against a cold engine (every shape's model is rebuilt)
+//! and a warm one (every shape served from the canonical-hash cache), and
+//! verifies the warm path is at least 5× faster.
+
+use criterion::{criterion_group, Criterion};
+use sdlo_service::{Engine, EngineConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One `batch` request touching every builtin shape once: the cold path has
+/// to build five miss models, the warm path answers the same five predicts
+/// straight from the canonical-shape cache.
+fn batch_line() -> String {
+    let n = 512u64;
+    let mm = format!(r#""Ni":{n},"Nj":{n},"Nk":{n}"#);
+    let ti = format!(r#""Ni":{n},"Nj":{n},"Nm":{n},"Nn":{n}"#);
+    let requests = [
+        format!(
+            r#"{{"op":"predict","id":"mm","program":"matmul","bindings":{{{mm}}},"cache":8192}}"#
+        ),
+        format!(
+            r#"{{"op":"predict","id":"tmm","program":"tiled_matmul","bindings":{{{mm},"Ti":64,"Tj":64,"Tk":64}},"cache":8192}}"#
+        ),
+        format!(
+            r#"{{"op":"predict","id":"unf","program":"two_index_unfused","bindings":{{{ti}}},"cache":8192}}"#
+        ),
+        format!(
+            r#"{{"op":"predict","id":"fus","program":"two_index_fused","bindings":{{{ti}}},"cache":8192}}"#
+        ),
+        format!(
+            r#"{{"op":"predict","id":"tti","program":"tiled_two_index","bindings":{{{ti},"Ti":64,"Tj":16,"Tm":16,"Tn":64}},"cache":8192}}"#
+        ),
+    ];
+    format!(r#"{{"op":"batch","requests":[{}]}}"#, requests.join(","))
+}
+
+fn run_batch(engine: &Engine, line: &str) -> String {
+    let response = engine.handle_line(line);
+    assert!(
+        response.contains(r#""ok":true"#) && !response.contains(r#""ok":false"#),
+        "batch must succeed: {response}"
+    );
+    response
+}
+
+fn bench_service(c: &mut Criterion) {
+    let line = batch_line();
+    let mut g = c.benchmark_group("service");
+    g.sample_size(10);
+    g.bench_function("batch-predict/cold", |b| {
+        b.iter(|| {
+            // A fresh engine rebuilds both models (partitioning + symbolic
+            // stack distances) before any prediction runs.
+            let engine = Engine::new(EngineConfig::default());
+            black_box(run_batch(&engine, &line))
+        });
+    });
+    g.bench_function("batch-predict/warm", |b| {
+        let engine = Engine::new(EngineConfig::default());
+        run_batch(&engine, &line); // populate the model cache
+        b.iter(|| black_box(run_batch(&engine, &line)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_service);
+
+/// Median seconds per call over `samples` runs of `f`.
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    benches();
+
+    // The acceptance check behind the numbers above: warm-cache batch
+    // throughput must be at least 5× the cold-cache throughput.
+    let line = batch_line();
+    let cold = median_secs(7, || {
+        let engine = Engine::new(EngineConfig::default());
+        black_box(run_batch(&engine, &line));
+    });
+    let warm_engine = Engine::new(EngineConfig::default());
+    run_batch(&warm_engine, &line);
+    let warm = median_secs(7, || {
+        black_box(run_batch(&warm_engine, &line));
+    });
+    let speedup = cold / warm;
+    println!(
+        "service/batch-predict speedup: warm is {speedup:.1}x cold \
+         (cold {:.3} ms, warm {:.3} ms)",
+        cold * 1e3,
+        warm * 1e3
+    );
+    assert!(
+        speedup >= 5.0,
+        "memoized batch throughput must be >= 5x cold, measured {speedup:.2}x"
+    );
+}

@@ -1,28 +1,100 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! tables <experiment> [--scale small|paper] [--measure] [--n <bound>]
+//! tables <experiment> [--scale small|paper] [--measure] [--n <bound>] [--json]
 //!
-//! experiments: table1 table2 table3 table4 fig10 fig11
-//!              ablation-assoc ablation-line ablation-search ablation-limits
-//!              all
+//! experiments: table1 table2 table3 table4 fig10 fig11 ablations all
 //! ```
+//!
+//! With `--json` the experiment's rows are additionally written to
+//! `results/<experiment>.json` for downstream tooling.
 
 use sdlo_bench::*;
+use sdlo_wire::Value;
 
-fn parse_scale(args: &[String]) -> Scale {
-    match args.iter().position(|a| a == "--scale") {
-        Some(i) => match args.get(i + 1).map(String::as_str) {
-            Some("small") => Scale::Small,
-            Some("paper") | None => Scale::Paper,
-            Some(other) => {
-                eprintln!("unknown scale `{other}`");
-                std::process::exit(2);
-            }
-        },
-        None => Scale::Paper,
+fn usage(to_stderr: bool) {
+    let text =
+        "usage: tables <experiment> [--scale small|paper] [--measure] [--n <bound>] [--json]\n\
+         \n\
+         experiments: table1 table2 table3 table4 fig10 fig11\n\
+         \x20            ablations (aliases: ablation-assoc ablation-line\n\
+         \x20            ablation-search ablation-limits) | all\n\
+         \n\
+         --scale small|paper   problem sizes (default: paper)\n\
+         --measure             also run the real kernels for fig10/fig11\n\
+         --n <bound>           override the loop bound for fig10/fig11\n\
+         --json                also write results/<experiment>.json";
+    if to_stderr {
+        eprintln!("{text}");
+    } else {
+        println!("{text}");
     }
 }
+
+struct Options {
+    experiment: String,
+    scale: Scale,
+    measure: bool,
+    n_override: Option<u64>,
+    json: bool,
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}\n");
+    usage(true);
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> Options {
+    let mut experiment: Option<String> = None;
+    let mut scale = Scale::Paper;
+    let mut measure = false;
+    let mut n_override = None;
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().map(String::as_str) {
+                Some("small") => scale = Scale::Small,
+                Some("paper") => scale = Scale::Paper,
+                Some(other) => fail(&format!("unknown scale `{other}`")),
+                None => fail("--scale requires a value (small|paper)"),
+            },
+            "--n" => match it.next() {
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) if n > 0 => n_override = Some(n),
+                    _ => fail(&format!("--n requires a positive integer, got `{v}`")),
+                },
+                None => fail("--n requires a value"),
+            },
+            "--measure" => measure = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                usage(false);
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => fail(&format!("unknown flag `{flag}`")),
+            positional => {
+                if experiment.is_some() {
+                    fail(&format!("unexpected argument `{positional}`"));
+                }
+                experiment = Some(positional.to_string());
+            }
+        }
+    }
+    Options {
+        experiment: experiment.unwrap_or_else(|| "all".to_string()),
+        scale,
+        measure,
+        n_override,
+        json,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Text renderers
+// ---------------------------------------------------------------------------
 
 fn print_miss_rows(title: &str, rows: &[MissRow]) {
     println!("{title}");
@@ -43,113 +115,338 @@ fn print_miss_rows(title: &str, rows: &[MissRow]) {
     println!();
 }
 
-fn run_table2(scale: Scale) {
-    print_miss_rows(
-        "Table 2 — tiled two-index transform: predicted vs simulated misses",
-        &table2(scale),
-    );
-}
-
-fn run_table3(scale: Scale) {
-    print_miss_rows(
-        "Table 3 — tiled matrix multiplication: predicted vs simulated misses",
-        &table3(scale),
-    );
-}
-
-fn run_table4() {
-    let (unknown, known) = table4();
+fn print_table4(unknown: &Table4Row, known: &[Table4Row]) {
     println!("Table 4 — best tile sizes, 64 KB cache, two-index transform");
     println!("{:<12} {:<24}", "loop bound", "best tiles (Ti,Tj,Tm,Tn)");
-    for row in &known {
+    for row in known {
         println!("{:<12} {:?}", row.bound, row.tiles);
     }
     println!("{:<12} {:?}", "unknown", unknown.tiles);
     println!();
 }
 
-fn run_figure(fig: &str, n: u64, measure: bool) {
-    println!(
-        "Figure {fig} — two-index transform, loop range {n}: time (s) vs processors"
-    );
-    let series = figure(n, measure);
+fn print_figure(fig: &str, n: u64, series: &[FigSeries]) {
+    println!("Figure {fig} — two-index transform, loop range {n}: time (s) vs processors");
     print!("{:<28}", "tiles \\ P");
     for p in [1, 2, 4, 8] {
         print!(" {:>22}", format!("P={p} (bus/inf bw)"));
     }
     println!();
-    for s in &series {
+    for s in series {
         print!("{:<28}", s.label);
         for pt in &s.points {
             let m = match pt.measured {
                 Some(t) => format!(" meas {t:.2}"),
                 None => String::new(),
             };
-            print!(" {:>22}", format!("{:.2}/{:.2}{m}", pt.bus_limited, pt.infinite_bw));
+            print!(
+                " {:>22}",
+                format!("{:.2}/{:.2}{m}", pt.bus_limited, pt.infinite_bw)
+            );
         }
         println!();
     }
     println!();
 }
 
-fn run_ablations(scale: Scale) {
+fn print_ablations(
+    assoc: &[(String, u64)],
+    line: &[(String, u64, u64)],
+    search: &[(String, usize, usize, bool)],
+    limits: &[(u64, f64, f64)],
+) {
     println!("Ablation — associativity / tile copying (tiled MM, 64³ tiles)");
-    for (label, misses) in ablation_associativity(scale) {
+    for (label, misses) in assoc {
         println!("  {label:<36} {misses}");
     }
     println!();
     println!("Ablation — element vs 8-double-line granularity (tiled MM)");
-    for (label, elem, line) in ablation_line(scale) {
-        println!("  {label:<16} element {elem:>12}   line(8) {line:>12}");
+    for (label, elem, ln) in line {
+        println!("  {label:<16} element {elem:>12}   line(8) {ln:>12}");
     }
     println!();
     println!("Ablation — pruned vs exhaustive tile search (two-index, 64 KB)");
-    for (label, frontier, exhaustive, same) in ablation_search() {
+    for (label, frontier, exhaustive, same) in search {
         println!(
             "  {label:<8} frontier miss-evals {frontier:>4} vs exhaustive {exhaustive:>5}, same best: {same}"
         );
     }
     println!();
     println!("Ablation — §7 limit-model bracket (N=512, tiles (64,16,16,64))");
-    for (p, bus, inf) in ablation_limits(512) {
+    for (p, bus, inf) in limits {
         println!("  P={p:<3} bus-limited {bus:>8.3}s   infinite-bw {inf:>8.3}s");
     }
     println!();
 }
 
+// ---------------------------------------------------------------------------
+// JSON renderers
+// ---------------------------------------------------------------------------
+
+fn miss_rows_value(rows: &[MissRow]) -> Value {
+    Value::Array(
+        rows.iter()
+            .map(|r| {
+                Value::obj(vec![
+                    ("config", Value::from(r.config.as_str())),
+                    ("cache", Value::from(r.cache)),
+                    ("predicted", Value::from(r.predicted)),
+                    ("actual", Value::from(r.actual)),
+                    ("rel_error", Value::from(r.rel_error())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn tiles_value(tiles: &[u64]) -> Value {
+    Value::Array(tiles.iter().map(|t| Value::from(*t)).collect())
+}
+
+fn table4_value(unknown: &Table4Row, known: &[Table4Row]) -> Value {
+    Value::obj(vec![
+        (
+            "known_bounds",
+            Value::Array(
+                known
+                    .iter()
+                    .map(|r| {
+                        Value::obj(vec![
+                            ("bound", Value::from(r.bound)),
+                            ("tiles", tiles_value(&r.tiles)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "unknown_bound",
+            Value::obj(vec![("tiles", tiles_value(&unknown.tiles))]),
+        ),
+    ])
+}
+
+fn figure_value(n: u64, series: &[FigSeries]) -> Value {
+    Value::obj(vec![
+        ("n", Value::from(n)),
+        (
+            "series",
+            Value::Array(
+                series
+                    .iter()
+                    .map(|s| {
+                        Value::obj(vec![
+                            ("label", Value::from(s.label.as_str())),
+                            (
+                                "points",
+                                Value::Array(
+                                    s.points
+                                        .iter()
+                                        .map(|pt| {
+                                            Value::obj(vec![
+                                                ("processors", Value::from(pt.processors)),
+                                                ("bus_limited_s", Value::from(pt.bus_limited)),
+                                                ("infinite_bw_s", Value::from(pt.infinite_bw)),
+                                                (
+                                                    "measured_s",
+                                                    pt.measured
+                                                        .map(Value::from)
+                                                        .unwrap_or(Value::Null),
+                                                ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn ablations_value(
+    assoc: &[(String, u64)],
+    line: &[(String, u64, u64)],
+    search: &[(String, usize, usize, bool)],
+    limits: &[(u64, f64, f64)],
+) -> Value {
+    Value::obj(vec![
+        (
+            "associativity",
+            Value::Array(
+                assoc
+                    .iter()
+                    .map(|(label, misses)| {
+                        Value::obj(vec![
+                            ("label", Value::from(label.as_str())),
+                            ("misses", Value::from(*misses)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "line_granularity",
+            Value::Array(
+                line.iter()
+                    .map(|(label, elem, ln)| {
+                        Value::obj(vec![
+                            ("label", Value::from(label.as_str())),
+                            ("element_misses", Value::from(*elem)),
+                            ("line8_misses", Value::from(*ln)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "search",
+            Value::Array(
+                search
+                    .iter()
+                    .map(|(label, frontier, exhaustive, same)| {
+                        Value::obj(vec![
+                            ("label", Value::from(label.as_str())),
+                            ("frontier_evals", Value::from(*frontier)),
+                            ("exhaustive_evals", Value::from(*exhaustive)),
+                            ("same_best", Value::from(*same)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "limits",
+            Value::Array(
+                limits
+                    .iter()
+                    .map(|(p, bus, inf)| {
+                        Value::obj(vec![
+                            ("processors", Value::from(*p)),
+                            ("bus_limited_s", Value::from(*bus)),
+                            ("infinite_bw_s", Value::from(*inf)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn write_json(experiment: &str, value: &Value) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join(format!("{experiment}.json"));
+    if let Err(e) = std::fs::write(&path, value.render() + "\n") {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// Experiment drivers: run once, render to text, optionally to JSON.
+// ---------------------------------------------------------------------------
+
+fn run_table1(json: bool) -> Option<Value> {
+    let text = table1();
+    println!("{text}");
+    json.then(|| Value::obj(vec![("text", Value::from(text))]))
+}
+
+fn run_table2(scale: Scale, json: bool) -> Option<Value> {
+    let rows = table2(scale);
+    print_miss_rows(
+        "Table 2 — tiled two-index transform: predicted vs simulated misses",
+        &rows,
+    );
+    json.then(|| miss_rows_value(&rows))
+}
+
+fn run_table3(scale: Scale, json: bool) -> Option<Value> {
+    let rows = table3(scale);
+    print_miss_rows(
+        "Table 3 — tiled matrix multiplication: predicted vs simulated misses",
+        &rows,
+    );
+    json.then(|| miss_rows_value(&rows))
+}
+
+fn run_table4(json: bool) -> Option<Value> {
+    let (unknown, known) = table4();
+    print_table4(&unknown, &known);
+    json.then(|| table4_value(&unknown, &known))
+}
+
+fn run_figure(fig: &str, n: u64, measure: bool, json: bool) -> Option<Value> {
+    let series = figure(n, measure);
+    print_figure(fig, n, &series);
+    json.then(|| figure_value(n, &series))
+}
+
+fn run_ablations(scale: Scale, json: bool) -> Option<Value> {
+    let assoc = ablation_associativity(scale);
+    let line = ablation_line(scale);
+    let search = ablation_search();
+    let limits = ablation_limits(512);
+    print_ablations(&assoc, &line, &search, &limits);
+    json.then(|| ablations_value(&assoc, &line, &search, &limits))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("all");
-    let scale = parse_scale(&args);
-    let measure = args.iter().any(|a| a == "--measure");
-    let n_override = args
-        .iter()
-        .position(|a| a == "--n")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<u64>().ok());
+    let opts = parse_args(&args);
+    let Options {
+        scale,
+        measure,
+        n_override,
+        json,
+        ..
+    } = opts;
 
-    match cmd {
-        "table1" => println!("{}", table1()),
-        "table2" => run_table2(scale),
-        "table3" => run_table3(scale),
-        "table4" => run_table4(),
-        "fig10" => run_figure("10", n_override.unwrap_or(1024), measure),
-        "fig11" => run_figure("11", n_override.unwrap_or(2048), measure),
+    let emit = |value: Option<Value>| {
+        if let Some(v) = value {
+            write_json(&opts.experiment, &v);
+        }
+    };
+    match opts.experiment.as_str() {
+        "table1" => emit(run_table1(json)),
+        "table2" => emit(run_table2(scale, json)),
+        "table3" => emit(run_table3(scale, json)),
+        "table4" => emit(run_table4(json)),
+        "fig10" => emit(run_figure("10", n_override.unwrap_or(1024), measure, json)),
+        "fig11" => emit(run_figure("11", n_override.unwrap_or(2048), measure, json)),
         "ablations" | "ablation-assoc" | "ablation-line" | "ablation-search"
-        | "ablation-limits" => run_ablations(scale),
+        | "ablation-limits" => emit(run_ablations(scale, json)),
         "all" => {
-            println!("{}", table1());
-            run_table2(scale);
-            run_table3(scale);
-            run_table4();
-            run_figure("10", 1024, measure);
-            run_figure("11", 2048, measure);
-            run_ablations(scale);
+            let parts = vec![
+                ("table1", run_table1(json)),
+                ("table2", run_table2(scale, json)),
+                ("table3", run_table3(scale, json)),
+                ("table4", run_table4(json)),
+                (
+                    "fig10",
+                    run_figure("10", n_override.unwrap_or(1024), measure, json),
+                ),
+                (
+                    "fig11",
+                    run_figure("11", n_override.unwrap_or(2048), measure, json),
+                ),
+                ("ablations", run_ablations(scale, json)),
+            ];
+            if json {
+                let all = parts
+                    .into_iter()
+                    .filter_map(|(name, v)| v.map(|v| (name.to_string(), v)))
+                    .collect();
+                write_json("all", &Value::Object(all));
+            }
         }
-        other => {
-            eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: tables <table1|table2|table3|table4|fig10|fig11|ablations|all> [--scale small|paper] [--measure] [--n <bound>]");
-            std::process::exit(2);
-        }
+        other => fail(&format!("unknown experiment `{other}`")),
     }
 }

@@ -86,11 +86,22 @@ impl MissRow {
     }
 }
 
-fn miss_row(program: &Program, model: &MissModel, b: &Bindings, cache: u64, config: String) -> MissRow {
+fn miss_row(
+    program: &Program,
+    model: &MissModel,
+    b: &Bindings,
+    cache: u64,
+    config: String,
+) -> MissRow {
     let predicted = model.predict_misses(b, cache).expect("prediction");
     let compiled = CompiledProgram::compile(program, b).expect("compile");
     let actual = simulate_stack_distances(&compiled, Granularity::Element).misses(cache);
-    MissRow { config, cache, predicted, actual }
+    MissRow {
+        config,
+        cache,
+        predicted,
+        actual,
+    }
 }
 
 /// **Table 1**: the symbolic reuse components of tiled matrix
@@ -206,8 +217,17 @@ pub fn table4() -> (Table4Row, Vec<Table4Row>) {
         max: vec![maxv; 4],
         min: 4,
     };
-    let free = TileSearcher::bounds_free(&model, &["Ni", "Nj", "Nm", "Nn"], 1 << 14, cache, space(512));
-    let unknown = Table4Row { bound: 0, tiles: free.best.tiles };
+    let free = TileSearcher::bounds_free(
+        &model,
+        &["Ni", "Nj", "Nm", "Nn"],
+        1 << 14,
+        cache,
+        space(512),
+    );
+    let unknown = Table4Row {
+        bound: 0,
+        tiles: free.best.tiles,
+    };
     let known = [32u64, 64, 128, 256, 512, 1024]
         .iter()
         .map(|&n| {
@@ -217,7 +237,10 @@ pub fn table4() -> (Table4Row, Vec<Table4Row>) {
                 .with("Nm", n as i128)
                 .with("Nn", n as i128);
             let s = TileSearcher::new(&model, base, cache, space(n.min(512)));
-            Table4Row { bound: n, tiles: s.pruned().best.tiles }
+            Table4Row {
+                bound: n,
+                tiles: s.pruned().best.tiles,
+            }
         })
         .collect();
     (unknown, known)
@@ -272,14 +295,20 @@ pub fn figure(n: u64, measure: bool) -> Vec<FigSeries> {
         .with("Nj", n as i128)
         .with("Nm", n as i128)
         .with("Nn", n as i128);
-    let best = TileSearcher::new(&model, base, cache, space).pruned().best.tiles;
+    let best = TileSearcher::new(&model, base, cache, space)
+        .pruned()
+        .best
+        .tiles;
 
     let mut configs: Vec<(String, (u64, u64, u64, u64))> = [32u64, 64, 128, 256]
         .iter()
         .map(|&t| (format!("equi {t}"), (t, t, t, t)))
         .collect();
     configs.push((
-        format!("predicted ({},{},{},{})", best[0], best[1], best[2], best[3]),
+        format!(
+            "predicted ({},{},{},{})",
+            best[0], best[1], best[2], best[3]
+        ),
         (best[0], best[1], best[2], best[3]),
     ));
 
@@ -316,7 +345,12 @@ pub fn figure(n: u64, measure: bool) -> Vec<FigSeries> {
                         );
                         t0.elapsed().as_secs_f64()
                     });
-                    FigPoint { processors: procs, bus_limited: bus, infinite_bw: inf, measured }
+                    FigPoint {
+                        processors: procs,
+                        bus_limited: bus,
+                        infinite_bw: inf,
+                        measured,
+                    }
                 })
                 .collect();
             FigSeries { label, points }
@@ -358,8 +392,7 @@ pub fn ablation_line(scale: Scale) -> Vec<(String, u64, u64)> {
             let b = tmm_bindings((n, n, n), (t, t, t));
             let compiled = CompiledProgram::compile(&p, &b).expect("compile");
             let elem = simulate_stack_distances(&compiled, Granularity::Element).misses(cs);
-            let line =
-                simulate_stack_distances(&compiled, Granularity::Line(8)).misses(cs / 8);
+            let line = simulate_stack_distances(&compiled, Granularity::Line(8)).misses(cs / 8);
             (format!("tiles {t}³"), elem, line)
         })
         .collect()
@@ -489,6 +522,9 @@ mod tests {
         let rows = ablation_associativity(Scale::Small);
         let fa = rows[0].1;
         let dm = rows[1].1;
-        assert!(dm > fa, "direct-mapped {dm} should exceed fully associative {fa}");
+        assert!(
+            dm > fa,
+            "direct-mapped {dm} should exceed fully associative {fa}"
+        );
     }
 }

@@ -148,7 +148,7 @@ mod tests {
         assert!(!c.access_addr(0));
         assert!(!c.access_addr(4));
         assert!(!c.access_addr(0)); // conflict miss despite only 2 blocks used
-        // A 2-way cache of the same size would have hit:
+                                    // A 2-way cache of the same size would have hit:
         let mut c2 = SetAssocCache::new(4, 2, 1);
         assert!(!c2.access_addr(0));
         assert!(!c2.access_addr(4));

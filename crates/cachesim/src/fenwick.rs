@@ -10,7 +10,9 @@ pub struct Fenwick {
 impl Fenwick {
     /// A tree over indices `0..n`, all zero.
     pub fn new(n: usize) -> Self {
-        Fenwick { tree: vec![0; n + 1] }
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
     }
 
     /// Capacity (number of indices).

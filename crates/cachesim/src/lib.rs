@@ -23,8 +23,8 @@ mod lru;
 mod treap;
 
 pub use cache::{CacheStats, SetAssocCache};
-pub use lru::{Distance, StackDistHistogram, StackDistanceEngine};
 pub use fenwick::Fenwick;
+pub use lru::{Distance, StackDistHistogram, StackDistanceEngine};
 pub use treap::Treap;
 
 use sdlo_ir::CompiledProgram;

@@ -41,7 +41,12 @@ impl Default for Treap {
 impl Treap {
     /// An empty treap.
     pub fn new() -> Self {
-        Treap { nodes: Vec::new(), free: Vec::new(), root: NIL, rng: 0x9E37_79B9_7F4A_7C15 }
+        Treap {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     /// Pre-allocate room for `n` simultaneous keys.
@@ -77,7 +82,13 @@ impl Treap {
 
     fn alloc(&mut self, key: u64) -> u32 {
         let priority = self.next_priority();
-        let node = Node { key, priority, left: NIL, right: NIL, size: 1 };
+        let node = Node {
+            key,
+            priority,
+            left: NIL,
+            right: NIL,
+            size: 1,
+        };
         match self.free.pop() {
             Some(i) => {
                 self.nodes[i as usize] = node;
@@ -220,7 +231,11 @@ impl Treap {
             if node.key == key {
                 return true;
             }
-            n = if key < node.key { node.left } else { node.right };
+            n = if key < node.key {
+                node.left
+            } else {
+                node.right
+            };
         }
         false
     }

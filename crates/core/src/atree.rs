@@ -68,14 +68,17 @@ impl ATree {
     pub fn build(program: &Program, array: ArrayId) -> ATree {
         fn filter(node: &sdlo_ir::Node, array: ArrayId) -> Option<ANode> {
             match node {
-                sdlo_ir::Node::Stmt(s) => s
-                    .refs
-                    .iter()
-                    .position(|r| r.array == array)
-                    .map(|ref_idx| ANode::Leaf { stmt: s.id, ref_idx }),
+                sdlo_ir::Node::Stmt(s) => {
+                    s.refs
+                        .iter()
+                        .position(|r| r.array == array)
+                        .map(|ref_idx| ANode::Leaf {
+                            stmt: s.id,
+                            ref_idx,
+                        })
+                }
                 sdlo_ir::Node::Loop(l) => {
-                    let body: Vec<ANode> =
-                        l.body.iter().filter_map(|n| filter(n, array)).collect();
+                    let body: Vec<ANode> = l.body.iter().filter_map(|n| filter(n, array)).collect();
                     if body.is_empty() {
                         None
                     } else {
@@ -90,7 +93,11 @@ impl ATree {
         }
         ATree {
             array,
-            root: program.root.iter().filter_map(|n| filter(n, array)).collect(),
+            root: program
+                .root
+                .iter()
+                .filter_map(|n| filter(n, array))
+                .collect(),
         }
     }
 
@@ -203,7 +210,11 @@ mod tests {
         let path = t.path_to(StmtId(2)).unwrap();
         let owners: Vec<String> = path
             .iter()
-            .map(|s| s.owner.map(|(i, _)| i.name().to_string()).unwrap_or("<root>".into()))
+            .map(|s| {
+                s.owner
+                    .map(|(i, _)| i.name().to_string())
+                    .unwrap_or("<root>".into())
+            })
             .collect();
         assert_eq!(owners, ["<root>", "iT", "nT", "jT", "iI", "nI", "jI"]);
         // Within nT's body, the produce branch is child 1 (after the zero branch).

@@ -69,8 +69,7 @@ pub fn capacity_miss_estimate(
                 let inner_iters = enclosing_iters.saturating_mul(trips);
                 let mut total = 0u64;
                 for n in &l.body {
-                    total =
-                        total.saturating_add(walk(n, bindings, cache_size, inner_iters)?);
+                    total = total.saturating_add(walk(n, bindings, cache_size, inner_iters)?);
                 }
                 Ok(total)
             }
@@ -85,7 +84,10 @@ pub fn capacity_miss_estimate(
 
 /// The total data footprint (distinct elements) of the whole program —
 /// the lower bound any model must respect (cold misses).
-pub fn total_footprint(program: &Program, bindings: &Bindings) -> Result<u64, sdlo_symbolic::EvalError> {
+pub fn total_footprint(
+    program: &Program,
+    bindings: &Bindings,
+) -> Result<u64, sdlo_symbolic::EvalError> {
     Ok(seq_costs(&program.root).total().eval(bindings)?.max(0) as u64)
 }
 
@@ -147,9 +149,9 @@ mod tests {
         let b = square(16);
         let c = sdlo_ir::CompiledProgram::compile(&p, &b).unwrap();
         let h = sdlo_cachesim::simulate_stack_distances(&c, sdlo_cachesim::Granularity::Element);
-        let disagree = [8u64, 16, 32, 64, 128, 256, 300, 512].iter().any(|&capacity| {
-            reuse_distance_misses(&c, capacity) != h.misses(capacity)
-        });
+        let disagree = [8u64, 16, 32, 64, 128, 256, 300, 512]
+            .iter()
+            .any(|&capacity| reuse_distance_misses(&c, capacity) != h.misses(capacity));
         assert!(disagree, "models should disagree under interference");
     }
 

@@ -227,7 +227,9 @@ mod tests {
         // Ti × Nj slab, C2 a Tn × Nj slab, B an Nm × Tn slab, C1 Nm × Ti.
         let p = programs::tiled_two_index();
         let Node::Loop(it) = &p.root[1] else { panic!() };
-        let Node::Loop(nt) = &it.body[0] else { panic!() };
+        let Node::Loop(nt) = &it.body[0] else {
+            panic!()
+        };
         let m = loop_body_costs(nt);
         let b = Bindings::new()
             .with("Ni", 16)
@@ -251,7 +253,9 @@ mod tests {
         // the same box; the union must count Ti·Tn once, not three times.
         let p = programs::tiled_two_index();
         let Node::Loop(it) = &p.root[1] else { panic!() };
-        let Node::Loop(nt) = &it.body[0] else { panic!() };
+        let Node::Loop(nt) = &it.body[0] else {
+            panic!()
+        };
         let m = loop_body_costs(nt);
         let t = p.array_by_name("T").unwrap().id;
         let b = Bindings::new()

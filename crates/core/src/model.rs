@@ -66,7 +66,9 @@ impl MissModel {
     /// Analyze `program` (paper §5: partition every reference's iteration
     /// space and attach symbolic stack distances).
     pub fn build(program: &Program) -> Self {
-        MissModel { components: all_components(program) }
+        MissModel {
+            components: all_components(program),
+        }
     }
 
     /// The underlying components.
@@ -84,7 +86,12 @@ impl MissModel {
     /// distance does not mention any loop-bound symbol).
     pub fn filtered(&self, keep: impl Fn(&Component) -> bool) -> Self {
         MissModel {
-            components: self.components.iter().filter(|c| keep(c)).cloned().collect(),
+            components: self
+                .components
+                .iter()
+                .filter(|c| keep(c))
+                .cloned()
+                .collect(),
         }
     }
 
@@ -216,7 +223,10 @@ impl MissModel {
             let name = program.array(c.array).name.clone();
             let kind = match &c.kind {
                 ComponentKind::Compulsory => "compulsory".to_string(),
-                ComponentKind::Carried { loop_index, source_stmt } => {
+                ComponentKind::Carried {
+                    loop_index,
+                    source_stmt,
+                } => {
                     format!("carried by {loop_index} (S{})", source_stmt.0)
                 }
                 ComponentKind::CrossStmt { source_stmt } => {
@@ -279,7 +289,10 @@ mod tests {
         let model = MissModel::build(&p);
         let b = tmm(64, (16, 8, 32));
         let compiled = sdlo_ir::CompiledProgram::compile(&p, &b).unwrap();
-        assert_eq!(model.total_instances(&b).unwrap(), compiled.total_accesses());
+        assert_eq!(
+            model.total_instances(&b).unwrap(),
+            compiled.total_accesses()
+        );
     }
 
     #[test]
@@ -296,7 +309,10 @@ mod tests {
             .with("Tm", 16)
             .with("Tn", 8);
         let compiled = sdlo_ir::CompiledProgram::compile(&p, &b).unwrap();
-        assert_eq!(model.total_instances(&b).unwrap(), compiled.total_accesses());
+        assert_eq!(
+            model.total_instances(&b).unwrap(),
+            compiled.total_accesses()
+        );
     }
 
     #[test]
@@ -305,7 +321,10 @@ mod tests {
         let model = MissModel::build(&p);
         let b = tmm(256, (64, 64, 64));
         // Compulsory misses = one per distinct element = 3·N².
-        assert_eq!(model.predict_misses(&b, u64::MAX / 2).unwrap(), 3 * 256 * 256);
+        assert_eq!(
+            model.predict_misses(&b, u64::MAX / 2).unwrap(),
+            3 * 256 * 256
+        );
     }
 
     #[test]

@@ -144,11 +144,7 @@ fn rightmost_leaf(node: &Node, array: ArrayId) -> Option<(&Stmt, usize)> {
             .iter()
             .rposition(|r| r.array == array)
             .map(|i| (s, i)),
-        Node::Loop(l) => l
-            .body
-            .iter()
-            .rev()
-            .find_map(|n| rightmost_leaf(n, array)),
+        Node::Loop(l) => l.body.iter().rev().find_map(|n| rightmost_leaf(n, array)),
     }
 }
 
@@ -172,7 +168,11 @@ struct Boundary {
 
 impl Boundary {
     fn empty() -> Self {
-        Boundary { unit_sum: Expr::zero(), trips: Expr::one(), const_sum: Expr::zero() }
+        Boundary {
+            unit_sum: Expr::zero(),
+            trips: Expr::one(),
+            const_sum: Expr::zero(),
+        }
     }
 }
 
@@ -257,7 +257,11 @@ fn boundary_costs(
             const_sum += cost;
         }
     }
-    Boundary { unit_sum, trips: lout.bound.clone(), const_sum }
+    Boundary {
+        unit_sum,
+        trips: lout.bound.clone(),
+        const_sum,
+    }
 }
 
 /// Stack distance of a same-branch wrap-around reuse carried by `carrier`
@@ -310,10 +314,7 @@ fn wrap_distance(
 fn array_involves(seq: &[Node], array: ArrayId, idx: &Sym) -> bool {
     fn walk(node: &Node, array: ArrayId, idx: &Sym) -> bool {
         match node {
-            Node::Stmt(s) => s
-                .refs
-                .iter()
-                .any(|r| r.array == array && r.appears(idx)),
+            Node::Stmt(s) => s.refs.iter().any(|r| r.array == array && r.appears(idx)),
             Node::Loop(l) => l.body.iter().any(|n| walk(n, array, idx)),
         }
     }
@@ -335,13 +336,14 @@ fn combine(base: Expr, src: Boundary, tgt: Boundary) -> StackDistance {
         let at_start =
             base.clone() + tgt.unit_sum.clone() + src.unit_sum.clone() * (r.clone() - Expr::one());
         let at_end = base + tgt.unit_sum * r;
-        StackDistance::Varying { lo: at_start, hi: at_end }
+        StackDistance::Varying {
+            lo: at_start,
+            hi: at_end,
+        }
     } else {
         // Independent positions: bracket with the corner extremes.
         let min = base.clone() + tgt.unit_sum.clone();
-        let max = base
-            + tgt.unit_sum * tgt.trips
-            + src.unit_sum * (src.trips - Expr::one());
+        let max = base + tgt.unit_sum * tgt.trips + src.unit_sum * (src.trips - Expr::one());
         StackDistance::Varying { lo: min, hi: max }
     }
 }
@@ -375,8 +377,8 @@ pub fn components_for(program: &Program, stmt: &Stmt, ref_idx: usize) -> Vec<Com
             .rev()
             .find(|&j| subtree_contains(&level.seq[j], array))
         {
-            let (src_stmt, _src_ref) = rightmost_leaf(&level.seq[j], array)
-                .expect("subtree_contains implies a leaf");
+            let (src_stmt, _src_ref) =
+                rightmost_leaf(&level.seq[j], array).expect("subtree_contains implies a leaf");
             // Count: enclosing loops of this sequence (levels 0..=k, the
             // level-k owner owns the sequence itself) free, appearing loops
             // below free, non-appearing loops below fixed at 1.
@@ -410,7 +412,9 @@ pub fn components_for(program: &Program, stmt: &Stmt, ref_idx: usize) -> Vec<Com
                 array,
                 stmt: stmt.id,
                 ref_idx,
-                kind: ComponentKind::CrossStmt { source_stmt: src_stmt.id },
+                kind: ComponentKind::CrossStmt {
+                    source_stmt: src_stmt.id,
+                },
                 count,
                 distance: combine(base, sb, tb),
             });
@@ -449,7 +453,10 @@ pub fn components_for(program: &Program, stmt: &Stmt, ref_idx: usize) -> Vec<Com
         } else {
             debug_assert!(src_pos > level.pos, "source is the rightmost leaf");
             let mut mids = CostMap::default();
-            for n in level.seq[src_pos + 1..].iter().chain(&level.seq[..level.pos]) {
+            for n in level.seq[src_pos + 1..]
+                .iter()
+                .chain(&level.seq[..level.pos])
+            {
                 mids.merge(&subtree_costs(n));
             }
             let mut reused_span = CostMap::default();
@@ -462,10 +469,8 @@ pub fn components_for(program: &Program, stmt: &Stmt, ref_idx: usize) -> Vec<Com
                 .iter()
                 .find(|r| r.array == array)
                 .expect("source references array");
-            let sb =
-                boundary_costs(&level.seq[src_pos], src_stmt.id, src_ref_obj, array, true);
-            let tb =
-                boundary_costs(&level.seq[level.pos], stmt.id, the_ref, array, false);
+            let sb = boundary_costs(&level.seq[src_pos], src_stmt.id, src_ref_obj, array, true);
+            let tb = boundary_costs(&level.seq[level.pos], stmt.id, the_ref, array, false);
             combine(base, sb, tb)
         };
         components.push(Component {
@@ -607,13 +612,23 @@ mod tests {
         let s2_cross = comps.iter().find(|c| {
             c.array == t_id
                 && c.stmt == StmtId(2)
-                && matches!(c.kind, ComponentKind::CrossStmt { source_stmt: StmtId(1) })
+                && matches!(
+                    c.kind,
+                    ComponentKind::CrossStmt {
+                        source_stmt: StmtId(1)
+                    }
+                )
         });
         assert!(s2_cross.is_some(), "missing S1→S2 cross component");
         let s3_cross = comps.iter().find(|c| {
             c.array == t_id
                 && c.stmt == StmtId(3)
-                && matches!(c.kind, ComponentKind::CrossStmt { source_stmt: StmtId(2) })
+                && matches!(
+                    c.kind,
+                    ComponentKind::CrossStmt {
+                        source_stmt: StmtId(2)
+                    }
+                )
         });
         assert!(s3_cross.is_some(), "missing S2→S3 cross component");
         // The S1→S2 reuse is the paper's non-constant stack distance
@@ -648,7 +663,9 @@ mod tests {
             .with("Nm", 256)
             .with("Nn", 256)
             .with("Tm", 16);
-        let StackDistance::Varying { lo, hi } = &c.distance else { panic!() };
+        let StackDistance::Varying { lo, hi } = &c.distance else {
+            panic!()
+        };
         let (ti, tj, tn) = (64i64, 16, 128);
         let lo_v = lo.eval(&b).unwrap();
         let hi_v = hi.eval(&b).unwrap();

@@ -1,0 +1,125 @@
+//! Canonicalization soundness at the analysis level: a canonicalized program
+//! must yield the *same* stack-distance components and the same miss
+//! predictions as the original, with per-array results translating back
+//! through `Canonical::array_map`.
+
+use sdlo_core::model::MissModel;
+use sdlo_ir::canon::canonicalize;
+use sdlo_ir::{programs, Bindings, Program};
+
+fn cases() -> Vec<(Program, Bindings)> {
+    let square = |n: i128| {
+        Bindings::new()
+            .with("Ni", n)
+            .with("Nj", n)
+            .with("Nk", n)
+            .with("Nm", n)
+            .with("Nn", n)
+    };
+    let tiles = |b: Bindings, t: i128| {
+        b.with("Ti", t)
+            .with("Tj", t)
+            .with("Tk", t)
+            .with("Tm", t)
+            .with("Tn", t)
+    };
+    vec![
+        (programs::matmul(), square(40)),
+        (programs::tiled_matmul(), tiles(square(48), 8)),
+        (programs::two_index_unfused(), square(24)),
+        (programs::two_index_fused(), square(24)),
+        (programs::tiled_two_index(), tiles(square(24), 4)),
+    ]
+}
+
+/// The canonical program's model predicts exactly what the original's does —
+/// free symbols are preserved, so the same bindings apply to both.
+#[test]
+fn canonical_model_predicts_identically() {
+    for (p, b) in cases() {
+        let c = canonicalize(&p);
+        let orig = MissModel::build(&p);
+        let canon = MissModel::build(&c.program);
+        for cache in [64u64, 512, 4096, 1 << 20] {
+            let m0 = orig.predict_misses(&b, cache).expect("orig predicts");
+            let m1 = canon.predict_misses(&b, cache).expect("canon predicts");
+            assert_eq!(m0, m1, "{} at C={cache}", p.name);
+        }
+    }
+}
+
+/// Per-array miss counts translate through `array_map`: canonical array `Ak`
+/// is original array `array_map[k]`.
+#[test]
+fn per_array_results_translate_back() {
+    for (p, b) in cases() {
+        let c = canonicalize(&p);
+        let orig = MissModel::build(&p);
+        let canon = MissModel::build(&c.program);
+        let cache = 512;
+        let by_orig = orig.predict_by_array(&b, cache).expect("orig per-array");
+        let by_canon = canon.predict_by_array(&b, cache).expect("canon per-array");
+        for (canon_id, misses) in &by_canon {
+            let orig_id = c.array_map[canon_id.0];
+            assert_eq!(
+                by_orig.get(&orig_id).copied().unwrap_or(0),
+                *misses,
+                "{}: canonical {:?} ↦ original {:?}",
+                p.name,
+                canon_id,
+                orig_id
+            );
+        }
+        assert_eq!(
+            by_orig.values().sum::<u64>(),
+            by_canon.values().sum::<u64>(),
+            "{}",
+            p.name
+        );
+    }
+}
+
+/// The symbolic stack-distance expressions themselves agree: for every
+/// component of the original model there is a component of the canonical
+/// model with the same statement, reference index, count expression and
+/// distance expression (arrays translated through `array_map`).
+#[test]
+fn components_agree_symbolically() {
+    for (p, _) in cases() {
+        let c = canonicalize(&p);
+        let orig = MissModel::build(&p);
+        let canon = MissModel::build(&c.program);
+        let key = |stmt: usize, ref_idx: usize, array: usize, count: &str, dist: &str| {
+            format!("S{stmt}/r{ref_idx}/a{array}: count={count} dist={dist}")
+        };
+        let mut orig_keys: Vec<String> = orig
+            .components()
+            .iter()
+            .map(|k| {
+                key(
+                    k.stmt.0,
+                    k.ref_idx,
+                    k.array.0,
+                    &k.count.to_string(),
+                    &k.distance.to_string(),
+                )
+            })
+            .collect();
+        let mut canon_keys: Vec<String> = canon
+            .components()
+            .iter()
+            .map(|k| {
+                key(
+                    k.stmt.0,
+                    k.ref_idx,
+                    c.array_map[k.array.0].0,
+                    &k.count.to_string(),
+                    &k.distance.to_string(),
+                )
+            })
+            .collect();
+        orig_keys.sort();
+        canon_keys.sort();
+        assert_eq!(orig_keys, canon_keys, "{}", p.name);
+    }
+}

@@ -24,6 +24,7 @@
 //! dimension with different strides: `A[iT+iI]` becomes the dimension
 //! expression `(iT-1)*Ti + (iI-1) + 1`.
 
+pub mod canon;
 mod exec;
 mod node;
 mod program;
@@ -31,6 +32,7 @@ pub mod programs;
 mod tile;
 pub mod trace;
 
+pub use canon::{canonical_hash, canonicalize, Canonical};
 pub use exec::{execute, ExecError, Memory};
 pub use node::{ArrayRef, DimExpr, LoopNode, Node, Stmt, StmtKind};
 pub use program::{ArrayDecl, ArrayId, Program, StmtId, ValidateError};

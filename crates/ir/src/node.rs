@@ -20,13 +20,17 @@ pub struct DimExpr {
 impl DimExpr {
     /// A single-index dimension with stride 1: `A[i]`.
     pub fn index(i: impl Into<Sym>) -> Self {
-        DimExpr { parts: vec![(i.into(), Expr::one())] }
+        DimExpr {
+            parts: vec![(i.into(), Expr::one())],
+        }
     }
 
     /// A tiled dimension `A[iT + iI]`: tile loop `t` with stride = tile size,
     /// intra loop `i` with stride 1.
     pub fn tiled(t: impl Into<Sym>, tile_size: Expr, i: impl Into<Sym>) -> Self {
-        DimExpr { parts: vec![(t.into(), tile_size), (i.into(), Expr::one())] }
+        DimExpr {
+            parts: vec![(t.into(), tile_size), (i.into(), Expr::one())],
+        }
     }
 
     /// Every loop index contributing to this dimension.
@@ -55,12 +59,20 @@ pub struct ArrayRef {
 impl ArrayRef {
     /// A read reference.
     pub fn read(array: ArrayId, dims: Vec<DimExpr>) -> Self {
-        ArrayRef { array, dims, is_write: false }
+        ArrayRef {
+            array,
+            dims,
+            is_write: false,
+        }
     }
 
     /// A write reference.
     pub fn write(array: ArrayId, dims: Vec<DimExpr>) -> Self {
-        ArrayRef { array, dims, is_write: true }
+        ArrayRef {
+            array,
+            dims,
+            is_write: true,
+        }
     }
 
     /// Whether loop index `sym` **appears** in the reference (paper's
@@ -121,7 +133,11 @@ pub enum Node {
 impl Node {
     /// Build a loop node.
     pub fn loop_(index: impl Into<Sym>, bound: Expr, body: Vec<Node>) -> Self {
-        Node::Loop(LoopNode { index: index.into(), bound, body })
+        Node::Loop(LoopNode {
+            index: index.into(),
+            bound,
+            body,
+        })
     }
 
     /// Visit every statement in program order.
@@ -152,10 +168,7 @@ mod tests {
 
     #[test]
     fn array_ref_appears() {
-        let r = ArrayRef::read(
-            ArrayId(0),
-            vec![DimExpr::index("i"), DimExpr::index("j")],
-        );
+        let r = ArrayRef::read(ArrayId(0), vec![DimExpr::index("i"), DimExpr::index("j")]);
         assert!(r.appears(&Sym::new("i")));
         assert!(!r.appears(&Sym::new("k")));
     }

@@ -26,9 +26,7 @@ pub struct ArrayDecl {
 impl ArrayDecl {
     /// Total number of elements (symbolic product of extents).
     pub fn size(&self) -> Expr {
-        self.dims
-            .iter()
-            .fold(Expr::one(), |acc, d| acc * d.clone())
+        self.dims.iter().fold(Expr::one(), |acc, d| acc * d.clone())
     }
 }
 
@@ -40,9 +38,18 @@ pub enum ValidateError {
     /// Two loops in the same nesting path share an index name.
     DuplicateIndex { index: Sym },
     /// A reference's dimension count does not match the declaration.
-    DimMismatch { stmt: StmtId, array: Sym, expected: usize, got: usize },
+    DimMismatch {
+        stmt: StmtId,
+        array: Sym,
+        expected: usize,
+        got: usize,
+    },
     /// A statement's reference count does not fit its [`StmtKind`](crate::StmtKind).
-    RefCount { stmt: StmtId, expected: usize, got: usize },
+    RefCount {
+        stmt: StmtId,
+        expected: usize,
+        got: usize,
+    },
     /// Statement ids are not 0..n in program order.
     BadStmtNumbering { expected: usize, got: usize },
 }
@@ -56,18 +63,30 @@ impl std::fmt::Display for ValidateError {
             ValidateError::DuplicateIndex { index } => {
                 write!(f, "loop index `{index}` shadowed along one nesting path")
             }
-            ValidateError::DimMismatch { stmt, array, expected, got } => write!(
+            ValidateError::DimMismatch {
+                stmt,
+                array,
+                expected,
+                got,
+            } => write!(
                 f,
                 "statement {} references `{array}` with {got} dims, declared {expected}",
                 stmt.0
             ),
-            ValidateError::RefCount { stmt, expected, got } => write!(
+            ValidateError::RefCount {
+                stmt,
+                expected,
+                got,
+            } => write!(
                 f,
                 "statement {} has {got} references, its kind requires {expected}",
                 stmt.0
             ),
             ValidateError::BadStmtNumbering { expected, got } => {
-                write!(f, "statement numbered {got}, expected {expected} in program order")
+                write!(
+                    f,
+                    "statement numbered {got}, expected {expected} in program order"
+                )
             }
         }
     }
@@ -89,13 +108,21 @@ pub struct Program {
 impl Program {
     /// Create an empty program.
     pub fn new(name: impl Into<String>) -> Self {
-        Program { name: name.into(), arrays: Vec::new(), root: Vec::new() }
+        Program {
+            name: name.into(),
+            arrays: Vec::new(),
+            root: Vec::new(),
+        }
     }
 
     /// Declare an array and get its id.
     pub fn declare(&mut self, name: impl Into<Sym>, dims: Vec<Expr>) -> ArrayId {
         let id = ArrayId(self.arrays.len());
-        self.arrays.push(ArrayDecl { id, name: name.into(), dims });
+        self.arrays.push(ArrayDecl {
+            id,
+            name: name.into(),
+            dims,
+        });
         id
     }
 
@@ -181,7 +208,9 @@ impl Program {
             match node {
                 Node::Loop(l) => {
                     if enclosing.contains(&l.index) {
-                        return Err(ValidateError::DuplicateIndex { index: l.index.clone() });
+                        return Err(ValidateError::DuplicateIndex {
+                            index: l.index.clone(),
+                        });
                     }
                     enclosing.push(l.index.clone());
                     for n in &l.body {
@@ -301,7 +330,10 @@ mod tests {
                 s.refs[0].dims[0] = DimExpr::index("q");
             }
         }
-        assert!(matches!(p.validate(), Err(ValidateError::UnboundIndex { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::UnboundIndex { .. })
+        ));
     }
 
     #[test]
@@ -312,7 +344,10 @@ mod tests {
                 s.refs[0].dims.push(DimExpr::index("i"));
             }
         }
-        assert!(matches!(p.validate(), Err(ValidateError::DimMismatch { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::DimMismatch { .. })
+        ));
     }
 
     #[test]
@@ -323,7 +358,10 @@ mod tests {
                 s.id = StmtId(7);
             }
         }
-        assert!(matches!(p.validate(), Err(ValidateError::BadStmtNumbering { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::BadStmtNumbering { .. })
+        ));
     }
 
     #[test]

@@ -37,7 +37,12 @@ impl StmtFactory {
     fn stmt(&mut self, label: &str, kind: StmtKind, refs: Vec<ArrayRef>) -> Node {
         let id = StmtId(self.next);
         self.next += 1;
-        Node::Stmt(Stmt { id, label: label.to_string(), refs, kind })
+        Node::Stmt(Stmt {
+            id,
+            label: label.to_string(),
+            refs,
+            kind,
+        })
     }
 }
 
@@ -68,7 +73,11 @@ pub fn matmul() -> Program {
     p.root = vec![Node::loop_(
         "i",
         v("Ni"),
-        vec![Node::loop_("j", v("Nj"), vec![Node::loop_("k", v("Nk"), vec![body])])],
+        vec![Node::loop_(
+            "j",
+            v("Nj"),
+            vec![Node::loop_("k", v("Nk"), vec![body])],
+        )],
     )];
     debug_assert_eq!(p.validate(), Ok(()));
     p
@@ -105,7 +114,11 @@ pub fn tiled_matmul() -> Program {
     let inner = Node::loop_(
         "iI",
         ti.clone(),
-        vec![Node::loop_("jI", tj.clone(), vec![Node::loop_("kI", tk.clone(), vec![body])])],
+        vec![Node::loop_(
+            "jI",
+            tj.clone(),
+            vec![Node::loop_("kI", tk.clone(), vec![body])],
+        )],
     );
     p.root = vec![Node::loop_(
         "iT",
@@ -160,14 +173,22 @@ pub fn two_index_unfused() -> Program {
         Node::loop_(
             "i",
             v("Ni"),
-            vec![Node::loop_("n", v("Nn"), vec![Node::loop_("j", v("Nj"), vec![s1])])],
+            vec![Node::loop_(
+                "n",
+                v("Nn"),
+                vec![Node::loop_("j", v("Nj"), vec![s1])],
+            )],
         ),
         // Sibling nest reuses names `i`, `n` (distinct loops; matching names
         // let the analysis relate T's producer and consumer instances).
         Node::loop_(
             "i",
             v("Ni"),
-            vec![Node::loop_("n", v("Nn"), vec![Node::loop_("m", v("Nm"), vec![s2])])],
+            vec![Node::loop_(
+                "n",
+                v("Nn"),
+                vec![Node::loop_("m", v("Nm"), vec![s2])],
+            )],
         ),
     ];
     debug_assert_eq!(p.validate(), Ok(()));
@@ -192,7 +213,11 @@ pub fn two_index_fused() -> Program {
     let c1 = p.declare("C1", vec![v("Nm"), v("Ni")]);
     let scalar = || DimExpr { parts: vec![] };
     let mut f = StmtFactory::new();
-    let s0 = f.stmt("T = 0", StmtKind::ZeroLhs, vec![ArrayRef::write(t, vec![scalar()])]);
+    let s0 = f.stmt(
+        "T = 0",
+        StmtKind::ZeroLhs,
+        vec![ArrayRef::write(t, vec![scalar()])],
+    );
     let s1 = f.stmt(
         "T += C2[n,j] * A[i,j]",
         StmtKind::MulAddAssign,
@@ -303,7 +328,11 @@ pub fn tiled_two_index() -> Program {
             )],
         )],
     );
-    let zero_t = Node::loop_("iI", ti.clone(), vec![Node::loop_("nI", tn.clone(), vec![s1])]);
+    let zero_t = Node::loop_(
+        "iI",
+        ti.clone(),
+        vec![Node::loop_("nI", tn.clone(), vec![s1])],
+    );
     let produce_t = Node::loop_(
         "jT",
         v("Nj").ceil_div(&tj),

@@ -35,10 +35,7 @@ impl std::error::Error for TileError {}
 /// Loops not mentioned keep a degenerate tile equal to their full extent...
 /// no: loops not mentioned are left untiled (they stay as a single loop placed
 /// with the intra loops).
-pub fn tile_perfect_nest(
-    program: &Program,
-    tiles: &[(&str, &str)],
-) -> Result<Program, TileError> {
+pub fn tile_perfect_nest(program: &Program, tiles: &[(&str, &str)]) -> Result<Program, TileError> {
     // Collect the perfect nest: a chain of loops ending in exactly one stmt.
     let mut chain = Vec::new();
     let mut cur = &program.root;
@@ -69,8 +66,7 @@ pub fn tile_perfect_nest(
     // Pad tiled array extents to whole tiles. An extent is tied to a loop by
     // scanning the statement's references: dimension d of array a is padded
     // with tile t iff some reference subscripts it with a tiled index.
-    let mut padded_dims: Vec<Vec<Expr>> =
-        program.arrays.iter().map(|a| a.dims.clone()).collect();
+    let mut padded_dims: Vec<Vec<Expr>> = program.arrays.iter().map(|a| a.dims.clone()).collect();
     for r in &stmt.refs {
         for (d, dim) in r.dims.iter().enumerate() {
             for (idx, _) in &dim.parts {
@@ -111,11 +107,7 @@ pub fn tile_perfect_nest(
     let mut node = Node::Stmt(new_stmt);
     for l in chain.iter().rev() {
         node = match tile_for(&l.index) {
-            Some(t) => Node::loop_(
-                format!("{}I", l.index),
-                Expr::var(t),
-                vec![node],
-            ),
+            Some(t) => Node::loop_(format!("{}I", l.index), Expr::var(t), vec![node]),
             None => Node::loop_(l.index.clone(), l.bound.clone(), vec![node]),
         };
     }
@@ -141,9 +133,11 @@ mod tests {
 
     #[test]
     fn tiling_matmul_matches_handbuilt() {
-        let tiled =
-            tile_perfect_nest(&programs::matmul(), &[("i", "Ti"), ("j", "Tj"), ("k", "Tk")])
-                .unwrap();
+        let tiled = tile_perfect_nest(
+            &programs::matmul(),
+            &[("i", "Ti"), ("j", "Tj"), ("k", "Tk")],
+        )
+        .unwrap();
         // Structure: 3 tile loops then 3 intra loops, single statement.
         let text = tiled.render();
         assert!(text.contains("for iT"), "{text}");

@@ -35,7 +35,11 @@ pub enum CompileError {
     /// A loop bound or array extent evaluated to a non-positive value.
     NonPositive { what: String, value: i64 },
     /// A reference can address past the end of its array.
-    OutOfRange { array: String, max_index: u64, size: u64 },
+    OutOfRange {
+        array: String,
+        max_index: u64,
+        size: u64,
+    },
 }
 
 impl std::fmt::Display for CompileError {
@@ -45,7 +49,11 @@ impl std::fmt::Display for CompileError {
             CompileError::NonPositive { what, value } => {
                 write!(f, "{what} evaluated to non-positive value {value}")
             }
-            CompileError::OutOfRange { array, max_index, size } => write!(
+            CompileError::OutOfRange {
+                array,
+                max_index,
+                size,
+            } => write!(
                 f,
                 "reference to `{array}` reaches element {max_index}, array has {size}"
             ),
@@ -87,8 +95,16 @@ pub(crate) struct CRef {
 
 #[derive(Debug, Clone)]
 pub(crate) enum CNode {
-    Loop { bound: u64, slot: usize, body: Vec<CNode> },
-    Stmt { stmt: StmtId, kind: StmtKind, refs: Vec<CRef> },
+    Loop {
+        bound: u64,
+        slot: usize,
+        body: Vec<CNode>,
+    },
+    Stmt {
+        stmt: StmtId,
+        kind: StmtKind,
+        refs: Vec<CRef>,
+    },
 }
 
 /// A program specialized to concrete bounds/tile sizes, ready to stream its
@@ -120,7 +136,12 @@ impl CompiledProgram {
                 dims.push(v as u64);
             }
             let size = dims.iter().product::<u64>();
-            arrays.push(CompiledArray { id: decl.id, base, dims, size });
+            arrays.push(CompiledArray {
+                id: decl.id,
+                base,
+                dims,
+                size,
+            });
             base += size;
         }
 
@@ -153,16 +174,20 @@ impl CompiledProgram {
                         .map(|n| compile_node(n, ctx))
                         .collect::<Result<Vec<_>, _>>()?;
                     ctx.loops.pop();
-                    Ok(CNode::Loop { bound: b as u64, slot, body })
+                    Ok(CNode::Loop {
+                        bound: b as u64,
+                        slot,
+                        body,
+                    })
                 }
                 Node::Stmt(s) => {
                     let mut iterations = 1u64;
                     for (_, _, b) in &ctx.loops {
                         iterations = iterations.saturating_mul(*b);
                     }
-                    ctx.total = ctx.total.saturating_add(
-                        iterations.saturating_mul(s.refs.len() as u64),
-                    );
+                    ctx.total = ctx
+                        .total
+                        .saturating_add(iterations.saturating_mul(s.refs.len() as u64));
                     let mut refs = Vec::with_capacity(s.refs.len());
                     for r in &s.refs {
                         let arr = &ctx.arrays[r.array.0];
@@ -210,7 +235,11 @@ impl CompiledProgram {
                             terms,
                         });
                     }
-                    Ok(CNode::Stmt { stmt: s.id, kind: s.kind, refs })
+                    Ok(CNode::Stmt {
+                        stmt: s.id,
+                        kind: s.kind,
+                        refs,
+                    })
                 }
             }
         }
@@ -229,7 +258,12 @@ impl CompiledProgram {
             .map(|n| compile_node(n, &mut ctx))
             .collect::<Result<Vec<_>, _>>()?;
         let (n_slots, total_accesses) = (ctx.n_slots, ctx.total);
-        Ok(CompiledProgram { arrays, root, n_slots, total_accesses })
+        Ok(CompiledProgram {
+            arrays,
+            root,
+            n_slots,
+            total_accesses,
+        })
     }
 
     /// Array layout produced by compilation.
@@ -273,7 +307,12 @@ fn walk_node(node: &CNode, iv: &mut [u64], f: &mut impl FnMut(Access)) {
                 for (slot, coef) in &r.terms {
                     addr += iv[*slot] * coef;
                 }
-                f(Access { array: r.array, addr, is_write: r.is_write, stmt: *stmt });
+                f(Access {
+                    array: r.array,
+                    addr,
+                    is_write: r.is_write,
+                    stmt: *stmt,
+                });
             }
         }
     }
@@ -355,8 +394,7 @@ mod tests {
             )],
         )];
         p.validate().unwrap();
-        let c =
-            CompiledProgram::compile(&p, &Bindings::new().with("N", 4).with("Ti", 2)).unwrap();
+        let c = CompiledProgram::compile(&p, &Bindings::new().with("N", 4).with("Ti", 2)).unwrap();
         let mut addrs = vec![];
         c.walk(&mut |a| addrs.push(a.addr));
         assert_eq!(addrs, vec![0, 1, 2, 3]);

@@ -1,0 +1,221 @@
+//! Property tests for `sdlo_ir::canon`: canonicalization must be *sound* —
+//! scrambling everything it claims to normalize (loop index names, array
+//! declaration order, array names, labels, the program name) must not change
+//! the canonical program or its structural hash.
+
+use proptest::prelude::*;
+use sdlo_ir::canon::canonicalize;
+use sdlo_ir::{ArrayId, ArrayRef, DimExpr, Expr, Node, Program, Stmt, StmtId, StmtKind, Sym};
+
+/// Tiny splitmix-style generator so program shape is a pure function of the
+/// proptest-provided seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn chance(&mut self, one_in: u64) -> bool {
+        self.next().is_multiple_of(one_in)
+    }
+}
+
+/// Build a random valid imperfectly nested program: 1–3 two-dimensional
+/// arrays, a loop tree of depth ≥ 2 with optional sibling subtrees, and
+/// statements whose subscripts use enclosing loop indices with stride 1 or a
+/// symbolic tile stride `T`.
+fn random_program(seed: u64) -> Program {
+    let mut rng = Lcg(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut p = Program::new("random");
+    let n_arrays = 1 + rng.pick(3);
+    for a in 0..n_arrays {
+        p.declare(format!("Arr{a}"), vec![Expr::var("N"), Expr::var("M")]);
+    }
+
+    struct Gen {
+        next_stmt: usize,
+        next_loop: usize,
+        n_arrays: usize,
+    }
+
+    impl Gen {
+        fn stmt(&mut self, rng: &mut Lcg, enclosing: &[Sym]) -> Node {
+            let dim = |rng: &mut Lcg| {
+                let idx = enclosing[rng.pick(enclosing.len())].clone();
+                let stride = if rng.chance(3) {
+                    Expr::var("T")
+                } else {
+                    Expr::one()
+                };
+                DimExpr {
+                    parts: vec![(idx, stride)],
+                }
+            };
+            let aref = |rng: &mut Lcg, write: bool| ArrayRef {
+                array: ArrayId(rng.pick(self.n_arrays)),
+                dims: vec![dim(rng), dim(rng)],
+                is_write: write,
+            };
+            let (kind, refs) = if rng.chance(2) {
+                (StmtKind::ZeroLhs, vec![aref(&mut *rng, true)])
+            } else {
+                (
+                    StmtKind::Assign,
+                    vec![aref(&mut *rng, true), aref(&mut *rng, false)],
+                )
+            };
+            let id = StmtId(self.next_stmt);
+            self.next_stmt += 1;
+            Node::Stmt(Stmt {
+                id,
+                label: format!("s{}", id.0),
+                refs,
+                kind,
+            })
+        }
+
+        fn looped(&mut self, rng: &mut Lcg, enclosing: &mut Vec<Sym>, depth: usize) -> Node {
+            let index = Sym::new(format!("l{}", self.next_loop));
+            self.next_loop += 1;
+            let bound = match rng.pick(3) {
+                0 => Expr::var("N"),
+                1 => Expr::var("M"),
+                _ => Expr::var("N").ceil_div(&Expr::var("T")),
+            };
+            enclosing.push(index.clone());
+            let mut body = Vec::new();
+            let children = 1 + rng.pick(2);
+            for _ in 0..children {
+                if depth < 3 && rng.chance(2) {
+                    let child = self.looped(rng, enclosing, depth + 1);
+                    body.push(child);
+                } else if enclosing.len() >= 2 {
+                    body.push(self.stmt(rng, enclosing));
+                } else {
+                    let child = self.looped(rng, enclosing, depth + 1);
+                    body.push(child);
+                }
+            }
+            enclosing.pop();
+            Node::Loop(sdlo_ir::LoopNode { index, bound, body })
+        }
+    }
+
+    let mut gen = Gen {
+        next_stmt: 0,
+        next_loop: 0,
+        n_arrays,
+    };
+    let mut enclosing = Vec::new();
+    p.root = vec![gen.looped(&mut rng, &mut enclosing, 0)];
+    if rng.chance(2) {
+        let sibling = gen.looped(&mut rng, &mut enclosing, 0);
+        p.root.push(sibling);
+    }
+    assert_eq!(p.validate(), Ok(()), "generator must build valid programs");
+    p
+}
+
+/// Apply every transformation canonicalization claims to erase: scoped loop
+/// renames with fresh names, a random permutation of the array declarations
+/// (with references remapped), new array names, garbled labels and name.
+fn scramble(p: &Program, seed: u64) -> Program {
+    let mut rng = Lcg(seed ^ 0xdead_beef_cafe_f00d);
+    let mut q = p.clone();
+    q.name = "scrambled".into();
+
+    // Permute array declarations.
+    let n = q.arrays.len();
+    let mut perm: Vec<usize> = (0..n).collect(); // perm[old] = new
+    for i in (1..n).rev() {
+        perm.swap(i, rng.pick(i + 1));
+    }
+    let mut decls = vec![None; n];
+    for (old, a) in q.arrays.iter().enumerate() {
+        let mut d = a.clone();
+        d.id = ArrayId(perm[old]);
+        d.name = Sym::new(format!("X{}", perm[old]));
+        decls[perm[old]] = Some(d);
+    }
+    q.arrays = decls.into_iter().map(|d| d.unwrap()).collect();
+
+    // Scoped loop renames + reference remap.
+    fn walk(n: &mut Node, scope: &mut Vec<(Sym, Sym)>, perm: &[usize], fresh: &mut usize) {
+        match n {
+            Node::Loop(l) => {
+                let new = Sym::new(format!("z{fresh}"));
+                *fresh += 1;
+                scope.push((l.index.clone(), new.clone()));
+                l.index = new;
+                for c in &mut l.body {
+                    walk(c, scope, perm, fresh);
+                }
+                scope.pop();
+            }
+            Node::Stmt(s) => {
+                s.label = "scrambled".into();
+                for r in &mut s.refs {
+                    r.array = ArrayId(perm[r.array.0]);
+                    for d in &mut r.dims {
+                        for (idx, _) in &mut d.parts {
+                            if let Some((_, new)) = scope.iter().rev().find(|(orig, _)| orig == idx)
+                            {
+                                *idx = new.clone();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut scope = Vec::new();
+    let mut fresh = 0;
+    for node in &mut q.root {
+        walk(node, &mut scope, &perm, &mut fresh);
+    }
+    assert_eq!(q.validate(), Ok(()), "scramble must preserve validity");
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The tentpole soundness property: canonicalization erases exactly the
+    /// diagnostic choices, so scrambled variants share the canonical program
+    /// and the stable hash.
+    #[test]
+    fn scrambled_programs_canonicalize_identically(
+        seed in 0u64..u64::MAX,
+        scramble_seed in 0u64..u64::MAX,
+    ) {
+        let p = random_program(seed);
+        let q = scramble(&p, scramble_seed);
+        let cp = canonicalize(&p);
+        let cq = canonicalize(&q);
+        prop_assert_eq!(cp.hash, cq.hash);
+        prop_assert_eq!(&cp.program, &cq.program);
+        // The correspondence maps back to each input's own ids.
+        prop_assert_eq!(cp.array_map.len(), p.arrays.len());
+        prop_assert_eq!(cq.array_map.len(), q.arrays.len());
+    }
+
+    /// Canonical forms are fixed points: canonicalizing again changes nothing.
+    #[test]
+    fn canonicalization_is_idempotent(seed in 0u64..u64::MAX) {
+        let p = random_program(seed);
+        let c1 = canonicalize(&p);
+        let c2 = canonicalize(&c1.program);
+        prop_assert_eq!(&c1.program, &c2.program);
+        prop_assert_eq!(c1.hash, c2.hash);
+        prop_assert_eq!(c1.program.validate(), Ok(()));
+    }
+}

@@ -35,7 +35,10 @@ pub fn tiled_matmul(
     threads: usize,
 ) -> Vec<f64> {
     let (ti, tj, tk) = tiles;
-    assert!(n.is_multiple_of(ti) && n.is_multiple_of(tj) && n.is_multiple_of(tk), "tiles must divide n");
+    assert!(
+        n.is_multiple_of(ti) && n.is_multiple_of(tj) && n.is_multiple_of(tk),
+        "tiles must divide n"
+    );
     assert_eq!(a.len(), n * n);
     assert_eq!(b.len(), n * n);
     let pool = rayon::ThreadPoolBuilder::new()
@@ -44,24 +47,26 @@ pub fn tiled_matmul(
         .expect("thread pool");
     let mut c = vec![0.0; n * n];
     pool.install(|| {
-        c.par_chunks_mut(ti * n).enumerate().for_each(|(it, c_band)| {
-            let i0 = it * ti;
-            for jt in (0..n).step_by(tj) {
-                for kt in (0..n).step_by(tk) {
-                    for ii in 0..ti {
-                        let arow = &a[(i0 + ii) * n..];
-                        let crow = &mut c_band[ii * n..(ii + 1) * n];
-                        for jj in 0..tj {
-                            let aij = arow[jt + jj];
-                            let brow = &b[(jt + jj) * n..];
-                            for kk in 0..tk {
-                                crow[kt + kk] += aij * brow[kt + kk];
+        c.par_chunks_mut(ti * n)
+            .enumerate()
+            .for_each(|(it, c_band)| {
+                let i0 = it * ti;
+                for jt in (0..n).step_by(tj) {
+                    for kt in (0..n).step_by(tk) {
+                        for ii in 0..ti {
+                            let arow = &a[(i0 + ii) * n..];
+                            let crow = &mut c_band[ii * n..(ii + 1) * n];
+                            for jj in 0..tj {
+                                let aij = arow[jt + jj];
+                                let brow = &b[(jt + jj) * n..];
+                                for kk in 0..tk {
+                                    crow[kt + kk] += aij * brow[kt + kk];
+                                }
                             }
                         }
                     }
                 }
-            }
-        });
+            });
     });
     c
 }
@@ -189,7 +194,10 @@ mod tests {
     fn assert_close(a: &[f64], b: &[f64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() <= tol * (1.0 + x.abs()), "elem {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs()),
+                "elem {i}: {x} vs {y}"
+            );
         }
     }
 

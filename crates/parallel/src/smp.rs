@@ -30,7 +30,10 @@ impl Default for MachineParams {
     fn default() -> Self {
         // Representative of the paper's era (Sun Sunfire, ~2004): ~300
         // Mflop/s sustained per CPU, ~250 ns per miss to shared memory.
-        MachineParams { flops_per_sec: 3.0e8, miss_penalty: 2.5e-7 }
+        MachineParams {
+            flops_per_sec: 3.0e8,
+            miss_penalty: 2.5e-7,
+        }
     }
 }
 
@@ -88,7 +91,11 @@ impl<'a> SmpAnalysis<'a> {
     /// `split_sym`. `ops_total` is the total multiply–add count of the
     /// whole problem (used for the compute term).
     pub fn new(model: &'a MissModel, split_sym: impl Into<String>, ops_total: u64) -> Self {
-        SmpAnalysis { model, split_sym: split_sym.into(), ops_total }
+        SmpAnalysis {
+            model,
+            split_sym: split_sym.into(),
+            ops_total,
+        }
     }
 
     /// Bindings of one processor's subproblem.
@@ -96,7 +103,10 @@ impl<'a> SmpAnalysis<'a> {
         let sym = sdlo_symbolic::Sym::new(self.split_sym.as_str());
         let bound = full.get(&sym).expect("split bound must be bound") as u64;
         if !bound.is_multiple_of(p) {
-            return Err(SmpError::UnevenSplit { bound, processors: p });
+            return Err(SmpError::UnevenSplit {
+                bound,
+                processors: p,
+            });
         }
         let mut b = full.clone();
         b.set(self.split_sym.as_str(), (bound / p) as i128);
@@ -116,12 +126,7 @@ impl<'a> SmpAnalysis<'a> {
     }
 
     /// Total misses across all processors.
-    pub fn total_misses(
-        &self,
-        full: &Bindings,
-        cache_size: u64,
-        p: u64,
-    ) -> Result<u64, SmpError> {
+    pub fn total_misses(&self, full: &Bindings, cache_size: u64, p: u64) -> Result<u64, SmpError> {
         Ok(self.per_processor_misses(full, cache_size, p)? * p)
     }
 

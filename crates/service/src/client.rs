@@ -1,0 +1,54 @@
+//! Minimal synchronous client for the tile-advisor wire protocol.
+
+use sdlo_wire::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection; requests are answered in order.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one raw line, receive one raw line.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Send one request document, receive one response document.
+    pub fn request(&mut self, request: &Value) -> std::io::Result<Value> {
+        let line = self.request_line(&request.render())?;
+        sdlo_wire::parse(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable response: {e}"),
+            )
+        })
+    }
+
+    /// Ask the server to stop; returns its acknowledgement.
+    pub fn shutdown(&mut self) -> std::io::Result<Value> {
+        self.request(&Value::obj(vec![("op", Value::from("shutdown"))]))
+    }
+}

@@ -1,0 +1,841 @@
+//! The embeddable request engine: JSON request in, JSON response out.
+//!
+//! The engine owns the canonical-shape model cache and the metrics; the TCP
+//! server ([`crate::server`]) is a thin transport around it, and tests or
+//! other hosts can drive it directly via [`Engine::handle_line`].
+//!
+//! ## Request shape
+//!
+//! Every request is one JSON object with an `"op"` field and an optional
+//! `"id"` echoed back verbatim:
+//!
+//! * `{"op":"analyze","program":…}` — reuse components + symbolic
+//!   stack-distance expressions.
+//! * `{"op":"predict","program":…,"bindings":{…},"cache":8192}` — predicted
+//!   miss count (add `"per_array":true` for the per-array split).
+//! * `{"op":"advise","program":…,"bindings":{…},"cache":8192,"space":{…}}`
+//!   — optimal tile sizes; `"mode":"exhaustive"` for the unpruned baseline,
+//!   `"bounds_free":{…}` for the §6 bounds-oblivious search.
+//! * `{"op":"batch","requests":[…]}` — sub-requests evaluated in parallel.
+//! * `{"op":"stats"}` — counters, latency histograms, cache hit rate.
+//!
+//! `"program"` is either a builtin name (`"matmul"`, `"tiled_matmul"`, …)
+//! or an inline program object (see `sdlo-wire`).
+//!
+//! Responses are `{"id":…,"ok":true,…}` or
+//! `{"id":…,"ok":false,"error":{"kind":…,"message":…}}`.
+
+use crate::cache::ShardedCache;
+use crate::metrics::{Kind, Metrics};
+use rayon::prelude::*;
+use sdlo_core::model::MissModel;
+use sdlo_ir::canon::{canonicalize, Canonical};
+use sdlo_ir::{programs, Program};
+use sdlo_symbolic::{Bindings, Sym};
+use sdlo_tilesearch::{SearchSpace, TileSearcher};
+use sdlo_wire::{
+    bindings_from_value, component_to_value, outcome_to_value, program_from_value, Value, WireError,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine limits and cache sizing.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Shards of the model cache.
+    pub cache_shards: usize,
+    /// Total cached shapes.
+    pub cache_capacity: usize,
+    /// Maximum sub-requests in one `batch`.
+    pub max_batch: usize,
+    /// Maximum tile-search grid points per `advise`.
+    pub max_search_points: usize,
+    /// Soft wall-clock budget for one request; `batch` stops dispatching
+    /// new sub-requests past it.
+    pub max_request_millis: u64,
+    /// Enable test-only ops (`sleep`) used by the loopback tests to make
+    /// backpressure deterministic. Off in production binaries.
+    pub enable_test_ops: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cache_shards: 8,
+            cache_capacity: 256,
+            max_batch: 1024,
+            max_search_points: 65_536,
+            max_request_millis: 30_000,
+            enable_test_ops: false,
+        }
+    }
+}
+
+/// A cached analysis: the canonicalization (for name translation) plus the
+/// built model.
+pub struct CachedModel {
+    pub canonical: Arc<Canonical>,
+    pub model: MissModel,
+}
+
+/// A request's program together with its canonicalization. Builtin names
+/// resolve to a per-process table so steady-state requests skip the
+/// canonicalization walk entirely; inline programs are canonicalized per
+/// request.
+#[derive(Clone)]
+pub struct Resolved {
+    pub program: Arc<Program>,
+    pub canonical: Arc<Canonical>,
+}
+
+/// The tile-advisor engine. Cheap to share (`Arc<Engine>`); all state is
+/// internally synchronized.
+pub struct Engine {
+    config: EngineConfig,
+    cache: ShardedCache<CachedModel>,
+    metrics: Arc<Metrics>,
+}
+
+fn err_value(kind: &str, message: impl Into<String>) -> Value {
+    Value::obj(vec![
+        ("kind", Value::from(kind)),
+        ("message", Value::from(message.into())),
+    ])
+}
+
+enum OpError {
+    /// (error kind, message)
+    Fail(&'static str, String),
+}
+
+type OpResult = Result<Vec<(&'static str, Value)>, OpError>;
+
+fn fail(kind: &'static str, message: impl Into<String>) -> OpError {
+    OpError::Fail(kind, message.into())
+}
+
+impl From<WireError> for OpError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Json(e) => fail("malformed", e.to_string()),
+            WireError::Schema(m) => fail("schema", m),
+            WireError::Validate(e) => fail("invalid_program", e.to_string()),
+        }
+    }
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Self {
+        let cache = ShardedCache::new(config.cache_shards, config.cache_capacity);
+        Engine {
+            config,
+            cache,
+            metrics: Arc::new(Metrics::default()),
+        }
+    }
+
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Handle one newline-delimited request line; always returns exactly one
+    /// single-line JSON response.
+    pub fn handle_line(&self, line: &str) -> String {
+        let v = match sdlo_wire::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                self.metrics
+                    .malformed
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return Value::obj(vec![
+                    ("ok", Value::from(false)),
+                    ("error", err_value("malformed", e.to_string())),
+                ])
+                .render();
+            }
+        };
+        self.handle(&v).render()
+    }
+
+    /// Handle one parsed request document.
+    pub fn handle(&self, request: &Value) -> Value {
+        let started = Instant::now();
+        let id = request.get("id").cloned();
+        let op = request.get("op").and_then(Value::as_str).unwrap_or("");
+        let kind = Kind::from_op(op);
+        let outcome = self.dispatch(kind, op, request, started);
+        let micros = started.elapsed().as_micros() as u64;
+        self.metrics.record(kind, micros, outcome.is_ok());
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        if let Some(id) = id {
+            fields.push(("id".to_string(), id));
+        }
+        match outcome {
+            Ok(body) => {
+                fields.push(("ok".to_string(), Value::from(true)));
+                for (k, v) in body {
+                    fields.push((k.to_string(), v));
+                }
+            }
+            Err(OpError::Fail(ekind, message)) => {
+                fields.push(("ok".to_string(), Value::from(false)));
+                fields.push(("error".to_string(), err_value(ekind, message)));
+            }
+        }
+        Value::Object(fields)
+    }
+
+    fn dispatch(&self, kind: Kind, op: &str, request: &Value, started: Instant) -> OpResult {
+        match kind {
+            Kind::Analyze => self.op_analyze(request),
+            Kind::Predict => self.op_predict(request),
+            Kind::Advise => self.op_advise(request),
+            Kind::Batch => self.op_batch(request, started),
+            Kind::Stats => self.op_stats(),
+            Kind::Sleep => self.op_sleep(request),
+            Kind::Other => Err(fail(
+                "unsupported",
+                if op.is_empty() {
+                    "missing `op` field".to_string()
+                } else {
+                    format!("unknown op `{op}`")
+                },
+            )),
+        }
+    }
+
+    // -- program resolution + memoized analysis ----------------------------
+
+    fn resolve_program(&self, request: &Value) -> Result<Resolved, OpError> {
+        let spec = request
+            .get("program")
+            .ok_or_else(|| fail("schema", "missing `program` field"))?;
+        if let Some(name) = spec.as_str() {
+            builtin_resolved(name).ok_or_else(|| {
+                fail(
+                    "schema",
+                    format!(
+                        "unknown builtin program `{name}` (expected one of {})",
+                        BUILTINS.join(", ")
+                    ),
+                )
+            })
+        } else {
+            let program = program_from_value(spec)?;
+            let canonical = Arc::new(canonicalize(&program));
+            Ok(Resolved {
+                program: Arc::new(program),
+                canonical,
+            })
+        }
+    }
+
+    /// Fetch (or build) the memoized model for an already-canonicalized
+    /// program. This is the expensive middle every request funnels through.
+    fn model_for(&self, resolved: &Resolved) -> (Arc<CachedModel>, bool) {
+        let canonical = &resolved.canonical;
+        let hash = canonical.hash;
+        let (cached, hit) = self.cache.get_or_build(hash, &canonical.program, || {
+            let model = MissModel::build(&canonical.program);
+            CachedModel {
+                canonical: Arc::clone(canonical),
+                model,
+            }
+        });
+        let counter = if hit {
+            &self.metrics.cache_hits
+        } else {
+            &self.metrics.cache_misses
+        };
+        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        (cached, hit)
+    }
+
+    /// Map a canonical `ArrayId` back to the requester's array name.
+    fn original_name(
+        program: &Program,
+        canonical: &Canonical,
+    ) -> impl Fn(sdlo_ir::ArrayId) -> String {
+        let names: Vec<String> = canonical
+            .array_map
+            .iter()
+            .map(|orig| program.array(*orig).name.name().to_string())
+            .collect();
+        move |id: sdlo_ir::ArrayId| {
+            names
+                .get(id.0)
+                .cloned()
+                .unwrap_or_else(|| format!("A{}", id.0))
+        }
+    }
+
+    // -- ops ----------------------------------------------------------------
+
+    fn op_analyze(&self, request: &Value) -> OpResult {
+        let resolved = self.resolve_program(request)?;
+        let program = &resolved.program;
+        let (cached, hit) = self.model_for(&resolved);
+        let name_of = Self::original_name(program, &cached.canonical);
+        let components: Vec<Value> = cached
+            .model
+            .components()
+            .iter()
+            .map(|c| component_to_value(c, &name_of))
+            .collect();
+        let free: Vec<Value> = program
+            .free_symbols()
+            .iter()
+            .map(|s| Value::from(s.name()))
+            .collect();
+        Ok(vec![
+            ("program", Value::from(program.name.as_str())),
+            (
+                "shape",
+                Value::from(format!("{:016x}", cached.canonical.hash)),
+            ),
+            ("cache_hit", Value::from(hit)),
+            ("free_symbols", Value::Array(free)),
+            ("components", Value::Array(components)),
+        ])
+    }
+
+    fn op_predict(&self, request: &Value) -> OpResult {
+        let resolved = self.resolve_program(request)?;
+        let program = &resolved.program;
+        let bindings = request
+            .get("bindings")
+            .map(bindings_from_value)
+            .transpose()?
+            .unwrap_or_default();
+        let cache_size = request
+            .get("cache")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| fail("schema", "missing or non-integer `cache` (elements)"))?;
+        self.require_bound(program, &bindings, &[])?;
+        let (cached, hit) = self.model_for(&resolved);
+        let misses = cached
+            .model
+            .predict_misses(&bindings, cache_size)
+            .map_err(|e| fail("eval", e.to_string()))?;
+        let mut body = vec![
+            ("misses", Value::from(misses)),
+            ("cache_hit", Value::from(hit)),
+            (
+                "shape",
+                Value::from(format!("{:016x}", cached.canonical.hash)),
+            ),
+        ];
+        if request
+            .get("per_array")
+            .and_then(Value::as_bool)
+            .unwrap_or(false)
+        {
+            let name_of = Self::original_name(program, &cached.canonical);
+            let by_array = cached
+                .model
+                .predict_by_array(&bindings, cache_size)
+                .map_err(|e| fail("eval", e.to_string()))?;
+            body.push((
+                "by_array",
+                Value::Object(
+                    by_array
+                        .iter()
+                        .map(|(id, m)| (name_of(*id), Value::from(*m)))
+                        .collect(),
+                ),
+            ));
+        }
+        Ok(body)
+    }
+
+    fn op_advise(&self, request: &Value) -> OpResult {
+        let resolved = self.resolve_program(request)?;
+        let program = &resolved.program;
+        let cache_size = request
+            .get("cache")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| fail("schema", "missing or non-integer `cache` (elements)"))?;
+        let space = self.decode_space(request)?;
+        let (cached, hit) = self.model_for(&resolved);
+
+        let bounds_free = request.get("bounds_free");
+        let outcome = if let Some(bf) = bounds_free {
+            let bounds: Vec<String> = bf
+                .get("bounds")
+                .and_then(Value::as_array)
+                .ok_or_else(|| fail("schema", "`bounds_free.bounds` must be an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| fail("schema", "bound symbols must be strings"))
+                })
+                .collect::<Result<_, _>>()?;
+            let nominal = bf
+                .get("nominal")
+                .and_then(Value::as_i64)
+                .unwrap_or(1_000_000) as i128;
+            let mut covered: Vec<&str> = bounds.iter().map(String::as_str).collect();
+            let tile_strs: Vec<&str> = space.tile_syms.iter().map(String::as_str).collect();
+            covered.extend(&tile_strs);
+            self.require_covered(program, &covered)?;
+            let bound_refs: Vec<&str> = bounds.iter().map(String::as_str).collect();
+            TileSearcher::bounds_free(
+                &cached.model,
+                &bound_refs,
+                nominal,
+                cache_size,
+                space.clone(),
+            )
+        } else {
+            let bindings = request
+                .get("bindings")
+                .map(bindings_from_value)
+                .transpose()?
+                .unwrap_or_default();
+            self.require_bound(program, &bindings, &space.tile_syms)?;
+            let searcher = TileSearcher::new(&cached.model, bindings, cache_size, space.clone());
+            match request
+                .get("mode")
+                .and_then(Value::as_str)
+                .unwrap_or("pruned")
+            {
+                "pruned" => searcher.pruned(),
+                "exhaustive" => searcher.exhaustive(),
+                other => {
+                    return Err(fail(
+                        "schema",
+                        format!("unknown mode `{other}` (expected pruned | exhaustive)"),
+                    ))
+                }
+            }
+        };
+        Ok(vec![
+            ("outcome", outcome_to_value(&space.tile_syms, &outcome)),
+            ("cache_hit", Value::from(hit)),
+            (
+                "shape",
+                Value::from(format!("{:016x}", cached.canonical.hash)),
+            ),
+        ])
+    }
+
+    fn op_batch(&self, request: &Value, started: Instant) -> OpResult {
+        let items = request
+            .get("requests")
+            .and_then(Value::as_array)
+            .ok_or_else(|| fail("schema", "`requests` must be an array"))?;
+        if items.len() > self.config.max_batch {
+            return Err(fail(
+                "limit",
+                format!(
+                    "batch of {} exceeds max_batch={}",
+                    items.len(),
+                    self.config.max_batch
+                ),
+            ));
+        }
+        for item in items {
+            if item.get("op").and_then(Value::as_str) == Some("batch") {
+                return Err(fail("unsupported", "nested batch requests"));
+            }
+        }
+        let budget = std::time::Duration::from_millis(self.config.max_request_millis);
+        let responses: Vec<Value> = items
+            .iter()
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|item| {
+                if started.elapsed() > budget {
+                    return Value::obj(vec![
+                        ("ok", Value::from(false)),
+                        (
+                            "error",
+                            err_value("limit", "batch exceeded the request time budget"),
+                        ),
+                    ]);
+                }
+                self.handle(item)
+            })
+            .collect();
+        Ok(vec![("responses", Value::Array(responses))])
+    }
+
+    fn op_stats(&self) -> OpResult {
+        let mut snap = match self.metrics.snapshot() {
+            Value::Object(fields) => fields,
+            _ => unreachable!("snapshot is an object"),
+        };
+        snap.push(("cached_shapes".to_string(), Value::from(self.cache.len())));
+        Ok(vec![("stats", Value::Object(snap))])
+    }
+
+    fn op_sleep(&self, request: &Value) -> OpResult {
+        if !self.config.enable_test_ops {
+            return Err(fail("unsupported", "test ops are disabled"));
+        }
+        let millis = request
+            .get("millis")
+            .and_then(Value::as_u64)
+            .unwrap_or(10)
+            .min(5_000);
+        std::thread::sleep(std::time::Duration::from_millis(millis));
+        Ok(vec![("slept_millis", Value::from(millis))])
+    }
+
+    // -- request validation helpers -----------------------------------------
+
+    fn decode_space(&self, request: &Value) -> Result<SearchSpace, OpError> {
+        let v = request
+            .get("space")
+            .ok_or_else(|| fail("schema", "missing `space` {syms, max, min}"))?;
+        let syms: Vec<String> = v
+            .get("syms")
+            .and_then(Value::as_array)
+            .ok_or_else(|| fail("schema", "`space.syms` must be an array of strings"))?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| fail("schema", "`space.syms` must be strings"))
+            })
+            .collect::<Result<_, _>>()?;
+        let max: Vec<u64> = v
+            .get("max")
+            .and_then(Value::as_array)
+            .ok_or_else(|| fail("schema", "`space.max` must be an array of integers"))?
+            .iter()
+            .map(|m| {
+                m.as_u64()
+                    .ok_or_else(|| fail("schema", "`space.max` must be non-negative"))
+            })
+            .collect::<Result<_, _>>()?;
+        if syms.is_empty() || syms.len() != max.len() {
+            return Err(fail(
+                "schema",
+                "`space.syms` and `space.max` must align and be non-empty",
+            ));
+        }
+        let min = v.get("min").and_then(Value::as_u64).unwrap_or(4).max(1);
+        if max.iter().any(|m| *m < min) {
+            return Err(fail("schema", "every `space.max` must be ≥ `space.min`"));
+        }
+        // Grid-size cap: candidates per dim are the powers of two in
+        // [min, max], i.e. ~log2(max/min)+1 values.
+        let mut points = 1u64;
+        for m in &max {
+            let per_dim = (m / min).ilog2() as u64 + 1;
+            points = points.saturating_mul(per_dim);
+        }
+        if points > self.config.max_search_points as u64 {
+            return Err(fail(
+                "limit",
+                format!(
+                    "search grid of {points} points exceeds max_search_points={}",
+                    self.config.max_search_points
+                ),
+            ));
+        }
+        Ok(SearchSpace {
+            tile_syms: syms,
+            max,
+            min,
+        })
+    }
+
+    /// Every free symbol of the program must be bound, except `except`.
+    fn require_bound(
+        &self,
+        program: &Program,
+        bindings: &Bindings,
+        except: &[String],
+    ) -> Result<(), OpError> {
+        let except: BTreeSet<Sym> = except.iter().map(|s| Sym::new(s.as_str())).collect();
+        let missing: Vec<String> = program
+            .free_symbols()
+            .into_iter()
+            .filter(|s| !except.contains(s) && bindings.get(s).is_none())
+            .map(|s| s.name().to_string())
+            .collect();
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(fail(
+                "schema",
+                format!("unbound free symbols: {}", missing.join(", ")),
+            ))
+        }
+    }
+
+    /// Every free symbol must appear in `covered` (bounds-free advise).
+    fn require_covered(&self, program: &Program, covered: &[&str]) -> Result<(), OpError> {
+        let covered: BTreeSet<&str> = covered.iter().copied().collect();
+        let missing: Vec<String> = program
+            .free_symbols()
+            .into_iter()
+            .filter(|s| !covered.contains(s.name()))
+            .map(|s| s.name().to_string())
+            .collect();
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(fail(
+                "schema",
+                format!(
+                    "free symbols neither tile nor bound symbols: {}",
+                    missing.join(", ")
+                ),
+            ))
+        }
+    }
+}
+
+const BUILTINS: [&str; 5] = [
+    "matmul",
+    "tiled_matmul",
+    "two_index_unfused",
+    "two_index_fused",
+    "tiled_two_index",
+];
+
+fn builtin(name: &str) -> Option<Program> {
+    match name {
+        "matmul" => Some(programs::matmul()),
+        "tiled_matmul" => Some(programs::tiled_matmul()),
+        "two_index_unfused" => Some(programs::two_index_unfused()),
+        "two_index_fused" => Some(programs::two_index_fused()),
+        "tiled_two_index" => Some(programs::tiled_two_index()),
+        _ => None,
+    }
+}
+
+/// Builtin programs and their canonical forms, computed once per process:
+/// a named program never changes, so steady-state requests that use builtin
+/// names pay neither construction nor the canonicalization walk.
+fn builtin_resolved(name: &str) -> Option<Resolved> {
+    static TABLE: std::sync::OnceLock<Vec<(&'static str, Resolved)>> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        BUILTINS
+            .iter()
+            .map(|n| {
+                let program = builtin(n).expect("listed builtin exists");
+                let canonical = Arc::new(canonicalize(&program));
+                (
+                    *n,
+                    Resolved {
+                        program: Arc::new(program),
+                        canonical,
+                    },
+                )
+            })
+            .collect()
+    });
+    table
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, r)| r.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig {
+            enable_test_ops: true,
+            ..EngineConfig::default()
+        })
+    }
+
+    fn parse(s: &str) -> Value {
+        sdlo_wire::parse(s).unwrap()
+    }
+
+    #[test]
+    fn predict_matches_direct_model() {
+        let e = engine();
+        let resp = parse(&e.handle_line(
+            r#"{"op":"predict","id":7,"program":"tiled_matmul",
+                "bindings":{"Ni":512,"Nj":512,"Nk":512,"Ti":64,"Tj":64,"Tk":64},
+                "cache":8192}"#,
+        ));
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+        assert_eq!(resp.get("id").unwrap().as_i64(), Some(7));
+        // The model doctest value for this exact configuration.
+        assert_eq!(resp.get("misses").unwrap().as_u64(), Some(6_291_456));
+    }
+
+    #[test]
+    fn repeated_shape_hits_the_cache() {
+        let e = engine();
+        let req = r#"{"op":"predict","program":"matmul",
+                      "bindings":{"Ni":64,"Nj":64,"Nk":64},"cache":512}"#;
+        let first = parse(&e.handle_line(req));
+        let second = parse(&e.handle_line(req));
+        assert_eq!(first.get("cache_hit").unwrap().as_bool(), Some(false));
+        assert_eq!(second.get("cache_hit").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            first.get("misses").unwrap().as_u64(),
+            second.get("misses").unwrap().as_u64()
+        );
+    }
+
+    #[test]
+    fn renamed_inline_program_shares_the_cached_model() {
+        let e = engine();
+        // Same structure as builtin matmul but with different loop index
+        // and array names: must be served from the same cache entry.
+        e.handle_line(
+            r#"{"op":"predict","program":"matmul",
+                "bindings":{"Ni":64,"Nj":64,"Nk":64},"cache":512}"#,
+        );
+        let renamed = r#"{"op":"predict","cache":512,
+            "bindings":{"Ni":64,"Nj":64,"Nk":64},
+            "program":{"name":"mm2",
+              "arrays":[{"name":"Z","dims":["Ni","Nk"]},
+                        {"name":"X","dims":["Ni","Nj"]},
+                        {"name":"Y","dims":["Nj","Nk"]}],
+              "nest":[{"for":{"index":"p","bound":"Ni","body":[
+                       {"for":{"index":"q","bound":"Nj","body":[
+                        {"for":{"index":"r","bound":"Nk","body":[
+                         {"stmt":{"kind":"mul_add_assign","refs":[
+                           {"array":"Z","write":true,"dims":[[{"index":"p"}],[{"index":"r"}]]},
+                           {"array":"X","dims":[[{"index":"p"}],[{"index":"q"}]]},
+                           {"array":"Y","dims":[[{"index":"q"}],[{"index":"r"}]]}]}}]}}]}}]}}]}}"#;
+        let resp = parse(&e.handle_line(renamed));
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+        assert_eq!(resp.get("cache_hit").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn analyze_reports_components_under_original_names() {
+        let e = engine();
+        let resp = parse(&e.handle_line(r#"{"op":"analyze","program":"matmul"}"#));
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+        let comps = resp.get("components").unwrap().as_array().unwrap();
+        assert!(!comps.is_empty());
+        let arrays: BTreeSet<&str> = comps
+            .iter()
+            .filter_map(|c| c.get("array").unwrap().as_str())
+            .collect();
+        assert!(arrays.contains("A") && arrays.contains("B") && arrays.contains("C"));
+    }
+
+    #[test]
+    fn advise_finds_tiles_and_bounds_free_works() {
+        let e = engine();
+        let resp = parse(&e.handle_line(
+            r#"{"op":"advise","program":"tiled_matmul","cache":4096,
+                "bindings":{"Ni":256,"Nj":256,"Nk":256},
+                "space":{"syms":["Ti","Tj","Tk"],"max":[256,256,256],"min":4}}"#,
+        ));
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+        let best = resp.get("outcome").unwrap().get("best").unwrap();
+        assert!(best.get("misses").unwrap().as_u64().unwrap() > 0);
+        assert!(best.get("tiles").unwrap().get("Ti").is_some());
+
+        let resp = parse(&e.handle_line(
+            r#"{"op":"advise","program":"tiled_matmul","cache":4096,
+                "bounds_free":{"bounds":["Ni","Nj","Nk"],"nominal":100000},
+                "space":{"syms":["Ti","Tj","Tk"],"max":[512,512,512],"min":4}}"#,
+        ));
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+    }
+
+    #[test]
+    fn batch_runs_all_and_preserves_order() {
+        let e = engine();
+        let resp = parse(&e.handle_line(
+            r#"{"op":"batch","requests":[
+                 {"op":"predict","id":"a","program":"matmul",
+                  "bindings":{"Ni":32,"Nj":32,"Nk":32},"cache":256},
+                 {"op":"stats","id":"b"},
+                 {"op":"nope","id":"c"}]}"#,
+        ));
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+        let rs = resp.get("responses").unwrap().as_array().unwrap();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].get("id").unwrap().as_str(), Some("a"));
+        assert_eq!(rs[1].get("id").unwrap().as_str(), Some("b"));
+        assert_eq!(rs[2].get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn errors_are_structured() {
+        let e = engine();
+        let malformed = parse(&e.handle_line("this is not json"));
+        assert_eq!(malformed.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            malformed
+                .get("error")
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str(),
+            Some("malformed")
+        );
+
+        let unbound = parse(
+            &e.handle_line(r#"{"op":"predict","program":"matmul","bindings":{"Ni":8},"cache":64}"#),
+        );
+        assert_eq!(unbound.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            unbound.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("schema")
+        );
+
+        let huge_grid = parse(&e.handle_line(
+            r#"{"op":"advise","program":"tiled_matmul","cache":64,
+                "bindings":{"Ni":8,"Nj":8,"Nk":8},
+                "space":{"syms":["Ti","Tj","Tk"],
+                         "max":[1152921504606846976,1152921504606846976,1152921504606846976],
+                         "min":1}}"#,
+        ));
+        assert_eq!(
+            huge_grid
+                .get("error")
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str(),
+            Some("limit"),
+            "{huge_grid:?}"
+        );
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let e = engine();
+        e.handle_line(r#"{"op":"predict","program":"matmul","bindings":{"Ni":16,"Nj":16,"Nk":16},"cache":64}"#);
+        e.handle_line(r#"{"op":"predict","program":"matmul","bindings":{"Ni":16,"Nj":16,"Nk":16},"cache":64}"#);
+        let resp = parse(&e.handle_line(r#"{"op":"stats"}"#));
+        let stats = resp.get("stats").unwrap();
+        assert_eq!(
+            stats
+                .get("requests")
+                .unwrap()
+                .get("predict")
+                .unwrap()
+                .get("requests")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            stats.get("cache").unwrap().get("hits").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            stats.get("cache").unwrap().get("misses").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(stats.get("cached_shapes").unwrap().as_u64(), Some(1));
+    }
+
+    use std::collections::BTreeSet;
+}

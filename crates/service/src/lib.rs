@@ -1,0 +1,33 @@
+//! # sdlo-service
+//!
+//! Long-running **tile-advisor service** over the paper's stack-distance
+//! machinery: programs come in over newline-delimited JSON, reuse analyses,
+//! miss predictions and tile recommendations go back out.
+//!
+//! The analyze-once/query-many asymmetry is the whole point: building a
+//! [`MissModel`](sdlo_core::model::MissModel) (reuse partitioning + symbolic
+//! stack-distance computation) is expensive, while evaluating it for a
+//! `(bounds, cache size)` instance is cheap. The engine therefore memoizes
+//! built models in a sharded LRU cache keyed by the **canonical structural
+//! hash** of the loop nest (`sdlo_ir::canon`), so every client asking about
+//! a structurally identical nest — whatever its variable names or array
+//! declaration order — is served from the same entry.
+//!
+//! Layers:
+//!
+//! * [`engine`] — embeddable request handler (JSON in, JSON out),
+//! * [`server`] — TCP transport: bounded worker pool, explicit backpressure,
+//!   per-line size caps, graceful shutdown,
+//! * [`client`] — minimal synchronous client,
+//! * [`cache`] / [`metrics`] — the shared infrastructure behind both.
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod metrics;
+pub mod server;
+
+pub use client::Client;
+pub use engine::{Engine, EngineConfig};
+pub use metrics::{Kind, Metrics};
+pub use server::{serve, ServerConfig, ServerHandle};

@@ -1,0 +1,82 @@
+//! `sdlo-service` — the tile-advisor daemon.
+//!
+//! ```text
+//! sdlo-service [--addr HOST:PORT] [--workers N] [--queue N]
+//!              [--cache-capacity N] [--max-line BYTES]
+//! ```
+//!
+//! Speaks newline-delimited JSON; see the crate docs and the repository
+//! README for the wire protocol. Runs until it receives `{"op":"shutdown"}`.
+
+use sdlo_service::{serve, EngineConfig, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sdlo-service [--addr HOST:PORT] [--workers N] [--queue N]\n\
+         \x20                   [--cache-capacity N] [--max-line BYTES]\n\
+         \n\
+         Tile-advisor daemon: newline-delimited JSON over TCP.\n\
+         Requests: analyze | predict | advise | batch | stats | shutdown.\n\
+         Defaults: --addr 127.0.0.1:7464 --workers 4 --queue 64\n\
+         \x20         --cache-capacity 256 --max-line 1048576"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServerConfig {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7464".to_string(),
+        engine: EngineConfig::default(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value_of = |flag: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("error: {flag} requires a value\n");
+                usage();
+            }
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value_of("--addr"),
+            "--workers" => match value_of("--workers").parse() {
+                Ok(n) if n > 0 => config.workers = n,
+                _ => usage(),
+            },
+            "--queue" => match value_of("--queue").parse() {
+                Ok(n) if n > 0 => config.queue = n,
+                _ => usage(),
+            },
+            "--cache-capacity" => match value_of("--cache-capacity").parse() {
+                Ok(n) if n > 0 => config.engine.cache_capacity = n,
+                _ => usage(),
+            },
+            "--max-line" => match value_of("--max-line").parse() {
+                Ok(n) if n > 0 => config.max_line_bytes = n,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag `{other}`\n");
+                usage();
+            }
+        }
+    }
+    config
+}
+
+fn main() {
+    let config = parse_args();
+    match serve(config) {
+        Ok(handle) => {
+            println!("sdlo-service listening on {}", handle.addr());
+            handle.run_until_shutdown();
+            println!("sdlo-service stopped");
+        }
+        Err(e) => {
+            eprintln!("error: failed to bind: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Lock-free service observability: per-request-kind counters, log₂ latency
+//! histograms, cache hit rates and queue depth, all plain atomics so the hot
+//! path never blocks on a metrics lock.
+
+use sdlo_wire::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Request kinds tracked separately. `Other` covers unknown ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Analyze,
+    Predict,
+    Advise,
+    Batch,
+    Stats,
+    Sleep,
+    Other,
+}
+
+impl Kind {
+    pub const ALL: [Kind; 7] = [
+        Kind::Analyze,
+        Kind::Predict,
+        Kind::Advise,
+        Kind::Batch,
+        Kind::Stats,
+        Kind::Sleep,
+        Kind::Other,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Analyze => "analyze",
+            Kind::Predict => "predict",
+            Kind::Advise => "advise",
+            Kind::Batch => "batch",
+            Kind::Stats => "stats",
+            Kind::Sleep => "sleep",
+            Kind::Other => "other",
+        }
+    }
+
+    pub fn from_op(op: &str) -> Kind {
+        match op {
+            "analyze" => Kind::Analyze,
+            "predict" => Kind::Predict,
+            "advise" => Kind::Advise,
+            "batch" => Kind::Batch,
+            "stats" => Kind::Stats,
+            "sleep" => Kind::Sleep,
+            _ => Kind::Other,
+        }
+    }
+}
+
+const BUCKETS: usize = 32;
+
+/// Log₂ microsecond histogram: bucket `i` counts observations in
+/// `[2^i, 2^(i+1))` µs (bucket 0 also takes sub-microsecond samples).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    pub fn observe_micros(&self, micros: u64) {
+        let idx = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Upper bucket bound (µs) below which `q` of the observations fall.
+    fn quantile_micros(counts: &[u64; BUCKETS], q: f64) -> u64 {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+
+    fn snapshot(&self) -> Value {
+        let counts = self.counts();
+        let nonzero: Vec<Value> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| {
+                Value::obj(vec![
+                    ("le_micros", Value::from(1u64 << (i + 1).min(63))),
+                    ("count", Value::from(*c)),
+                ])
+            })
+            .collect();
+        Value::obj(vec![
+            (
+                "p50_le_micros",
+                Value::from(Self::quantile_micros(&counts, 0.50)),
+            ),
+            (
+                "p90_le_micros",
+                Value::from(Self::quantile_micros(&counts, 0.90)),
+            ),
+            (
+                "p99_le_micros",
+                Value::from(Self::quantile_micros(&counts, 0.99)),
+            ),
+            ("buckets", Value::Array(nonzero)),
+        ])
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct KindStats {
+    pub requests: AtomicU64,
+    pub errors: AtomicU64,
+    pub latency: Histogram,
+}
+
+/// All service counters. Shared as `Arc<Metrics>` between the engine, the
+/// server and tests.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    per_kind: [KindStats; Kind::ALL.len()],
+    /// Memoized model served from the canonical-shape cache.
+    pub cache_hits: AtomicU64,
+    /// Model had to be built (partitioning + symbolic analysis ran).
+    pub cache_misses: AtomicU64,
+    /// Lines that failed to parse as JSON.
+    pub malformed: AtomicU64,
+    /// Requests rejected by backpressure (queue full).
+    pub rejected: AtomicU64,
+    /// Requests rejected for exceeding a size limit.
+    pub oversized: AtomicU64,
+    /// Connections accepted over the lifetime of the server.
+    pub connections: AtomicU64,
+    /// Jobs currently queued or executing in the worker pool.
+    pub queue_depth: AtomicU64,
+}
+
+impl Metrics {
+    pub fn kind(&self, k: Kind) -> &KindStats {
+        &self.per_kind[Kind::ALL.iter().position(|x| *x == k).expect("kind listed")]
+    }
+
+    pub fn record(&self, k: Kind, micros: u64, ok: bool) {
+        let s = self.kind(k);
+        s.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            s.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        s.latency.observe_micros(micros);
+    }
+
+    /// Everything as one JSON object (the `stats` response body).
+    pub fn snapshot(&self) -> Value {
+        let load = |a: &AtomicU64| Value::from(a.load(Ordering::Relaxed));
+        let requests = Kind::ALL
+            .iter()
+            .map(|k| {
+                let s = self.kind(*k);
+                (
+                    k.name().to_string(),
+                    Value::obj(vec![
+                        ("requests", load(&s.requests)),
+                        ("errors", load(&s.errors)),
+                        ("latency", s.latency.snapshot()),
+                    ]),
+                )
+            })
+            .collect();
+        Value::obj(vec![
+            ("requests", Value::Object(requests)),
+            (
+                "cache",
+                Value::obj(vec![
+                    ("hits", load(&self.cache_hits)),
+                    ("misses", load(&self.cache_misses)),
+                ]),
+            ),
+            ("malformed", load(&self.malformed)),
+            ("rejected", load(&self.rejected)),
+            ("oversized", load(&self.oversized)),
+            ("connections", load(&self.connections)),
+            ("queue_depth", load(&self.queue_depth)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.observe_micros(3); // bucket 1: [2,4)
+        }
+        for _ in 0..10 {
+            h.observe_micros(1000); // bucket 9: [512,1024)
+        }
+        let counts = h.counts();
+        assert_eq!(counts[1], 90);
+        assert_eq!(counts[9], 10);
+        assert_eq!(Histogram::quantile_micros(&counts, 0.5), 4);
+        assert_eq!(Histogram::quantile_micros(&counts, 0.99), 1024);
+    }
+
+    #[test]
+    fn record_tracks_errors_per_kind() {
+        let m = Metrics::default();
+        m.record(Kind::Predict, 10, true);
+        m.record(Kind::Predict, 20, false);
+        m.record(Kind::Analyze, 5, true);
+        assert_eq!(m.kind(Kind::Predict).requests.load(Ordering::Relaxed), 2);
+        assert_eq!(m.kind(Kind::Predict).errors.load(Ordering::Relaxed), 1);
+        assert_eq!(m.kind(Kind::Analyze).errors.load(Ordering::Relaxed), 0);
+        let snap = m.snapshot();
+        let predict = snap.get("requests").unwrap().get("predict").unwrap();
+        assert_eq!(predict.get("requests").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn zero_micros_lands_in_first_bucket() {
+        let h = Histogram::default();
+        h.observe_micros(0);
+        assert_eq!(h.counts()[0], 1);
+    }
+}

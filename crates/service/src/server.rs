@@ -1,0 +1,347 @@
+//! Newline-delimited-JSON TCP front end for the [`Engine`].
+//!
+//! Architecture: an accept loop hands each connection to its own reader
+//! thread; reader threads submit request lines to a **bounded** worker pool
+//! (`std::sync::mpsc::sync_channel`) and wait for the response before
+//! reading the next line — so requests on one connection are answered in
+//! order, while different connections execute in parallel up to the worker
+//! count. When the queue is full, `try_send` fails immediately and the
+//! reader answers with a structured `overloaded` error instead of buffering
+//! unboundedly: backpressure is explicit and observable
+//! (`stats.rejected`).
+//!
+//! Robustness: request lines are read through a byte cap (oversized lines
+//! are drained and answered with `too_large`, the connection survives),
+//! malformed JSON gets a structured error from the engine, and a
+//! `{"op":"shutdown"}` request stops the accept loop and drains workers.
+
+use crate::engine::{Engine, EngineConfig};
+use crate::metrics::Metrics;
+use sdlo_wire::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Transport configuration wrapped around an [`EngineConfig`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded queue depth between readers and workers; beyond it requests
+    /// are rejected with `overloaded`.
+    pub queue: usize,
+    /// Maximum accepted request line length in bytes.
+    pub max_line_bytes: usize,
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue: 64,
+            max_line_bytes: 1 << 20,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+struct Job {
+    line: String,
+    reply: SyncSender<String>,
+}
+
+/// Handle to a running server; dropping it does *not* stop the server —
+/// call [`shutdown`](ServerHandle::shutdown) (or send `{"op":"shutdown"}`).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    active_connections: Arc<AtomicUsize>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    job_tx: Option<SyncSender<Job>>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+
+    pub fn metrics(&self) -> Arc<Metrics> {
+        self.engine.metrics()
+    }
+
+    /// Whether a shutdown request has been received.
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, let readers notice (they poll the stop flag between
+    /// reads), drain the worker pool, and join everything.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Readers poll the flag at their read timeout; give them time to
+        // finish in-flight requests and exit.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while self.active_connections.load(Ordering::SeqCst) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Workers exit when every job sender is gone.
+        drop(self.job_tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Block until a `{"op":"shutdown"}` request arrives, then drain (the
+    /// server binary's main loop).
+    pub fn run_until_shutdown(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.shutdown();
+    }
+}
+
+/// Bind and serve. Returns once the listener is bound; all work happens on
+/// background threads.
+pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let engine = Arc::new(Engine::new(config.engine.clone()));
+    let metrics = engine.metrics();
+    let stop = Arc::new(AtomicBool::new(false));
+    let active_connections = Arc::new(AtomicUsize::new(0));
+
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue.max(1));
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|_| {
+            let job_rx = Arc::clone(&job_rx);
+            let engine = Arc::clone(&engine);
+            let metrics = engine.metrics();
+            std::thread::spawn(move || loop {
+                let job = match job_rx.lock().unwrap().recv() {
+                    Ok(j) => j,
+                    Err(_) => break,
+                };
+                let response = engine.handle_line(&job.line);
+                metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                let _ = job.reply.send(response);
+            })
+        })
+        .collect();
+
+    let accept_thread = {
+        let stop = Arc::clone(&stop);
+        let active = Arc::clone(&active_connections);
+        let job_tx = job_tx.clone();
+        let config = config.clone();
+        Some(std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        metrics.connections.fetch_add(1, Ordering::Relaxed);
+                        active.fetch_add(1, Ordering::SeqCst);
+                        let stop = Arc::clone(&stop);
+                        let active = Arc::clone(&active);
+                        let job_tx = job_tx.clone();
+                        let metrics = Arc::clone(&metrics);
+                        let max_line = config.max_line_bytes;
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, &stop, &job_tx, &metrics, max_line);
+                            active.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        }))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        engine,
+        stop,
+        active_connections,
+        accept_thread,
+        workers,
+        job_tx: Some(job_tx),
+    })
+}
+
+fn error_line(kind: &str, message: &str) -> String {
+    Value::obj(vec![
+        ("ok", Value::from(false)),
+        (
+            "error",
+            Value::obj(vec![
+                ("kind", Value::from(kind)),
+                ("message", Value::from(message)),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+enum Read1 {
+    Line(String),
+    TooLong,
+    Eof,
+    Idle,
+}
+
+/// Pull the next newline-terminated request out of the buffered reader
+/// without ever holding more than `cap` bytes for one line. `overflowed`
+/// carries the "currently discarding an oversized line" state across calls.
+fn poll_line(
+    reader: &mut BufReader<TcpStream>,
+    acc: &mut Vec<u8>,
+    cap: usize,
+    overflowed: &mut bool,
+) -> std::io::Result<Read1> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(Read1::Idle)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(Read1::Eof);
+        }
+        if let Some(pos) = available.iter().position(|b| *b == b'\n') {
+            let had_overflow = *overflowed;
+            if !had_overflow {
+                acc.extend_from_slice(&available[..pos]);
+            }
+            reader.consume(pos + 1);
+            if had_overflow {
+                *overflowed = false;
+                return Ok(Read1::TooLong);
+            }
+            let line = String::from_utf8_lossy(acc).into_owned();
+            acc.clear();
+            if acc.capacity() > cap {
+                acc.shrink_to_fit();
+            }
+            return Ok(Read1::Line(line));
+        }
+        let n = available.len();
+        if !*overflowed {
+            if acc.len() + n > cap {
+                *overflowed = true;
+                acc.clear();
+            } else {
+                acc.extend_from_slice(available);
+            }
+        }
+        reader.consume(n);
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    stop: &AtomicBool,
+    job_tx: &SyncSender<Job>,
+    metrics: &Metrics,
+    max_line: usize,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut acc = Vec::new();
+    let mut overflowed = false;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let line = match poll_line(&mut reader, &mut acc, max_line, &mut overflowed)? {
+            Read1::Idle => continue,
+            Read1::Eof => return Ok(()),
+            Read1::TooLong => {
+                metrics.oversized.fetch_add(1, Ordering::Relaxed);
+                let resp = error_line(
+                    "too_large",
+                    &format!("request line exceeds {max_line} bytes"),
+                );
+                writer.write_all(resp.as_bytes())?;
+                writer.write_all(b"\n")?;
+                continue;
+            }
+            Read1::Line(l) => l,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Shutdown is handled transport-side so it works even when the
+        // worker queue is saturated. Parse only when the token appears.
+        if line.contains("shutdown") {
+            if let Ok(v) = sdlo_wire::parse(&line) {
+                if v.get("op").and_then(Value::as_str) == Some("shutdown") {
+                    stop.store(true, Ordering::SeqCst);
+                    let resp = Value::obj(vec![
+                        ("ok", Value::from(true)),
+                        ("stopping", Value::from(true)),
+                    ])
+                    .render();
+                    writer.write_all(resp.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+            }
+        }
+        let (reply_tx, reply_rx) = mpsc::sync_channel::<String>(1);
+        metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
+        let response = match job_tx.try_send(Job {
+            line,
+            reply: reply_tx,
+        }) {
+            Ok(()) => match reply_rx.recv() {
+                Ok(r) => r,
+                Err(_) => error_line("internal", "worker dropped the request"),
+            },
+            Err(TrySendError::Full(_)) => {
+                metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                error_line("overloaded", "request queue is full, retry later")
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                return Ok(());
+            }
+        };
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}

@@ -1,0 +1,278 @@
+//! End-to-end loopback tests: a real `TcpListener` server, real client
+//! connections, the full wire protocol.
+
+use sdlo_service::{serve, Client, EngineConfig, ServerConfig};
+use sdlo_wire::Value;
+
+fn start(config: ServerConfig) -> sdlo_service::ServerHandle {
+    serve(config).expect("bind loopback")
+}
+
+fn small_server() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    }
+}
+
+fn req(client: &mut Client, line: &str) -> Value {
+    sdlo_wire::parse(&client.request_line(line).expect("request")).expect("valid response json")
+}
+
+#[test]
+fn full_session_analyze_predict_advise_batch() {
+    let handle = start(small_server());
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // analyze
+    let resp = req(
+        &mut c,
+        r#"{"op":"analyze","id":1,"program":"tiled_matmul"}"#,
+    );
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+    assert_eq!(resp.get("id").unwrap().as_i64(), Some(1));
+    assert!(!resp
+        .get("components")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .is_empty());
+
+    // predict — twice; second must be served from the model cache.
+    // (The wire protocol is newline-delimited, so requests are one line.)
+    let predict = r#"{"op":"predict","id":2,"program":"tiled_matmul","bindings":{"Ni":512,"Nj":512,"Nk":512,"Ti":64,"Tj":64,"Tk":64},"cache":8192}"#;
+    let first = req(&mut c, predict);
+    assert_eq!(first.get("misses").unwrap().as_u64(), Some(6_291_456));
+    // analyze above already built this shape, so even the first predict hits.
+    assert_eq!(first.get("cache_hit").unwrap().as_bool(), Some(true));
+    let second = req(&mut c, predict);
+    assert_eq!(second.get("cache_hit").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        first.get("misses").unwrap().as_u64(),
+        second.get("misses").unwrap().as_u64()
+    );
+
+    // advise
+    let resp = req(
+        &mut c,
+        r#"{"op":"advise","id":3,"program":"tiled_matmul","cache":4096,"bindings":{"Ni":256,"Nj":256,"Nk":256},"space":{"syms":["Ti","Tj","Tk"],"max":[256,256,256],"min":4}}"#,
+    );
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+    let best = resp.get("outcome").unwrap().get("best").unwrap();
+    assert!(
+        best.get("tiles")
+            .unwrap()
+            .get("Tk")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 4
+    );
+
+    // bounds-free advise
+    let resp = req(
+        &mut c,
+        r#"{"op":"advise","id":4,"program":"tiled_matmul","cache":4096,"bounds_free":{"bounds":["Ni","Nj","Nk"],"nominal":100000},"space":{"syms":["Ti","Tj","Tk"],"max":[512,512,512],"min":4}}"#,
+    );
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+
+    // batch — mixed success and failure, order preserved.
+    let resp = req(
+        &mut c,
+        r#"{"op":"batch","id":5,"requests":[{"op":"predict","id":"p1","program":"matmul","bindings":{"Ni":64,"Nj":64,"Nk":64},"cache":512},{"op":"predict","id":"p2","program":"matmul","bindings":{"Ni":128,"Nj":128,"Nk":128},"cache":512},{"op":"bogus","id":"p3"}]}"#,
+    );
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+    let rs = resp.get("responses").unwrap().as_array().unwrap();
+    assert_eq!(rs.len(), 3);
+    assert_eq!(rs[0].get("id").unwrap().as_str(), Some("p1"));
+    assert_eq!(rs[1].get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(rs[2].get("ok").unwrap().as_bool(), Some(false));
+
+    // stats — the acceptance check: repeated shapes were served from cache.
+    let resp = req(&mut c, r#"{"op":"stats","id":6}"#);
+    let stats = resp.get("stats").unwrap();
+    let hits = stats
+        .get("cache")
+        .unwrap()
+        .get("hits")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(
+        hits > 0,
+        "repeated predict must be served from the model cache: {stats:?}"
+    );
+    assert!(stats.get("cached_shapes").unwrap().as_u64().unwrap() >= 1);
+    let predict_stats = stats.get("requests").unwrap().get("predict").unwrap();
+    assert!(predict_stats.get("requests").unwrap().as_u64().unwrap() >= 4);
+    assert!(
+        predict_stats
+            .get("latency")
+            .unwrap()
+            .get("p50_le_micros")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_and_oversized_requests_get_structured_errors() {
+    let config = ServerConfig {
+        max_line_bytes: 1024,
+        ..small_server()
+    };
+    let handle = start(config);
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Malformed JSON → structured error, connection stays usable.
+    let resp = req(&mut c, "this is not json");
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        resp.get("error").unwrap().get("kind").unwrap().as_str(),
+        Some("malformed")
+    );
+
+    // Oversized line → too_large, connection stays usable.
+    let huge = format!("{{\"op\":\"stats\",\"pad\":\"{}\"}}", "x".repeat(4096));
+    let resp = req(&mut c, &huge);
+    assert_eq!(
+        resp.get("error").unwrap().get("kind").unwrap().as_str(),
+        Some("too_large")
+    );
+
+    // Still alive:
+    let resp = req(&mut c, r#"{"op":"stats"}"#);
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+    let stats = resp.get("stats").unwrap();
+    assert_eq!(stats.get("malformed").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("oversized").unwrap().as_u64(), Some(1));
+
+    // Schema-level garbage (valid JSON, invalid program: a statement that
+    // references an array that was never declared) is also structured.
+    let resp = req(
+        &mut c,
+        r#"{"op":"predict","program":{"name":"x","arrays":[],"nest":[{"stmt":{"kind":"zero","refs":[{"array":5,"write":true,"dims":[]}]}}]},"cache":0}"#,
+    );
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false), "{resp:?}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn backpressure_rejects_when_queue_is_full() {
+    // One worker, queue of one: a running request plus a queued one saturate
+    // the pool; the third must be rejected immediately.
+    let config = ServerConfig {
+        workers: 1,
+        queue: 1,
+        engine: EngineConfig {
+            enable_test_ops: true,
+            ..EngineConfig::default()
+        },
+        ..small_server()
+    };
+    let handle = start(config);
+    let addr = handle.addr();
+
+    let occupy = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        req(&mut c, r#"{"op":"sleep","millis":1500}"#)
+    });
+    // Let the first request reach the worker, then fill the queue.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let queued = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        req(&mut c, r#"{"op":"sleep","millis":200}"#)
+    });
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    // Worker busy + queue full → overloaded.
+    let mut c = Client::connect(addr).unwrap();
+    let resp = req(&mut c, r#"{"op":"stats"}"#);
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false), "{resp:?}");
+    assert_eq!(
+        resp.get("error").unwrap().get("kind").unwrap().as_str(),
+        Some("overloaded")
+    );
+
+    // The occupied and queued requests still complete successfully.
+    assert_eq!(
+        occupy.join().unwrap().get("ok").unwrap().as_bool(),
+        Some(true)
+    );
+    assert_eq!(
+        queued.join().unwrap().get("ok").unwrap().as_bool(),
+        Some(true)
+    );
+
+    // After the pool drains, the same connection works again and the
+    // rejection is visible in the stats.
+    let resp = req(&mut c, r#"{"op":"stats"}"#);
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+    assert!(
+        resp.get("stats")
+            .unwrap()
+            .get("rejected")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_request_stops_the_server() {
+    let handle = start(small_server());
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let resp = c.shutdown().unwrap();
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(resp.get("stopping").unwrap().as_bool(), Some(true));
+    // The accept loop observes the flag; shutdown() joins everything.
+    assert!(handle.is_stopping());
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_connections_share_the_model_cache() {
+    let handle = start(small_server());
+    let addr = handle.addr();
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let n = 32 + 16 * (i % 3);
+                let line = format!(
+                    r#"{{"op":"predict","program":"matmul","bindings":{{"Ni":{n},"Nj":{n},"Nk":{n}}},"cache":512}}"#
+                );
+                let resp = req(&mut c, &line);
+                assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    // Eight requests, one structural shape: at most one model build per
+    // racing builder, and the steady state is exactly one cached shape.
+    let mut c = Client::connect(addr).unwrap();
+    let resp = req(&mut c, r#"{"op":"stats"}"#);
+    let stats = resp.get("stats").unwrap();
+    assert_eq!(stats.get("cached_shapes").unwrap().as_u64(), Some(1));
+    assert!(
+        stats
+            .get("cache")
+            .unwrap()
+            .get("hits")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+    handle.shutdown();
+}

@@ -27,9 +27,7 @@ impl Atom {
     /// Evaluate the atom under `bindings`.
     pub fn eval(&self, bindings: &Bindings) -> Result<i128, EvalError> {
         match self {
-            Atom::Var(s) => bindings
-                .get(s)
-                .ok_or_else(|| EvalError::Unbound(s.clone())),
+            Atom::Var(s) => bindings.get(s).ok_or_else(|| EvalError::Unbound(s.clone())),
             Atom::CeilDiv(n, d) => {
                 let n = n.eval_i128(bindings)?;
                 let d = d.eval_i128(bindings)?;

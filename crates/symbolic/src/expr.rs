@@ -42,16 +42,25 @@ pub struct Term {
 impl Term {
     /// The constant term `c`.
     pub fn constant(c: i64) -> Self {
-        Term { coeff: c, factors: Vec::new() }
+        Term {
+            coeff: c,
+            factors: Vec::new(),
+        }
     }
 
     /// `1 * atom`.
     pub fn atom(a: Atom) -> Self {
-        Term { coeff: 1, factors: vec![(a, 1)] }
+        Term {
+            coeff: 1,
+            factors: vec![(a, 1)],
+        }
     }
 
     fn mul(&self, other: &Term) -> Term {
-        let coeff = self.coeff.checked_mul(other.coeff).expect("term coefficient overflow");
+        let coeff = self
+            .coeff
+            .checked_mul(other.coeff)
+            .expect("term coefficient overflow");
         let mut factors = self.factors.clone();
         for (a, e) in &other.factors {
             match factors.binary_search_by(|(b, _)| b.cmp(a)) {
@@ -106,7 +115,9 @@ impl Expr {
 
     /// Wrap one atom as an expression.
     pub fn from_atom(a: Atom) -> Self {
-        Expr { terms: vec![Term::atom(a)] }
+        Expr {
+            terms: vec![Term::atom(a)],
+        }
     }
 
     /// Build directly from terms (normalizes).
@@ -127,7 +138,10 @@ impl Expr {
         for t in self.terms.drain(..) {
             if let Some(last) = out.last_mut() {
                 if last.factors == t.factors {
-                    last.coeff = last.coeff.checked_add(t.coeff).expect("coefficient overflow");
+                    last.coeff = last
+                        .coeff
+                        .checked_add(t.coeff)
+                        .expect("coefficient overflow");
                     continue;
                 }
             }
@@ -155,7 +169,9 @@ impl Expr {
     pub fn eval_i128(&self, bindings: &Bindings) -> Result<i128, EvalError> {
         let mut acc: i128 = 0;
         for t in &self.terms {
-            acc = acc.checked_add(t.eval(bindings)?).ok_or(EvalError::Overflow)?;
+            acc = acc
+                .checked_add(t.eval(bindings)?)
+                .ok_or(EvalError::Overflow)?;
         }
         Ok(acc)
     }
@@ -219,7 +235,10 @@ impl Expr {
                 );
             }
         }
-        Expr::from_atom(Atom::FloorDiv(Box::new(self.clone()), Box::new(rhs.clone())))
+        Expr::from_atom(Atom::FloorDiv(
+            Box::new(self.clone()),
+            Box::new(rhs.clone()),
+        ))
     }
 
     /// Structural exact division: `Some(q)` iff `self == q * rhs` can be read
@@ -234,7 +253,9 @@ impl Expr {
             }
             return Some(Expr::zero());
         }
-        let [d] = rhs.terms.as_slice() else { return None };
+        let [d] = rhs.terms.as_slice() else {
+            return None;
+        };
         if d.coeff == 0 {
             return None;
         }
@@ -255,7 +276,10 @@ impl Expr {
                     _ => return None,
                 }
             }
-            out.push(Term { coeff: t.coeff / d.coeff, factors });
+            out.push(Term {
+                coeff: t.coeff / d.coeff,
+                factors,
+            });
         }
         Some(Expr::from_terms(out))
     }
@@ -311,22 +335,20 @@ impl Expr {
                 let sub: Expr = match a {
                     Atom::Var(s) if s == sym => with.clone(),
                     Atom::Var(_) => Expr::from_atom(a.clone()),
-                    Atom::CeilDiv(n, d) => n
-                        .substitute(sym, with)
-                        .ceil_div(&d.substitute(sym, with)),
-                    Atom::FloorDiv(n, d) => n
-                        .substitute(sym, with)
-                        .floor_div(&d.substitute(sym, with)),
+                    Atom::CeilDiv(n, d) => {
+                        n.substitute(sym, with).ceil_div(&d.substitute(sym, with))
+                    }
+                    Atom::FloorDiv(n, d) => {
+                        n.substitute(sym, with).floor_div(&d.substitute(sym, with))
+                    }
                     Atom::Min(es) => {
-                        let es: Vec<Expr> =
-                            es.iter().map(|x| x.substitute(sym, with)).collect();
+                        let es: Vec<Expr> = es.iter().map(|x| x.substitute(sym, with)).collect();
                         es.into_iter()
                             .reduce(|a, b| a.min(&b))
                             .expect("min atom has operands")
                     }
                     Atom::Max(es) => {
-                        let es: Vec<Expr> =
-                            es.iter().map(|x| x.substitute(sym, with)).collect();
+                        let es: Vec<Expr> = es.iter().map(|x| x.substitute(sym, with)).collect();
                         es.into_iter()
                             .reduce(|a, b| a.max(&b))
                             .expect("max atom has operands")
@@ -345,7 +367,9 @@ impl From<i64> for Expr {
         if c == 0 {
             Expr::zero()
         } else {
-            Expr { terms: vec![Term::constant(c)] }
+            Expr {
+                terms: vec![Term::constant(c)],
+            }
         }
     }
 }
@@ -491,7 +515,10 @@ mod tests {
     #[test]
     fn eval_unbound_errors() {
         let e = v("q");
-        assert!(matches!(e.eval(&Bindings::new()), Err(EvalError::Unbound(_))));
+        assert!(matches!(
+            e.eval(&Bindings::new()),
+            Err(EvalError::Unbound(_))
+        ));
     }
 
     #[test]

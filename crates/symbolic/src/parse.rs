@@ -40,7 +40,10 @@ struct Parser<'a> {
 
 /// Parse a textual expression such as `"Ti*Tn + 2*ceil_div(N, Ti)"`.
 pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
-    let mut p = Parser { src: src.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
     let e = p.expr()?;
     p.skip_ws();
     if p.pos != p.src.len() {
@@ -51,7 +54,10 @@ pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> ParseError {
-        ParseError { at: self.pos, message: message.to_string() }
+        ParseError {
+            at: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn skip_ws(&mut self) {

@@ -29,9 +29,8 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
 }
 
 fn arb_bindings() -> impl Strategy<Value = Bindings> {
-    proptest::collection::vec(1i128..=50, VARS.len()).prop_map(|vals| {
-        VARS.iter().zip(vals).map(|(s, v)| (*s, v)).collect()
-    })
+    proptest::collection::vec(1i128..=50, VARS.len())
+        .prop_map(|vals| VARS.iter().zip(vals).map(|(s, v)| (*s, v)).collect())
 }
 
 proptest! {

@@ -167,7 +167,11 @@ pub fn parse_contraction(src: &str) -> Result<Contraction, TceParseError> {
     if inputs.is_empty() {
         return Err(TceParseError("no inputs".into()));
     }
-    Ok(Contraction { output, inputs, extents: BTreeMap::new() })
+    Ok(Contraction {
+        output,
+        inputs,
+        extents: BTreeMap::new(),
+    })
 }
 
 fn parse_tensor(src: &str) -> Result<TensorRef, TceParseError> {
@@ -188,9 +192,14 @@ fn parse_tensor(src: &str) -> Result<TensorRef, TceParseError> {
         .map(Sym::new)
         .collect();
     if indices.is_empty() {
-        return Err(TceParseError(format!("`{src}`: tensor needs at least one index")));
+        return Err(TceParseError(format!(
+            "`{src}`: tensor needs at least one index"
+        )));
     }
-    Ok(TensorRef { name: Sym::new(name), indices })
+    Ok(TensorRef {
+        name: Sym::new(name),
+        indices,
+    })
 }
 
 #[cfg(test)]

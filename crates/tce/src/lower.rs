@@ -75,12 +75,21 @@ impl<'c> Lowering<'c> {
     fn stmt(&mut self, label: String, kind: StmtKind, refs: Vec<ArrayRef>) -> Node {
         let id = StmtId(self.next_stmt);
         self.next_stmt += 1;
-        Node::Stmt(Stmt { id, label, refs, kind })
+        Node::Stmt(Stmt {
+            id,
+            label,
+            refs,
+            kind,
+        })
     }
 
     fn array_ref(&mut self, t: &crate::ast::TensorRef, write: bool) -> ArrayRef {
         let id = self.declare(t);
-        let dims = t.indices.iter().map(|i| DimExpr::index(i.clone())).collect();
+        let dims = t
+            .indices
+            .iter()
+            .map(|i| DimExpr::index(i.clone()))
+            .collect();
         if write {
             ArrayRef::write(id, dims)
         } else {
@@ -151,7 +160,11 @@ pub fn lower_fused_pair(plan: &Plan, c: &Contraction) -> Result<Program, FuseErr
 
     // Zero-init of the final output stays a separate nest.
     let out_w = lw.array_ref(&consumer.out, true);
-    let zero_out = lw.stmt(format!("{} = 0", consumer.out), StmtKind::ZeroLhs, vec![out_w]);
+    let zero_out = lw.stmt(
+        format!("{} = 0", consumer.out),
+        StmtKind::ZeroLhs,
+        vec![out_w],
+    );
     root.push(lw.nest(&consumer.out.indices, zero_out));
 
     // Fused nest over the intermediate's indices.
@@ -183,7 +196,11 @@ pub fn lower_fused_pair(plan: &Plan, c: &Contraction) -> Result<Program, FuseErr
     let other_read = lw.array_ref(other, false);
     let consume_refs = vec![
         lw.array_ref(&consumer.out, true),
-        if t_is_lhs { t_read.clone() } else { other_read.clone() },
+        if t_is_lhs {
+            t_read.clone()
+        } else {
+            other_read.clone()
+        },
         if t_is_lhs { other_read } else { t_read },
     ];
     let consume = lw.stmt(
@@ -313,10 +330,11 @@ mod tests {
         // Fused loops (the intermediate's two indices) enclose three
         // children: zero, produce, consume.
         let model = sdlo_core::MissModel::build(&pf);
-        assert!(model
-            .components()
-            .iter()
-            .any(|cmp| matches!(cmp.kind, sdlo_core::ComponentKind::CrossStmt { .. })),
+        assert!(
+            model
+                .components()
+                .iter()
+                .any(|cmp| matches!(cmp.kind, sdlo_core::ComponentKind::CrossStmt { .. })),
             "fused program should show cross-statement reuse\n{text}"
         );
     }

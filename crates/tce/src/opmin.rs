@@ -129,7 +129,10 @@ pub fn minimize_operations(c: &Contraction, sizes: &Bindings) -> Result<Plan, Op
         // against a unit tensor is overkill — return an empty plan with the
         // naive cost.
         let cost = c.naive_cost().eval(sizes)? as u64;
-        return Ok(Plan { steps: Vec::new(), cost });
+        return Ok(Plan {
+            steps: Vec::new(),
+            cost,
+        });
     }
 
     // DP over subsets: best[s] = (cost, split) for contracting subset s
@@ -154,11 +157,8 @@ pub fn minimize_operations(c: &Contraction, sizes: &Bindings) -> Result<Plan, Op
             let r = s & !sub;
             if l < r {
                 // Each unordered split visited once.
-                if let (Some((cl, _)), Some((cr, _))) =
-                    (best[l as usize], best[r as usize])
-                {
-                    let union: BTreeSet<Sym> =
-                        live(l).union(&live(r)).cloned().collect();
+                if let (Some((cl, _)), Some((cr, _))) = (best[l as usize], best[r as usize]) {
+                    let union: BTreeSet<Sym> = live(l).union(&live(r)).cloned().collect();
                     let combine: u64 = union.iter().map(|i| ext[i]).product();
                     let total = cl + cr + combine;
                     if best_here.is_none_or(|(c0, _)| total < c0) {
@@ -207,7 +207,12 @@ pub fn minimize_operations(c: &Contraction, sizes: &Bindings) -> Result<Plan, Op
             .filter(|i| !out_set.contains(*i))
             .cloned()
             .collect();
-        steps.push(BinaryStep { lhs, rhs, out, sum_indices });
+        steps.push(BinaryStep {
+            lhs,
+            rhs,
+            out,
+            sum_indices,
+        });
         steps.last().expect("just pushed").out.clone()
     }
     let cost = best[full as usize].expect("dp complete").0;
@@ -251,8 +256,14 @@ mod tests {
         let c = with_extents(
             "B[a,b,c,d] = C1[a,p] * C2[b,q] * C3[c,r] * C4[d,s] * A[p,q,r,s]",
             &[
-                ("a", "V"), ("b", "V"), ("c", "V"), ("d", "V"),
-                ("p", "V"), ("q", "V"), ("r", "V"), ("s", "V"),
+                ("a", "V"),
+                ("b", "V"),
+                ("c", "V"),
+                ("d", "V"),
+                ("p", "V"),
+                ("q", "V"),
+                ("r", "V"),
+                ("s", "V"),
             ],
         );
         let v = 24u64;

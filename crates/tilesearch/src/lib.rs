@@ -76,8 +76,15 @@ impl SearchSpace {
 /// counts are approximate), then lexicographically for determinism.
 fn better(candidate: &Evaluation, incumbent: &Evaluation) -> bool {
     let vol = |e: &Evaluation| e.tiles.iter().product::<u64>();
-    (candidate.misses, std::cmp::Reverse(vol(candidate)), &candidate.tiles)
-        < (incumbent.misses, std::cmp::Reverse(vol(incumbent)), &incumbent.tiles)
+    (
+        candidate.misses,
+        std::cmp::Reverse(vol(candidate)),
+        &candidate.tiles,
+    ) < (
+        incumbent.misses,
+        std::cmp::Reverse(vol(incumbent)),
+        &incumbent.tiles,
+    )
 }
 
 /// Tile-size searcher over a [`MissModel`].
@@ -92,14 +99,14 @@ pub struct TileSearcher<'a> {
 impl<'a> TileSearcher<'a> {
     /// Create a searcher. `base` must bind every free symbol except the
     /// tile symbols.
-    pub fn new(
-        model: &'a MissModel,
-        base: Bindings,
-        cache_size: u64,
-        space: SearchSpace,
-    ) -> Self {
+    pub fn new(model: &'a MissModel, base: Bindings, cache_size: u64, space: SearchSpace) -> Self {
         assert_eq!(space.tile_syms.len(), space.max.len());
-        TileSearcher { model, base, cache_size, space }
+        TileSearcher {
+            model,
+            base,
+            cache_size,
+            space,
+        }
     }
 
     fn bindings_for(&self, tiles: &[u64]) -> Bindings {
@@ -230,8 +237,7 @@ impl<'a> TileSearcher<'a> {
         space: SearchSpace,
     ) -> SearchOutcome {
         let bounds: BTreeSet<Sym> = bound_syms.iter().map(|s| Sym::new(*s)).collect();
-        let mentions =
-            |e: &sdlo_symbolic::Expr| e.vars().iter().any(|v| bounds.contains(v));
+        let mentions = |e: &sdlo_symbolic::Expr| e.vars().iter().any(|v| bounds.contains(v));
         let components = model
             .components()
             .iter()

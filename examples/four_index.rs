@@ -59,8 +59,14 @@ fn main() {
     execute(&compiled, &mut mem).unwrap();
     let vv = v as usize;
     let get = |n: &str| mem.array(program.array_by_name(n).unwrap().id).to_vec();
-    let (a, c1, c2, c3, c4, b) =
-        (get("A"), get("C1"), get("C2"), get("C3"), get("C4"), get("B"));
+    let (a, c1, c2, c3, c4, b) = (
+        get("A"),
+        get("C1"),
+        get("C2"),
+        get("C3"),
+        get("C4"),
+        get("B"),
+    );
     let m2 = |m: &[f64], x: usize, y: usize| m[x * vv + y];
     let (ai, bi, ci, di) = (0, 1 % vv, 2 % vv, 3 % vv);
     let mut expect = 0.0;

@@ -61,9 +61,18 @@ fn main() {
     let reuse = baselines::reuse_distance_misses(&compiled, cache);
     println!("\nmodel comparison at tiles {tiles:?} (exact = LRU simulation):");
     println!("  exact simulation      {exact:>12}");
-    println!("  stack-distance model  {stack:>12}  ({:+.1}%)", err(stack, exact));
-    println!("  capacity-miss model   {capacity:>12}  ({:+.1}%)", err(capacity, exact));
-    println!("  reuse-distance model  {reuse:>12}  ({:+.1}%)", err(reuse, exact));
+    println!(
+        "  stack-distance model  {stack:>12}  ({:+.1}%)",
+        err(stack, exact)
+    );
+    println!(
+        "  capacity-miss model   {capacity:>12}  ({:+.1}%)",
+        err(capacity, exact)
+    );
+    println!(
+        "  reuse-distance model  {reuse:>12}  ({:+.1}%)",
+        err(reuse, exact)
+    );
 }
 
 fn err(predicted: u64, actual: u64) -> f64 {

@@ -1,0 +1,45 @@
+//! A complete tile-advisor service session, in process: start the daemon on
+//! a loopback port, drive it with the bundled client, print the exchange.
+//!
+//! ```text
+//! cargo run --release --example service_session
+//! ```
+//!
+//! The same requests work against a standalone daemon
+//! (`cargo run --release -p sdlo-service -- --addr 127.0.0.1:7464`) from any
+//! client that can write newline-delimited JSON to a TCP socket.
+
+use sdlo::service::{serve, Client, ServerConfig};
+
+fn main() -> std::io::Result<()> {
+    let handle = serve(ServerConfig::default()).expect("bind loopback");
+    println!("serving on {}\n", handle.addr());
+    let mut client = Client::connect(handle.addr())?;
+
+    let session = [
+        // What does the analysis say about tiled matrix multiplication?
+        r#"{"op":"analyze","id":1,"program":"tiled_matmul"}"#,
+        // Predicted misses for 512³ with 64³ tiles in an 8K-element cache.
+        r#"{"op":"predict","id":2,"program":"tiled_matmul","bindings":{"Ni":512,"Nj":512,"Nk":512,"Ti":64,"Tj":64,"Tk":64},"cache":8192}"#,
+        // Same shape, different tiles: answered from the memoized model.
+        r#"{"op":"predict","id":3,"program":"tiled_matmul","bindings":{"Ni":512,"Nj":512,"Nk":512,"Ti":32,"Tj":32,"Tk":32},"cache":8192}"#,
+        // Which tiles should we use?
+        r#"{"op":"advise","id":4,"program":"tiled_matmul","cache":8192,"bindings":{"Ni":512,"Nj":512,"Nk":512},"space":{"syms":["Ti","Tj","Tk"],"max":[512,512,512],"min":4}}"#,
+        // How did the service fare?
+        r#"{"op":"stats","id":5}"#,
+    ];
+    for request in session {
+        println!("-> {request}");
+        let response = client.request_line(request)?;
+        let shown = if response.len() > 400 {
+            format!("{}… ({} bytes)", &response[..400], response.len())
+        } else {
+            response
+        };
+        println!("<- {shown}\n");
+    }
+
+    client.shutdown()?;
+    handle.shutdown();
+    Ok(())
+}

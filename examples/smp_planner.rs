@@ -35,10 +35,17 @@ fn main() {
         .with("Nn", n as i128 / procs_target);
     let space = SearchSpace {
         tile_syms: vec!["Ti".into(), "Tj".into(), "Tm".into(), "Tn".into()],
-        max: vec![n.min(512), n.min(512), n.min(512), (n / procs_target as u64).min(512)],
+        max: vec![
+            n.min(512),
+            n.min(512),
+            n.min(512),
+            (n / procs_target as u64).min(512),
+        ],
         min: 4,
     };
-    let best = TileSearcher::new(&model, base_sub, cache, space).pruned().best;
+    let best = TileSearcher::new(&model, base_sub, cache, space)
+        .pruned()
+        .best;
     println!(
         "two-index transform, N = {n}: per-processor-optimized tiles {:?}",
         best.tiles
@@ -56,7 +63,10 @@ fn main() {
         .with("Tj", best.tiles[1] as i128)
         .with("Tm", best.tiles[2] as i128)
         .with("Tn", best.tiles[3] as i128);
-    println!("\n{:<6} {:>16} {:>16} {:>16}", "P", "per-proc misses", "bus-limited (s)", "infinite-bw (s)");
+    println!(
+        "\n{:<6} {:>16} {:>16} {:>16}",
+        "P", "per-proc misses", "bus-limited (s)", "infinite-bw (s)"
+    );
     for p in [1u64, 2, 4, 8] {
         let misses = smp.per_processor_misses(&full, cache, p).unwrap();
         let bus = smp
@@ -69,7 +79,12 @@ fn main() {
     }
 
     if run {
-        println!("\nrunning the real kernel (this host has {} CPUs):", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1));
+        println!(
+            "\nrunning the real kernel (this host has {} CPUs):",
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1)
+        );
         let a = kernels::test_matrix(n as usize, 1);
         let c1 = kernels::test_matrix(n as usize, 2);
         let c2 = kernels::test_matrix(n as usize, 3);

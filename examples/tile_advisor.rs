@@ -41,7 +41,10 @@ fn main() {
         println!("  {step}");
     }
     let naive = contraction.naive_cost().eval(&sizes).unwrap();
-    println!("  (naive single-nest cost: {naive} — {}x more)", naive as u64 / plan.cost);
+    println!(
+        "  (naive single-nest cost: {naive} — {}x more)",
+        naive as u64 / plan.cost
+    );
 
     // 3. Loop fusion contracts the intermediate to a scalar.
     let fused = tce::lower_fused_pair(&plan, &contraction).unwrap();

@@ -17,7 +17,11 @@
 //! * [`tce`] — a mini Tensor Contraction Engine (parser, operation
 //!   minimization, fusion, lowering),
 //! * [`tilesearch`] — the pruned tile-size search of §6,
-//! * [`parallel`] — the shared-memory parallelization and cost models of §7.
+//! * [`parallel`] — the shared-memory parallelization and cost models of §7,
+//! * [`wire`] — the dependency-free JSON wire format for programs, analyses
+//!   and search results,
+//! * [`service`] — the long-running tile-advisor service (memoized analysis
+//!   cache, batching, metrics, NDJSON-over-TCP server and client).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! paper-to-code map.
@@ -26,6 +30,8 @@ pub use sdlo_cachesim as cachesim;
 pub use sdlo_core as core;
 pub use sdlo_ir as ir;
 pub use sdlo_parallel as parallel;
+pub use sdlo_service as service;
 pub use sdlo_symbolic as symbolic;
 pub use sdlo_tce as tce;
 pub use sdlo_tilesearch as tilesearch;
+pub use sdlo_wire as wire;

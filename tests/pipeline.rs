@@ -34,7 +34,10 @@ fn synthesized_fused_program_is_analyzable_and_accurate() {
         let predicted = model.predict_misses(&sizes, cs).unwrap();
         let actual = hist.misses(cs);
         let err = (predicted as f64 - actual as f64).abs() / actual.max(1) as f64;
-        assert!(err < 0.10, "cs={cs}: predicted {predicted} vs actual {actual}");
+        assert!(
+            err < 0.10,
+            "cs={cs}: predicted {predicted} vs actual {actual}"
+        );
     }
 }
 
@@ -64,10 +67,9 @@ fn fusion_reduces_misses_when_intermediate_exceeds_cache() {
 
 #[test]
 fn four_index_plan_lowers_and_executes() {
-    let mut c = tce::parse_contraction(
-        "B[a,b,c,d] = C1[a,p] * C2[b,q] * C3[c,r] * C4[d,s] * A[p,q,r,s]",
-    )
-    .unwrap();
+    let mut c =
+        tce::parse_contraction("B[a,b,c,d] = C1[a,p] * C2[b,q] * C3[c,r] * C4[d,s] * A[p,q,r,s]")
+            .unwrap();
     for i in ["a", "b", "c", "d", "p", "q", "r", "s"] {
         c.extents.insert(Sym::new(i), Expr::var("V"));
     }
@@ -105,7 +107,10 @@ fn four_index_plan_lowers_and_executes() {
             }
         }
         let got = b[((ai * v + bi) * v + ci) * v + di];
-        assert!((got - expect).abs() < 1e-9, "B[{ai},{bi},{ci},{di}] = {got} vs {expect}");
+        assert!(
+            (got - expect).abs() < 1e-9,
+            "B[{ai},{bi},{ci},{di}] = {got} vs {expect}"
+        );
     }
 }
 

@@ -15,10 +15,8 @@ fn arb_perfect_nest() -> impl Strategy<Value = (Program, Bindings)> {
     let depth = 2usize..=4;
     depth.prop_flat_map(|d| {
         let bounds = proptest::collection::vec(6u64..=12, d);
-        let subsets = proptest::collection::vec(
-            proptest::collection::vec(proptest::bool::ANY, d),
-            3,
-        );
+        let subsets =
+            proptest::collection::vec(proptest::collection::vec(proptest::bool::ANY, d), 3);
         (bounds, subsets).prop_map(move |(bounds, subsets)| {
             let names: Vec<String> = (0..d).map(|k| format!("l{k}")).collect();
             let mut p = Program::new("random-perfect");
@@ -42,7 +40,11 @@ fn arb_perfect_nest() -> impl Strategy<Value = (Program, Bindings)> {
                     (dims, extents)
                 };
                 let id = p.declare(format!("A{r}"), extents);
-                refs.push(ArrayRef { array: id, dims, is_write: r == 0 });
+                refs.push(ArrayRef {
+                    array: id,
+                    dims,
+                    is_write: r == 0,
+                });
             }
             let stmt = Node::Stmt(Stmt {
                 id: StmtId(0),

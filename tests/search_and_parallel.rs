@@ -27,7 +27,11 @@ fn searched_tile_is_best_under_exact_simulation() {
     let cache = 512u64;
     let p = programs::tiled_two_index();
     let model = MissModel::build(&p);
-    let base = Bindings::new().with("Ni", n).with("Nj", n).with("Nm", n).with("Nn", n);
+    let base = Bindings::new()
+        .with("Ni", n)
+        .with("Nj", n)
+        .with("Nm", n)
+        .with("Nn", n);
     let s = TileSearcher::new(
         &model,
         base,
@@ -79,7 +83,10 @@ fn per_processor_model_matches_subproblem_simulation() {
         let compiled = CompiledProgram::compile(&p, &sub).unwrap();
         let actual = simulate_stack_distances(&compiled, Granularity::Element).misses(512);
         let err = (predicted as f64 - actual as f64).abs() / actual.max(1) as f64;
-        assert!(err < 0.06, "P={procs}: predicted {predicted} vs simulated {actual}");
+        assert!(
+            err < 0.06,
+            "P={procs}: predicted {predicted} vs simulated {actual}"
+        );
     }
 }
 
@@ -92,7 +99,11 @@ fn figure_claim_predicted_tiles_beat_equi_tiles_in_simulation() {
     let cache = 8192u64;
     let p = programs::tiled_two_index();
     let model = MissModel::build(&p);
-    let base = Bindings::new().with("Ni", n).with("Nj", n).with("Nm", n).with("Nn", n);
+    let base = Bindings::new()
+        .with("Ni", n)
+        .with("Nj", n)
+        .with("Nm", n)
+        .with("Nn", n);
     let s = TileSearcher::new(
         &model,
         base,

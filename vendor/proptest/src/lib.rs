@@ -1,0 +1,473 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored shim re-implements the subset of proptest's API that sdlo's
+//! property tests use: [`Strategy`] with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, integer and float range strategies, tuple
+//! strategies, [`collection::vec`], [`bool::ANY`], the [`proptest!`] /
+//! [`prop_oneof!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case panics with the generated values'
+//!   `Debug` form via the assertion message instead of a minimized case;
+//! * **deterministic seeding** — case `k` of test `t` always sees the same
+//!   values (seeded from `(t, k)`), so failures reproduce exactly;
+//! * strategies are sampled, not size-directed: `prop_recursive`'s
+//!   `desired_size`/`expected_branch_size` hints only bound the depth.
+
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Configuration block accepted by `proptest! { #![proptest_config(..)] }`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// SplitMix64: tiny, fast, and plenty for test-case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Deterministic RNG for case `case` of the test named `name`.
+        pub fn deterministic(name: &str, case: u32) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy: Clone {
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it selects.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S + Clone,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive strategies: `recurse` receives the strategy for the
+    /// smaller sub-level. `_desired_size` and `_branch` are accepted for
+    /// API compatibility; only `depth` is honored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut level = self.clone().boxed();
+        for _ in 0..depth {
+            let leaf = self.clone().boxed();
+            let deeper = recurse(level).boxed();
+            // 1-in-4 chance of bottoming out early keeps sizes spread.
+            level = BoxedStrategy::new(move |rng: &mut TestRng| {
+                if rng.next_u64().is_multiple_of(4) {
+                    leaf.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            });
+        }
+        level
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy::new(move |rng: &mut TestRng| self.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    gen_fn: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy { gen_fn: Rc::new(f) }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen_fn: Rc::clone(&self.gen_fn),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen_fn)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Clone, F: Clone> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: self.f.clone(),
+        }
+    }
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Clone, F: Clone> Clone for FlatMap<S, F> {
+    fn clone(&self) -> Self {
+        FlatMap {
+            inner: self.inner.clone(),
+            f: self.f.clone(),
+        }
+    }
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2 + Clone,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between strategies of one value type (`prop_oneof!`).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+pub mod bool {
+    //! Boolean strategies.
+    use super::{test_runner::TestRng, Strategy};
+
+    /// Generates `true`/`false` uniformly.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::{test_runner::TestRng, Strategy};
+
+    /// Fixed-length `Vec` of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, count: usize) -> VecStrategy<S> {
+        VecStrategy { element, count }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        count: usize,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy {
+                element: self.element.clone(),
+                count: self.count,
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.count)
+                .map(|_| self.element.generate(rng))
+                .collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Strategy};
+}
+
+/// Choose uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Assertion inside a `proptest!` body (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            [$crate::test_runner::ProptestConfig::default()] $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ([$cfg:expr] $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $pat = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("ranges", 0);
+        for _ in 0..1000 {
+            let v = (-5i64..=7).generate(&mut rng);
+            assert!((-5..=7).contains(&v));
+            let u = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&u));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn determinism_per_case() {
+        let gen_one = |case| {
+            let mut rng = crate::test_runner::TestRng::deterministic("det", case);
+            crate::collection::vec(0u64..=1000, 8).generate(&mut rng)
+        };
+        assert_eq!(gen_one(3), gen_one(3));
+        assert_ne!(gen_one(3), gen_one(4));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u64..10, 0u64..10), c in 5i64..=5) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(c, 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_recursive_generate(v in prop_oneof![
+            (0u32..4).prop_map(|x| x as u64),
+            (10u32..14).prop_map(|x| x as u64),
+        ].prop_recursive(2, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a + b)
+        })) {
+            // Leaves are < 14; two levels of addition bound the total.
+            prop_assert!(v < 14 * 4);
+        }
+    }
+}
