@@ -1,0 +1,431 @@
+//! Per-rule positive fixtures (a seeded defect must be detected with the
+//! right rule id and span) and the negative gate: every builtin program
+//! lints clean at `error` severity.
+
+use sdlo_analysis::{lint, Diagnostic, Severity, Span};
+use sdlo_ir::{programs, ArrayRef, DimExpr, Expr, Node, Program, Stmt, StmtId, StmtKind, Sym};
+
+fn stmt(id: usize, kind: StmtKind, refs: Vec<ArrayRef>) -> Node {
+    Node::Stmt(Stmt {
+        id: StmtId(id),
+        label: format!("s{id}"),
+        refs,
+        kind,
+    })
+}
+
+fn find<'d>(diags: &'d [Diagnostic], rule: &str) -> &'d Diagnostic {
+    diags
+        .iter()
+        .find(|d| d.rule == rule)
+        .unwrap_or_else(|| panic!("no `{rule}` diagnostic in {diags:#?}"))
+}
+
+#[test]
+fn structure_gates_and_reports_validate_errors() {
+    // Unbound index `q`: only the structure diagnostic is reported even
+    // though other rules would also have findings on this program.
+    let mut p = Program::new("bad");
+    let a = p.declare("A", vec![Expr::var("N")]);
+    p.root = vec![Node::loop_(
+        "i",
+        Expr::var("N"),
+        vec![stmt(
+            0,
+            StmtKind::ZeroLhs,
+            vec![ArrayRef::write(a, vec![DimExpr::index("q")])],
+        )],
+    )];
+    let diags = lint(&p);
+    assert_eq!(diags.len(), 1, "structure must gate: {diags:#?}");
+    let d = &diags[0];
+    assert_eq!(d.rule, "structure");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.stmt, Some(StmtId(0)));
+    assert_eq!(d.span.loop_index, Some(Sym::new("q")));
+}
+
+#[test]
+fn subscript_class_rejects_diagonal_sum() {
+    // A[i+j] with both strides 1: neither a plain index nor a tile+intra pair.
+    let mut p = Program::new("diag");
+    let a = p.declare("A", vec![Expr::var("N")]);
+    let d = DimExpr {
+        parts: vec![(Sym::new("i"), Expr::one()), (Sym::new("j"), Expr::one())],
+    };
+    p.root = vec![Node::loop_(
+        "i",
+        Expr::var("N"),
+        vec![Node::loop_(
+            "j",
+            Expr::var("N"),
+            vec![stmt(
+                0,
+                StmtKind::ZeroLhs,
+                vec![ArrayRef::write(a, vec![d])],
+            )],
+        )],
+    )];
+    let diags = lint(&p);
+    let d = find(&diags, "subscript-class");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(
+        (d.span.stmt, d.span.ref_idx, d.span.dim),
+        (Some(StmtId(0)), Some(0), Some(0))
+    );
+}
+
+#[test]
+fn subscript_class_rejects_lone_strided_index() {
+    // A[i*Ti] without an intra part.
+    let mut p = Program::new("strided");
+    let a = p.declare("A", vec![Expr::var("N")]);
+    let d = DimExpr {
+        parts: vec![(Sym::new("i"), Expr::var("Ti"))],
+    };
+    p.root = vec![Node::loop_(
+        "i",
+        Expr::var("N"),
+        vec![stmt(
+            0,
+            StmtKind::ZeroLhs,
+            vec![ArrayRef::write(a, vec![d])],
+        )],
+    )];
+    let diags = lint(&p);
+    let d = find(&diags, "subscript-class");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("stride 1"), "{}", d.message);
+}
+
+#[test]
+fn tile_consistency_rejects_intra_bound_mismatch() {
+    // Stride Ti but the intra loop iI sweeps Tj iterations.
+    let mut p = Program::new("mismatch");
+    let a = p.declare("A", vec![Expr::var("N")]);
+    p.root = vec![Node::loop_(
+        "iT",
+        Expr::var("N").ceil_div(&Expr::var("Ti")),
+        vec![Node::loop_(
+            "iI",
+            Expr::var("Tj"),
+            vec![stmt(
+                0,
+                StmtKind::ZeroLhs,
+                vec![ArrayRef::write(
+                    a,
+                    vec![DimExpr::tiled("iT", Expr::var("Ti"), "iI")],
+                )],
+            )],
+        )],
+    )];
+    let diags = lint(&p);
+    let d = find(&diags, "tile-consistency");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.loop_index, Some(Sym::new("iT")));
+    assert!(d.message.contains("trip count"), "{}", d.message);
+}
+
+#[test]
+fn tile_consistency_rejects_stride_disagreement_across_refs() {
+    // Tile loop iT used with stride Ti in one reference, Tj in another.
+    let mut p = Program::new("twostrides");
+    let a = p.declare("A", vec![Expr::var("N")]);
+    let b = p.declare("B", vec![Expr::var("N")]);
+    p.root = vec![Node::loop_(
+        "iT",
+        Expr::var("N").ceil_div(&Expr::var("Ti")),
+        vec![Node::loop_(
+            "iI",
+            Expr::var("Ti"),
+            vec![stmt(
+                0,
+                StmtKind::Assign,
+                vec![
+                    ArrayRef::write(a, vec![DimExpr::tiled("iT", Expr::var("Ti"), "iI")]),
+                    ArrayRef::read(b, vec![DimExpr::tiled("iT", Expr::var("Tj"), "iI")]),
+                ],
+            )],
+        )],
+    )];
+    let diags = lint(&p);
+    let hit = diags
+        .iter()
+        .find(|d| d.rule == "tile-consistency" && d.message.contains("used with stride"))
+        .unwrap();
+    assert_eq!(hit.severity, Severity::Error);
+    assert_eq!(hit.span.ref_idx, Some(1), "reported at the second use");
+}
+
+#[test]
+fn bound_sanity_rejects_non_positive_and_non_rectangular_bounds() {
+    let mut p = Program::new("bounds");
+    let a = p.declare("A", vec![Expr::var("N"), Expr::var("N")]);
+    p.root = vec![Node::loop_(
+        "i",
+        Expr::zero(),
+        vec![Node::loop_(
+            "j",
+            Expr::var("i"), // triangular: bound depends on outer index
+            vec![stmt(
+                0,
+                StmtKind::ZeroLhs,
+                vec![ArrayRef::write(
+                    a,
+                    vec![DimExpr::index("i"), DimExpr::index("j")],
+                )],
+            )],
+        )],
+    )];
+    let diags = lint(&p);
+    let nonpos = diags
+        .iter()
+        .find(|d| d.rule == "bound-sanity" && d.message.contains("non-positive"))
+        .unwrap();
+    assert_eq!(nonpos.severity, Severity::Error);
+    assert_eq!(nonpos.span.loop_index, Some(Sym::new("i")));
+    let tri = diags
+        .iter()
+        .find(|d| d.rule == "bound-sanity" && d.message.contains("rectangular"))
+        .unwrap();
+    assert_eq!(tri.severity, Severity::Error);
+    assert_eq!(tri.span.loop_index, Some(Sym::new("j")));
+}
+
+#[test]
+fn bound_sanity_warns_on_unused_loop_index() {
+    let mut p = Program::new("unused");
+    let a = p.declare("A", vec![Expr::var("N")]);
+    p.root = vec![Node::loop_(
+        "i",
+        Expr::var("N"),
+        vec![Node::loop_(
+            "j",
+            Expr::var("M"),
+            vec![stmt(
+                0,
+                StmtKind::ZeroLhs,
+                vec![ArrayRef::write(a, vec![DimExpr::index("i")])],
+            )],
+        )],
+    )];
+    let diags = lint(&p);
+    let d = diags
+        .iter()
+        .find(|d| d.rule == "bound-sanity" && d.span.loop_index == Some(Sym::new("j")))
+        .unwrap();
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("no subscript"), "{}", d.message);
+}
+
+#[test]
+fn model_class_rejects_coupled_subscripts() {
+    // A[i,i]: one index drives two dimensions.
+    let mut p = Program::new("coupled");
+    let a = p.declare("A", vec![Expr::var("N"), Expr::var("N")]);
+    p.root = vec![Node::loop_(
+        "i",
+        Expr::var("N"),
+        vec![stmt(
+            0,
+            StmtKind::ZeroLhs,
+            vec![ArrayRef::write(
+                a,
+                vec![DimExpr::index("i"), DimExpr::index("i")],
+            )],
+        )],
+    )];
+    let diags = lint(&p);
+    let d = find(&diags, "model-class");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.dim, Some(1), "reported at the second occurrence");
+    assert!(d.message.contains("coupled"), "{}", d.message);
+}
+
+#[test]
+fn model_class_rejects_iteration_dependent_stride() {
+    // A[jT*i + jI]: the "stride" varies with enclosing loop index i.
+    let mut p = Program::new("varstride");
+    let a = p.declare("A", vec![Expr::var("N")]);
+    let d = DimExpr {
+        parts: vec![
+            (Sym::new("jT"), Expr::var("i")),
+            (Sym::new("jI"), Expr::one()),
+        ],
+    };
+    p.root = vec![Node::loop_(
+        "i",
+        Expr::var("N"),
+        vec![Node::loop_(
+            "jT",
+            Expr::var("N"),
+            vec![Node::loop_(
+                "jI",
+                Expr::var("T"),
+                vec![stmt(
+                    0,
+                    StmtKind::ZeroLhs,
+                    vec![ArrayRef::write(a, vec![d])],
+                )],
+            )],
+        )],
+    )];
+    let diags = lint(&p);
+    let d = find(&diags, "model-class");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("iteration-invariant"), "{}", d.message);
+    assert_eq!(d.span.loop_index, Some(Sym::new("i")));
+}
+
+#[test]
+fn invariant_ref_reports_component_kind() {
+    // matmul's A[i,j] misses the innermost loop k: reuse carried by k.
+    let p = programs::matmul();
+    let diags = lint(&p);
+    let d = diags
+        .iter()
+        .find(|d| d.rule == "invariant-ref" && d.span.array == Some(Sym::new("A")))
+        .unwrap();
+    assert_eq!(d.severity, Severity::Info);
+    assert_eq!(d.span.ref_idx, Some(1));
+    assert!(d.message.contains("`k`"), "{}", d.message);
+    assert!(d.message.contains("Carried(k)"), "{}", d.message);
+}
+
+#[test]
+fn stride_innermost_suggests_permutation() {
+    // for i { for j { A[j,i] = 0 } }: innermost j strides the slow dimension.
+    let mut p = Program::new("colmajor");
+    let a = p.declare("A", vec![Expr::var("N"), Expr::var("N")]);
+    p.root = vec![Node::loop_(
+        "i",
+        Expr::var("N"),
+        vec![Node::loop_(
+            "j",
+            Expr::var("N"),
+            vec![stmt(
+                0,
+                StmtKind::ZeroLhs,
+                vec![ArrayRef::write(
+                    a,
+                    vec![DimExpr::index("j"), DimExpr::index("i")],
+                )],
+            )],
+        )],
+    )];
+    let diags = lint(&p);
+    let d = find(&diags, "stride-innermost");
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span.loop_index, Some(Sym::new("j")));
+    assert_eq!(d.span.dim, Some(0));
+    let fx = d.fixit.as_ref().unwrap();
+    assert_eq!(fx.action, "permute-loops");
+    assert!(fx.detail.contains("`i`"), "{}", fx.detail);
+}
+
+#[test]
+fn untiled_reuse_proposes_tiling_matmul() {
+    // B[j,k] in untiled matmul is re-swept per i iteration: SD ~ Nj·Nk.
+    let p = programs::matmul();
+    let diags = lint(&p);
+    let d = diags
+        .iter()
+        .find(|d| {
+            d.rule == "untiled-reuse"
+                && d.span.array == Some(Sym::new("B"))
+                && d.span.loop_index == Some(Sym::new("i"))
+        })
+        .unwrap();
+    assert_eq!(d.severity, Severity::Warning);
+    let fx = d.fixit.as_ref().unwrap();
+    assert_eq!(fx.action, "tile-loop");
+    assert!(fx.detail.contains("`i`"), "{}", fx.detail);
+}
+
+#[test]
+fn untiled_reuse_is_quiet_on_tiled_programs() {
+    for p in [programs::tiled_matmul(), programs::tiled_two_index()] {
+        let diags = lint(&p);
+        assert!(
+            diags.iter().all(|d| d.rule != "untiled-reuse"),
+            "{}: {diags:#?}",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn dead_array_flags_unreferenced_and_write_only() {
+    let mut p = Program::new("dead");
+    let a = p.declare("A", vec![Expr::var("N")]);
+    let w = p.declare("W", vec![Expr::var("N")]);
+    p.declare("Z", vec![Expr::var("N")]); // never referenced
+    p.root = vec![Node::loop_(
+        "i",
+        Expr::var("N"),
+        vec![stmt(
+            0,
+            StmtKind::Assign,
+            vec![
+                ArrayRef::write(w, vec![DimExpr::index("i")]), // written, never read
+                ArrayRef::read(a, vec![DimExpr::index("i")]),
+            ],
+        )],
+    )];
+    let diags = lint(&p);
+    let z = diags
+        .iter()
+        .find(|d| d.rule == "dead-array" && d.span.array == Some(Sym::new("Z")))
+        .unwrap();
+    assert!(z.message.contains("never referenced"), "{}", z.message);
+    let w = diags
+        .iter()
+        .find(|d| d.rule == "dead-array" && d.span.array == Some(Sym::new("W")))
+        .unwrap();
+    assert!(w.message.contains("never read"), "{}", w.message);
+    // A is read: not flagged. A `+=` LHS also counts as a read (builtins).
+    assert!(!diags
+        .iter()
+        .any(|d| d.rule == "dead-array" && d.span.array == Some(Sym::new("A"))));
+}
+
+#[test]
+fn all_builtins_lint_clean_at_error_severity() {
+    for p in [
+        programs::matmul(),
+        programs::tiled_matmul(),
+        programs::two_index_unfused(),
+        programs::two_index_fused(),
+        programs::tiled_two_index(),
+    ] {
+        let errors: Vec<_> = lint(&p)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{}: {errors:#?}", p.name);
+    }
+}
+
+#[test]
+fn diagnostics_sort_errors_first() {
+    // A program with both an error (coupled subscript) and warnings.
+    let mut p = Program::new("mixed");
+    let a = p.declare("A", vec![Expr::var("N"), Expr::var("N")]);
+    p.declare("Z", vec![Expr::var("N")]);
+    p.root = vec![Node::loop_(
+        "i",
+        Expr::var("N"),
+        vec![stmt(
+            0,
+            StmtKind::ZeroLhs,
+            vec![ArrayRef::write(
+                a,
+                vec![DimExpr::index("i"), DimExpr::index("i")],
+            )],
+        )],
+    )];
+    let diags = lint(&p);
+    assert!(diags.len() >= 2);
+    assert_eq!(diags[0].severity, Severity::Error);
+    let _ = Span::default(); // exercise the public constructor surface
+}

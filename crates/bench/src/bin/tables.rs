@@ -1,13 +1,16 @@
-//! Regenerate the paper's tables and figures.
+//! Regenerate the paper's tables and figures, and lint the builtin workloads.
 //!
 //! ```text
 //! tables <experiment> [--scale small|paper] [--measure] [--n <bound>] [--json]
+//! tables lint <program>... | --all-builtins [--json]
 //!
 //! experiments: table1 table2 table3 table4 fig10 fig11 ablations all
 //! ```
 //!
 //! With `--json` the experiment's rows are additionally written to
-//! `results/<experiment>.json` for downstream tooling.
+//! `results/<experiment>.json` for downstream tooling; `lint --json` writes
+//! `results/lint.json`. `lint` exits 1 if any error-severity diagnostic is
+//! reported, which is how `ci.sh` gates the builtin workloads.
 
 use sdlo_bench::*;
 use sdlo_wire::Value;
@@ -15,6 +18,7 @@ use sdlo_wire::Value;
 fn usage(to_stderr: bool) {
     let text =
         "usage: tables <experiment> [--scale small|paper] [--measure] [--n <bound>] [--json]\n\
+         \x20      tables lint <program>... | --all-builtins [--json]\n\
          \n\
          experiments: table1 table2 table3 table4 fig10 fig11\n\
          \x20            ablations (aliases: ablation-assoc ablation-line\n\
@@ -23,7 +27,11 @@ fn usage(to_stderr: bool) {
          --scale small|paper   problem sizes (default: paper)\n\
          --measure             also run the real kernels for fig10/fig11\n\
          --n <bound>           override the loop bound for fig10/fig11\n\
-         --json                also write results/<experiment>.json";
+         --json                also write results/<experiment>.json\n\
+         \n\
+         lint runs the static analyzer over builtin programs (see\n\
+         sdlo-analysis); it exits 1 if any error-severity diagnostic fires.\n\
+         --all-builtins        lint every builtin workload";
     if to_stderr {
         eprintln!("{text}");
     } else {
@@ -398,8 +406,86 @@ fn run_ablations(scale: Scale, json: bool) -> Option<Value> {
     json.then(|| ablations_value(&assoc, &line, &search, &limits))
 }
 
+// ---------------------------------------------------------------------------
+// `tables lint` — static diagnostics over the builtin workloads
+// ---------------------------------------------------------------------------
+
+/// Run the linter over the named builtins. Exits 2 on usage errors, 1 if any
+/// error-severity diagnostic fires (the `ci.sh` gate), 0 otherwise.
+fn run_lint(args: &[String]) -> ! {
+    use sdlo_analysis::{lint, render_report, SeverityCounts};
+    use sdlo_ir::programs::{builtin, BUILTIN_NAMES};
+
+    let mut names: Vec<String> = Vec::new();
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--all-builtins" => names.extend(BUILTIN_NAMES.iter().map(|n| n.to_string())),
+            "--json" => json = true,
+            "--help" | "-h" => {
+                usage(false);
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => fail(&format!("unknown flag `{flag}`")),
+            positional => names.push(positional.to_string()),
+        }
+    }
+    if names.is_empty() {
+        fail("lint requires at least one program name or --all-builtins");
+    }
+
+    let mut total = SeverityCounts::default();
+    let mut report = Vec::new();
+    for name in &names {
+        let program = builtin(name).unwrap_or_else(|| {
+            fail(&format!(
+                "unknown builtin program `{name}` (expected one of {})",
+                BUILTIN_NAMES.join(", ")
+            ))
+        });
+        let diags = lint(&program);
+        let counts = SeverityCounts::of(&diags);
+        total.errors += counts.errors;
+        total.warnings += counts.warnings;
+        total.infos += counts.infos;
+        println!("== {name} ==");
+        println!("{}", render_report(&program, &diags));
+        report.push((
+            name.to_string(),
+            Value::obj(vec![
+                (
+                    "diagnostics",
+                    Value::Array(diags.iter().map(sdlo_wire::diagnostic_to_value).collect()),
+                ),
+                (
+                    "summary",
+                    Value::obj(vec![
+                        ("error", Value::from(counts.errors)),
+                        ("warning", Value::from(counts.warnings)),
+                        ("info", Value::from(counts.infos)),
+                    ]),
+                ),
+            ]),
+        ));
+    }
+    if json {
+        write_json("lint", &Value::Object(report));
+    }
+    println!(
+        "lint: {} program(s), {} error(s), {} warning(s), {} info(s)",
+        names.len(),
+        total.errors,
+        total.warnings,
+        total.infos
+    );
+    std::process::exit(if total.errors > 0 { 1 } else { 0 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("lint") {
+        run_lint(&args[1..]);
+    }
     let opts = parse_args(&args);
     let Options {
         scale,

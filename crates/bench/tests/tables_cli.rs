@@ -1,0 +1,151 @@
+//! Integration tests for the `tables` binary: strict argument handling,
+//! `results/` directory creation for `--json`, and the `lint` subcommand
+//! that `ci.sh` uses as a gate.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tables() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tables"))
+}
+
+fn run(args: &[&str]) -> Output {
+    tables().args(args).output().expect("spawn tables")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A unique scratch directory that does not yet contain `results/`.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tables-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn unknown_experiment_exits_2_with_usage() {
+    let out = run(&["no_such_experiment"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown experiment"), "{err}");
+    assert!(err.contains("usage: tables"), "{err}");
+}
+
+#[test]
+fn unknown_flag_exits_2_with_usage() {
+    let out = run(&["table1", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown flag"), "{}", stderr(&out));
+}
+
+#[test]
+fn bad_scale_and_bad_n_exit_2() {
+    let out = run(&["table2", "--scale", "huge"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown scale"), "{}", stderr(&out));
+
+    let out = run(&["fig10", "--n", "-3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("positive integer"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn help_exits_0_and_mentions_lint() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("usage: tables"), "{text}");
+    assert!(text.contains("tables lint"), "{text}");
+}
+
+#[test]
+fn lint_builtin_reports_diagnostics_and_exits_0() {
+    let out = run(&["lint", "matmul"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("== matmul =="), "{text}");
+    assert!(text.contains("untiled-reuse"), "{text}");
+    assert!(text.contains("0 error(s)"), "{text}");
+}
+
+#[test]
+fn lint_all_builtins_is_error_clean() {
+    // The ci.sh gate: every builtin workload must lint clean at error
+    // severity, which the binary reports through its exit status.
+    let out = run(&["lint", "--all-builtins"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    for name in [
+        "matmul",
+        "tiled_matmul",
+        "two_index_unfused",
+        "two_index_fused",
+        "tiled_two_index",
+    ] {
+        assert!(text.contains(&format!("== {name} ==")), "{text}");
+    }
+    assert!(text.contains("lint: 5 program(s), 0 error(s)"), "{text}");
+}
+
+#[test]
+fn lint_unknown_program_and_missing_args_exit_2() {
+    let out = run(&["lint", "no_such_program"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("unknown builtin program"),
+        "{}",
+        stderr(&out)
+    );
+
+    let out = run(&["lint"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("at least one program"),
+        "{}",
+        stderr(&out)
+    );
+
+    let out = run(&["lint", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn lint_json_creates_results_dir() {
+    let dir = scratch("lint-json");
+    let out = tables()
+        .args(["lint", "matmul", "--json"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn tables");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let path = dir.join("results").join("lint.json");
+    let body = std::fs::read_to_string(&path).expect("lint.json written");
+    assert!(body.contains("\"matmul\""), "{body}");
+    assert!(body.contains("untiled-reuse"), "{body}");
+    assert!(body.contains("\"summary\""), "{body}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn experiment_json_creates_results_dir() {
+    let dir = scratch("table1-json");
+    let out = tables()
+        .args(["table1", "--json"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn tables");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(dir.join("results").join("table1.json").is_file());
+    let _ = std::fs::remove_dir_all(&dir);
+}

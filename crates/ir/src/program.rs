@@ -33,6 +33,11 @@ impl ArrayDecl {
 /// Structural problems detected by [`Program::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValidateError {
+    /// Two array declarations share a name.
+    DuplicateArray { name: Sym },
+    /// An array was declared with no dimensions (scalars are declared with a
+    /// single extent-1 dimension, not zero dimensions).
+    ZeroDimArray { name: Sym },
     /// A reference used a loop index not bound by an enclosing loop.
     UnboundIndex { stmt: StmtId, index: Sym },
     /// Two loops in the same nesting path share an index name.
@@ -57,6 +62,12 @@ pub enum ValidateError {
 impl std::fmt::Display for ValidateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ValidateError::DuplicateArray { name } => {
+                write!(f, "array `{name}` declared more than once")
+            }
+            ValidateError::ZeroDimArray { name } => {
+                write!(f, "array `{name}` declared with zero dimensions")
+            }
             ValidateError::UnboundIndex { stmt, index } => {
                 write!(f, "statement {} uses unbound index `{index}`", stmt.0)
             }
@@ -264,6 +275,19 @@ impl Program {
                 }
             }
         }
+        let mut seen = BTreeSet::new();
+        for a in &self.arrays {
+            if !seen.insert(a.name.clone()) {
+                return Err(ValidateError::DuplicateArray {
+                    name: a.name.clone(),
+                });
+            }
+            if a.dims.is_empty() {
+                return Err(ValidateError::ZeroDimArray {
+                    name: a.name.clone(),
+                });
+            }
+        }
         let mut enclosing = Vec::new();
         let mut next_stmt = 0;
         for n in &self.root {
@@ -348,6 +372,30 @@ mod tests {
             p.validate(),
             Err(ValidateError::DimMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_array_names() {
+        let mut p = tiny();
+        p.declare("A", vec![Expr::var("M")]);
+        assert_eq!(
+            p.validate(),
+            Err(ValidateError::DuplicateArray {
+                name: Sym::new("A")
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_dim_arrays() {
+        let mut p = tiny();
+        p.declare("Z", vec![]);
+        assert_eq!(
+            p.validate(),
+            Err(ValidateError::ZeroDimArray {
+                name: Sym::new("Z")
+            })
+        );
     }
 
     #[test]

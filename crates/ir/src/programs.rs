@@ -20,6 +20,29 @@ fn v(name: &str) -> Expr {
     Expr::var(name)
 }
 
+/// Names of all builtin workloads, in presentation order. Tools that accept a
+/// program by name (the service's ops, `tables lint`) resolve against this
+/// list via [`builtin`].
+pub const BUILTIN_NAMES: [&str; 5] = [
+    "matmul",
+    "tiled_matmul",
+    "two_index_unfused",
+    "two_index_fused",
+    "tiled_two_index",
+];
+
+/// Look up a builtin workload by its [`BUILTIN_NAMES`] entry.
+pub fn builtin(name: &str) -> Option<Program> {
+    match name {
+        "matmul" => Some(matmul()),
+        "tiled_matmul" => Some(tiled_matmul()),
+        "two_index_unfused" => Some(two_index_unfused()),
+        "two_index_fused" => Some(two_index_fused()),
+        "tiled_two_index" => Some(tiled_two_index()),
+        _ => None,
+    }
+}
+
 /// Padded extent `ceil(bound/tile)*tile` for tiled array dimensions.
 fn padded(bound: &str, tile: &str) -> Expr {
     v(bound).ceil_div(&v(tile)) * v(tile)
@@ -437,6 +460,15 @@ mod tests {
             assert!(syms.contains(&Sym::new(s)), "missing {s}");
         }
         assert!(!syms.contains(&Sym::new("iT")));
+    }
+
+    #[test]
+    fn builtin_registry_is_consistent() {
+        for name in BUILTIN_NAMES {
+            let p = builtin(name).expect("every listed name resolves");
+            p.validate().expect("builtins are well-formed");
+        }
+        assert!(builtin("no_such_program").is_none());
     }
 
     #[test]

@@ -186,6 +186,119 @@ fn scramble(p: &Program, seed: u64) -> Program {
     q
 }
 
+// ---------------------------------------------------------------------------
+// Near-collision fixtures: canonicalization must erase *only* diagnostic
+// choices. Programs that differ in a semantic detail — a stride symbol, a
+// write flag, subscript dimension order — must keep distinct canonical forms
+// and hashes, otherwise the service's memoization cache would serve one
+// program's analysis for another.
+// ---------------------------------------------------------------------------
+
+/// `for i in N { for j in M { A[i*si, j*sj] = B[i, j] } }` with the write
+/// flags and dim order injectable per variant.
+fn near_fixture(si: &str, sj: &str, writes: (bool, bool), swap_dims: bool) -> Program {
+    let stride = |s: &str| {
+        if s == "1" {
+            Expr::one()
+        } else {
+            Expr::var(s)
+        }
+    };
+    let mut p = Program::new("near");
+    let a = p.declare("A", vec![Expr::var("N"), Expr::var("M")]);
+    let b = p.declare("B", vec![Expr::var("N"), Expr::var("M")]);
+    let mut a_dims = vec![
+        DimExpr {
+            parts: vec![(Sym::new("i"), stride(si))],
+        },
+        DimExpr {
+            parts: vec![(Sym::new("j"), stride(sj))],
+        },
+    ];
+    if swap_dims {
+        a_dims.swap(0, 1);
+    }
+    let stmt = Stmt {
+        id: StmtId(0),
+        label: "s0".into(),
+        kind: StmtKind::Assign,
+        refs: vec![
+            ArrayRef {
+                array: a,
+                dims: a_dims,
+                is_write: writes.0,
+            },
+            ArrayRef {
+                array: b,
+                dims: vec![
+                    DimExpr {
+                        parts: vec![(Sym::new("i"), Expr::one())],
+                    },
+                    DimExpr {
+                        parts: vec![(Sym::new("j"), Expr::one())],
+                    },
+                ],
+                is_write: writes.1,
+            },
+        ],
+    };
+    p.root = vec![Node::Loop(sdlo_ir::LoopNode {
+        index: Sym::new("i"),
+        bound: Expr::var("N"),
+        body: vec![Node::Loop(sdlo_ir::LoopNode {
+            index: Sym::new("j"),
+            bound: Expr::var("M"),
+            body: vec![Node::Stmt(stmt)],
+        })],
+    })];
+    assert_eq!(p.validate(), Ok(()));
+    p
+}
+
+/// Canonicalization must distinguish the two programs *and* stay stable
+/// under scrambling of each, so the difference is semantic, not cosmetic.
+fn assert_distinct(p: &Program, q: &Program) {
+    let cp = canonicalize(p);
+    let cq = canonicalize(q);
+    assert_ne!(cp.hash, cq.hash, "hashes must differ");
+    assert_ne!(cp.program, cq.program, "canonical programs must differ");
+    assert_eq!(cp.hash, canonicalize(&scramble(p, 7)).hash);
+    assert_eq!(cq.hash, canonicalize(&scramble(q, 7)).hash);
+}
+
+#[test]
+fn stride_symbols_are_not_erased() {
+    // A[i*T, j] vs A[i*U, j]: same shape, different tile symbol.
+    assert_distinct(
+        &near_fixture("T", "1", (true, false), false),
+        &near_fixture("U", "1", (true, false), false),
+    );
+    // A[i*T, j] vs A[i, j*T]: same symbols, stride on a different dim.
+    assert_distinct(
+        &near_fixture("T", "1", (true, false), false),
+        &near_fixture("1", "T", (true, false), false),
+    );
+}
+
+#[test]
+fn write_flags_are_not_erased() {
+    // A = B vs the flags swapped (B = A in effect): reuse analysis treats
+    // reads and writes alike but the service must not conflate them.
+    assert_distinct(
+        &near_fixture("1", "1", (true, false), false),
+        &near_fixture("1", "1", (false, true), false),
+    );
+}
+
+#[test]
+fn dim_order_is_not_erased() {
+    // A[i,j] = B[i,j] vs A[j,i] = B[i,j]: transposed access pattern.
+    assert_distinct(
+        &near_fixture("1", "1", (true, false), false),
+        &near_fixture("1", "1", (true, false), true),
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -206,6 +319,66 @@ proptest! {
         // The correspondence maps back to each input's own ids.
         prop_assert_eq!(cp.array_map.len(), p.arrays.len());
         prop_assert_eq!(cq.array_map.len(), q.arrays.len());
+    }
+
+    /// Near-collision property: a *semantic* mutation — renaming the stride
+    /// symbol, flipping a write flag, or reversing a subscript's dim order —
+    /// must always change the canonical hash.
+    #[test]
+    fn semantic_mutations_change_the_hash(
+        seed in 0u64..u64::MAX,
+        mutation in 0usize..3,
+    ) {
+        let p = random_program(seed);
+        let mut q = p.clone();
+
+        fn stmts_mut(nodes: &mut [Node], f: &mut impl FnMut(&mut Stmt)) {
+            for n in nodes {
+                match n {
+                    Node::Loop(l) => stmts_mut(&mut l.body, f),
+                    Node::Stmt(s) => f(s),
+                }
+            }
+        }
+
+        let mut changed = false;
+        match mutation {
+            // Rename the tile stride symbol T -> U wherever it appears.
+            0 => stmts_mut(&mut q.root, &mut |s| {
+                for r in &mut s.refs {
+                    for d in &mut r.dims {
+                        for (_, stride) in &mut d.parts {
+                            if *stride == Expr::var("T") {
+                                *stride = Expr::var("U");
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }),
+            // Flip the first reference's write flag.
+            1 => stmts_mut(&mut q.root, &mut |s| {
+                if !changed {
+                    s.refs[0].is_write = !s.refs[0].is_write;
+                    changed = true;
+                }
+            }),
+            // Reverse the dims of the first ref whose dims actually differ.
+            _ => stmts_mut(&mut q.root, &mut |s| {
+                for r in &mut s.refs {
+                    if !changed && r.dims[0] != r.dims[1] {
+                        r.dims.reverse();
+                        changed = true;
+                    }
+                }
+            }),
+        }
+        // Skip cases where the chosen mutation was a no-op for this program
+        // (e.g. it uses no tile stride, or every ref has equal dims).
+        if changed {
+            prop_assert_eq!(q.validate(), Ok(()));
+            prop_assert!(canonicalize(&p).hash != canonicalize(&q).hash);
+        }
     }
 
     /// Canonical forms are fixed points: canonicalizing again changes nothing.

@@ -17,6 +17,11 @@
 //!   — optimal tile sizes; `"mode":"exhaustive"` for the unpruned baseline,
 //!   `"bounds_free":{…}` for the §6 bounds-oblivious search.
 //! * `{"op":"batch","requests":[…]}` — sub-requests evaluated in parallel.
+//! * `{"op":"lint","program":…}` — static diagnostics (`sdlo-analysis`):
+//!   model-assumption violations and locality anti-patterns, each with a
+//!   rule id, severity, span and optional fix-it. Inline programs that fail
+//!   [`Program::validate`] still lint (the `structure` diagnostic reports
+//!   the problem) — only schema-level decode errors fail the request.
 //! * `{"op":"stats"}` — counters, latency histograms, cache hit rate.
 //!
 //! `"program"` is either a builtin name (`"matmul"`, `"tiled_matmul"`, …)
@@ -30,11 +35,13 @@ use crate::metrics::{Kind, Metrics};
 use rayon::prelude::*;
 use sdlo_core::model::MissModel;
 use sdlo_ir::canon::{canonicalize, Canonical};
-use sdlo_ir::{programs, Program};
+use sdlo_ir::programs::{builtin, BUILTIN_NAMES as BUILTINS};
+use sdlo_ir::Program;
 use sdlo_symbolic::{Bindings, Sym};
 use sdlo_tilesearch::{SearchSpace, TileSearcher};
 use sdlo_wire::{
-    bindings_from_value, component_to_value, outcome_to_value, program_from_value, Value, WireError,
+    bindings_from_value, component_to_value, diagnostic_to_value, outcome_to_value,
+    program_from_value, program_from_value_unchecked, Value, WireError,
 };
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -196,6 +203,7 @@ impl Engine {
             Kind::Predict => self.op_predict(request),
             Kind::Advise => self.op_advise(request),
             Kind::Batch => self.op_batch(request, started),
+            Kind::Lint => self.op_lint(request),
             Kind::Stats => self.op_stats(),
             Kind::Sleep => self.op_sleep(request),
             Kind::Other => Err(fail(
@@ -466,6 +474,54 @@ impl Engine {
         Ok(vec![("responses", Value::Array(responses))])
     }
 
+    fn op_lint(&self, request: &Value) -> OpResult {
+        use std::sync::atomic::Ordering::Relaxed;
+        let spec = request
+            .get("program")
+            .ok_or_else(|| fail("schema", "missing `program` field"))?;
+        let program = if let Some(name) = spec.as_str() {
+            builtin(name).ok_or_else(|| {
+                fail(
+                    "schema",
+                    format!(
+                        "unknown builtin program `{name}` (expected one of {})",
+                        BUILTINS.join(", ")
+                    ),
+                )
+            })?
+        } else {
+            // Deliberately skip validation: structural problems are exactly
+            // what the `structure` diagnostic reports.
+            program_from_value_unchecked(spec)?
+        };
+        let diags = sdlo_analysis::lint(&program);
+        let counts = sdlo_analysis::SeverityCounts::of(&diags);
+        self.metrics
+            .lint_diag_errors
+            .fetch_add(counts.errors as u64, Relaxed);
+        self.metrics
+            .lint_diag_warnings
+            .fetch_add(counts.warnings as u64, Relaxed);
+        self.metrics
+            .lint_diag_infos
+            .fetch_add(counts.infos as u64, Relaxed);
+        Ok(vec![
+            ("program", Value::from(program.name.as_str())),
+            (
+                "diagnostics",
+                Value::Array(diags.iter().map(diagnostic_to_value).collect()),
+            ),
+            (
+                "summary",
+                Value::obj(vec![
+                    ("error", Value::from(counts.errors)),
+                    ("warning", Value::from(counts.warnings)),
+                    ("info", Value::from(counts.infos)),
+                ]),
+            ),
+        ])
+    }
+
     fn op_stats(&self) -> OpResult {
         let mut snap = match self.metrics.snapshot() {
             Value::Object(fields) => fields,
@@ -592,25 +648,6 @@ impl Engine {
                 ),
             ))
         }
-    }
-}
-
-const BUILTINS: [&str; 5] = [
-    "matmul",
-    "tiled_matmul",
-    "two_index_unfused",
-    "two_index_fused",
-    "tiled_two_index",
-];
-
-fn builtin(name: &str) -> Option<Program> {
-    match name {
-        "matmul" => Some(programs::matmul()),
-        "tiled_matmul" => Some(programs::tiled_matmul()),
-        "two_index_unfused" => Some(programs::two_index_unfused()),
-        "two_index_fused" => Some(programs::two_index_fused()),
-        "tiled_two_index" => Some(programs::tiled_two_index()),
-        _ => None,
     }
 }
 
@@ -763,6 +800,43 @@ mod tests {
         assert_eq!(rs[0].get("id").unwrap().as_str(), Some("a"));
         assert_eq!(rs[1].get("id").unwrap().as_str(), Some("b"));
         assert_eq!(rs[2].get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn lint_reports_diagnostics_for_builtins() {
+        let e = engine();
+        let resp = parse(&e.handle_line(r#"{"op":"lint","id":1,"program":"matmul"}"#));
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+        let summary = resp.get("summary").unwrap();
+        assert_eq!(summary.get("error").unwrap().as_u64(), Some(0));
+        let diags = resp.get("diagnostics").unwrap().as_array().unwrap();
+        assert!(diags
+            .iter()
+            .any(|d| d.get("rule").unwrap().as_str() == Some("untiled-reuse")));
+        // Diagnostic counts surface in stats.
+        let stats = parse(&e.handle_line(r#"{"op":"stats"}"#));
+        let lint = stats.get("stats").unwrap().get("lint").unwrap();
+        let d = lint.get("diagnostics").unwrap();
+        assert_eq!(d.get("error").unwrap().as_u64(), Some(0));
+        assert!(d.get("warning").unwrap().as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn lint_accepts_invalid_inline_programs() {
+        let e = engine();
+        // Unbound index `i`: predict refuses this program, lint reports it.
+        let prog = r#""program":{"name":"bad","arrays":[{"name":"A","dims":["N"]}],
+            "nest":[{"stmt":{"kind":"zero",
+                     "refs":[{"array":"A","write":true,"dims":[[{"index":"i"}]]}]}}]}"#;
+        let resp = parse(&e.handle_line(&format!(r#"{{"op":"lint",{prog}}}"#)));
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+        let diags = resp.get("diagnostics").unwrap().as_array().unwrap();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].get("rule").unwrap().as_str(), Some("structure"));
+        assert_eq!(diags[0].get("severity").unwrap().as_str(), Some("error"));
+        // Schema-level garbage still fails the request.
+        let resp = parse(&e.handle_line(r#"{"op":"lint","program":{"name":"x"}}"#));
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
     }
 
     #[test]

@@ -12,17 +12,19 @@ pub enum Kind {
     Predict,
     Advise,
     Batch,
+    Lint,
     Stats,
     Sleep,
     Other,
 }
 
 impl Kind {
-    pub const ALL: [Kind; 7] = [
+    pub const ALL: [Kind; 8] = [
         Kind::Analyze,
         Kind::Predict,
         Kind::Advise,
         Kind::Batch,
+        Kind::Lint,
         Kind::Stats,
         Kind::Sleep,
         Kind::Other,
@@ -34,6 +36,7 @@ impl Kind {
             Kind::Predict => "predict",
             Kind::Advise => "advise",
             Kind::Batch => "batch",
+            Kind::Lint => "lint",
             Kind::Stats => "stats",
             Kind::Sleep => "sleep",
             Kind::Other => "other",
@@ -46,6 +49,7 @@ impl Kind {
             "predict" => Kind::Predict,
             "advise" => Kind::Advise,
             "batch" => Kind::Batch,
+            "lint" => Kind::Lint,
             "stats" => Kind::Stats,
             "sleep" => Kind::Sleep,
             _ => Kind::Other,
@@ -146,6 +150,12 @@ pub struct Metrics {
     pub connections: AtomicU64,
     /// Jobs currently queued or executing in the worker pool.
     pub queue_depth: AtomicU64,
+    /// `error`-severity diagnostics returned by `lint` requests.
+    pub lint_diag_errors: AtomicU64,
+    /// `warning`-severity diagnostics returned by `lint` requests.
+    pub lint_diag_warnings: AtomicU64,
+    /// `info`-severity diagnostics returned by `lint` requests.
+    pub lint_diag_infos: AtomicU64,
 }
 
 impl Metrics {
@@ -187,6 +197,17 @@ impl Metrics {
                     ("hits", load(&self.cache_hits)),
                     ("misses", load(&self.cache_misses)),
                 ]),
+            ),
+            (
+                "lint",
+                Value::obj(vec![(
+                    "diagnostics",
+                    Value::obj(vec![
+                        ("error", load(&self.lint_diag_errors)),
+                        ("warning", load(&self.lint_diag_warnings)),
+                        ("info", load(&self.lint_diag_infos)),
+                    ]),
+                )]),
             ),
             ("malformed", load(&self.malformed)),
             ("rejected", load(&self.rejected)),

@@ -120,6 +120,54 @@ fn full_session_analyze_predict_advise_batch() {
 }
 
 #[test]
+fn lint_over_loopback_counts_diagnostics_in_stats() {
+    let handle = start(small_server());
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Lint two builtins: the untiled matmul yields warnings/infos, the tiled
+    // one should add infos only (both are error-clean).
+    for prog in ["matmul", "tiled_matmul"] {
+        let resp = req(&mut c, &format!(r#"{{"op":"lint","program":"{prog}"}}"#));
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+        assert_eq!(
+            resp.get("summary").unwrap().get("error").unwrap().as_u64(),
+            Some(0),
+            "{prog} must be error-clean"
+        );
+        let diags = resp.get("diagnostics").unwrap().as_array().unwrap();
+        for d in diags {
+            assert!(d.get("rule").unwrap().as_str().is_some());
+            assert!(d.get("severity").unwrap().as_str().is_some());
+            assert!(d.get("message").unwrap().as_str().is_some());
+        }
+    }
+
+    // An invalid inline program lints to a single structure error.
+    let resp = req(
+        &mut c,
+        r#"{"op":"lint","program":{"name":"bad","arrays":[{"name":"A","dims":["N"]}],"nest":[{"stmt":{"kind":"zero","refs":[{"array":"A","write":true,"dims":[[{"index":"q"}]]}]}}]}}"#,
+    );
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+    assert_eq!(
+        resp.get("summary").unwrap().get("error").unwrap().as_u64(),
+        Some(1)
+    );
+
+    // Per-severity totals accumulate in the stats op.
+    let resp = req(&mut c, r#"{"op":"stats"}"#);
+    let stats = resp.get("stats").unwrap();
+    let lint = stats.get("lint").unwrap().get("diagnostics").unwrap();
+    assert_eq!(lint.get("error").unwrap().as_u64(), Some(1));
+    assert!(lint.get("warning").unwrap().as_u64().unwrap() > 0);
+    assert!(lint.get("info").unwrap().as_u64().unwrap() > 0);
+    let lint_reqs = stats.get("requests").unwrap().get("lint").unwrap();
+    assert_eq!(lint_reqs.get("requests").unwrap().as_u64(), Some(3));
+    assert_eq!(lint_reqs.get("errors").unwrap().as_u64(), Some(0));
+
+    handle.shutdown();
+}
+
+#[test]
 fn malformed_and_oversized_requests_get_structured_errors() {
     let config = ServerConfig {
         max_line_bytes: 1024,

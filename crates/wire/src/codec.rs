@@ -224,6 +224,16 @@ pub fn program_to_value(p: &Program) -> Value {
 /// Decode a program and validate it. Statement ids are assigned in program
 /// order; labels are regenerated from the reference structure.
 pub fn program_from_value(v: &Value) -> Result<Program, WireError> {
+    let p = program_from_value_unchecked(v)?;
+    p.validate().map_err(WireError::Validate)?;
+    Ok(p)
+}
+
+/// Decode a program WITHOUT the final [`Program::validate`] step. For the
+/// lint path: structural problems are the linter's `structure` diagnostics,
+/// not a request error. Schema-level problems (unknown arrays, bad
+/// expressions) still fail the decode.
+pub fn program_from_value_unchecked(v: &Value) -> Result<Program, WireError> {
     let name = v.get("name").and_then(Value::as_str).unwrap_or("unnamed");
     let mut p = Program::new(name);
     let arrays = field(v, "arrays", "program")?
@@ -336,7 +346,6 @@ pub fn program_from_value(v: &Value) -> Result<Program, WireError> {
         .iter()
         .map(|n| decode_node(&p, n, &mut next_stmt))
         .collect::<Result<_, _>>()?;
-    p.validate().map_err(WireError::Validate)?;
     Ok(p)
 }
 
@@ -411,6 +420,43 @@ pub fn component_to_value(c: &Component, name_of: impl Fn(ArrayId) -> String) ->
         ("count", Value::from(expr_to_string(&c.count))),
         ("distance", distance),
     ])
+}
+
+/// Encode one lint diagnostic. Span coordinates are emitted only when the
+/// rule filled them in; the fix-it is an optional `{action, detail}` object.
+pub fn diagnostic_to_value(d: &sdlo_analysis::Diagnostic) -> Value {
+    let mut span = Vec::new();
+    if let Some(s) = d.span.stmt {
+        span.push(("stmt", Value::from(s.0)));
+    }
+    if let Some(r) = d.span.ref_idx {
+        span.push(("ref", Value::from(r)));
+    }
+    if let Some(dim) = d.span.dim {
+        span.push(("dim", Value::from(dim)));
+    }
+    if let Some(l) = &d.span.loop_index {
+        span.push(("loop", Value::from(l.name())));
+    }
+    if let Some(a) = &d.span.array {
+        span.push(("array", Value::from(a.name())));
+    }
+    let mut fields = vec![
+        ("rule", Value::from(d.rule)),
+        ("severity", Value::from(d.severity.name())),
+        ("span", Value::obj(span)),
+        ("message", Value::from(d.message.as_str())),
+    ];
+    if let Some(fx) = &d.fixit {
+        fields.push((
+            "fixit",
+            Value::obj(vec![
+                ("action", Value::from(fx.action)),
+                ("detail", Value::from(fx.detail.as_str())),
+            ]),
+        ));
+    }
+    Value::obj(fields)
 }
 
 /// `{"tiles": {"Ti": 8, …}, "misses": n}` with tiles named by the search
@@ -488,6 +534,25 @@ mod tests {
         assert_eq!(b2.get(&Sym::new("N")), Some(512));
         assert_eq!(b2.get(&Sym::new("Ti")), Some(64));
         assert_eq!(b2.get(&Sym::new("neg")), Some(-3));
+    }
+
+    #[test]
+    fn diagnostic_encodes_span_and_fixit() {
+        let p = programs::matmul();
+        let diags = sdlo_analysis::lint(&p);
+        let d = diags
+            .iter()
+            .find(|d| d.rule == "untiled-reuse")
+            .expect("matmul has untiled reuse");
+        let v = diagnostic_to_value(d);
+        assert_eq!(v.get("rule").unwrap().as_str(), Some("untiled-reuse"));
+        assert_eq!(v.get("severity").unwrap().as_str(), Some("warning"));
+        assert!(v.get("span").unwrap().get("loop").is_some());
+        let fx = v.get("fixit").unwrap();
+        assert_eq!(fx.get("action").unwrap().as_str(), Some("tile-loop"));
+        // The document renders and re-parses.
+        let text = v.render();
+        assert!(crate::json::parse(&text).is_ok(), "{text}");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! paper-to-code map.
 
+pub use sdlo_analysis as analysis;
 pub use sdlo_cachesim as cachesim;
 pub use sdlo_core as core;
 pub use sdlo_ir as ir;
