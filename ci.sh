@@ -23,4 +23,11 @@ cargo test --workspace -q
 echo "==> tables lint --all-builtins"
 cargo run --release -q -p sdlo-bench --bin tables -- lint --all-builtins
 
+# Phase profiling: every builtin's model build must stay inside a generous
+# wall-time budget (`tables profile` exits 1 otherwise); the Chrome trace
+# lands in results/ for inspection.
+echo "==> tables profile --all-builtins"
+cargo run --release -q -p sdlo-bench --bin tables -- profile --all-builtins \
+    --trace-out results/profile-trace.json --json --budget-ms 2000
+
 echo "CI green."

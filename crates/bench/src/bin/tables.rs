@@ -3,6 +3,8 @@
 //! ```text
 //! tables <experiment> [--scale small|paper] [--measure] [--n <bound>] [--json]
 //! tables lint <program>... | --all-builtins [--json]
+//! tables profile <program>... | --all-builtins [--trace-out PATH]
+//!                [--budget-ms N] [--cache N] [--json]
 //!
 //! experiments: table1 table2 table3 table4 fig10 fig11 ablations all
 //! ```
@@ -31,7 +33,16 @@ fn usage(to_stderr: bool) {
          \n\
          lint runs the static analyzer over builtin programs (see\n\
          sdlo-analysis); it exits 1 if any error-severity diagnostic fires.\n\
-         --all-builtins        lint every builtin workload";
+         --all-builtins        lint every builtin workload\n\
+         \n\
+         profile runs each pipeline phase (model build, prediction, tile\n\
+         search, simulator replay) under the trace collector and prints a\n\
+         per-phase wall-time/counter table.\n\
+         \x20 tables profile <program>... | --all-builtins\n\
+         \x20         [--trace-out PATH]  Chrome trace JSON (Perfetto-loadable)\n\
+         \x20         [--budget-ms N]     exit 1 if model.build exceeds N ms\n\
+         \x20         [--cache N]         cache size in elements (default 8192)\n\
+         \x20         [--json]            also write results/profile.json";
     if to_stderr {
         eprintln!("{text}");
     } else {
@@ -481,10 +492,162 @@ fn run_lint(args: &[String]) -> ! {
     std::process::exit(if total.errors > 0 { 1 } else { 0 });
 }
 
+// ---------------------------------------------------------------------------
+// `tables profile` — phase profiling with Chrome trace export
+// ---------------------------------------------------------------------------
+
+/// Profile the named builtins (model build, prediction, tile search,
+/// simulator replay) under the trace collector. Prints a per-phase
+/// wall-time/counter table; `--trace-out` additionally writes a Chrome
+/// trace-event JSON loadable in Perfetto. Exits 1 if `--budget-ms` is set
+/// and any builtin's `model.build` span exceeds it.
+fn run_profile(args: &[String]) -> ! {
+    use sdlo_bench::profile::{chrome_trace, profile_builtin, resolve_name, ProfileOptions};
+    use sdlo_ir::programs::BUILTIN_NAMES;
+
+    let mut names: Vec<String> = Vec::new();
+    let mut trace_out: Option<String> = None;
+    let mut budget_ms: Option<u64> = None;
+    let mut json = false;
+    let mut opts = ProfileOptions::default();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all-builtins" => names.extend(BUILTIN_NAMES.iter().map(|n| n.to_string())),
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p.clone()),
+                None => fail("--trace-out requires a path"),
+            },
+            "--budget-ms" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => budget_ms = Some(n),
+                _ => fail("--budget-ms requires a positive integer"),
+            },
+            "--cache" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => opts.cache = n,
+                _ => fail("--cache requires a positive integer (elements)"),
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                usage(false);
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => fail(&format!("unknown flag `{flag}`")),
+            positional => names.push(positional.to_string()),
+        }
+    }
+    if names.is_empty() {
+        fail("profile requires at least one program name or --all-builtins");
+    }
+
+    let mut reports = Vec::new();
+    let mut over_budget = false;
+    for name in &names {
+        let report = profile_builtin(name, &opts).unwrap_or_else(|| {
+            fail(&format!(
+                "unknown builtin program `{name}` (expected one of {}, or two_index_tiled)",
+                BUILTIN_NAMES.join(", ")
+            ))
+        });
+        debug_assert_eq!(Some(report.program.as_str()), resolve_name(name));
+        println!("== {} ==", report.program);
+        println!(
+            "{:<24} {:>6} {:>12}   counters",
+            "phase", "calls", "total µs"
+        );
+        for p in &report.phases {
+            let counters = p
+                .counters
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            println!(
+                "{:<24} {:>6} {:>12}   {}",
+                p.name, p.calls, p.total_micros, counters
+            );
+        }
+        println!();
+        if let Some(budget) = budget_ms {
+            let build_micros: u64 = report
+                .phases
+                .iter()
+                .filter(|p| p.name == "model.build")
+                .map(|p| p.total_micros)
+                .sum();
+            if build_micros > budget * 1000 {
+                eprintln!(
+                    "error: {}: model.build took {build_micros} µs, budget is {budget} ms",
+                    report.program
+                );
+                over_budget = true;
+            }
+        }
+        reports.push(report);
+    }
+
+    if let Some(path) = &trace_out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("error: cannot create {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, chrome_trace(&reports)) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    if json {
+        let doc = Value::Object(
+            reports
+                .iter()
+                .map(|r| {
+                    (
+                        r.program.clone(),
+                        Value::obj(vec![(
+                            "phases",
+                            Value::Array(
+                                r.phases
+                                    .iter()
+                                    .map(|p| {
+                                        Value::obj(vec![
+                                            ("name", Value::from(p.name.as_str())),
+                                            ("calls", Value::from(p.calls)),
+                                            ("total_micros", Value::from(p.total_micros)),
+                                            (
+                                                "counters",
+                                                Value::Object(
+                                                    p.counters
+                                                        .iter()
+                                                        .map(|(k, v)| (k.clone(), Value::from(*v)))
+                                                        .collect(),
+                                                ),
+                                            ),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        )]),
+                    )
+                })
+                .collect(),
+        );
+        write_json("profile", &doc);
+    }
+    std::process::exit(if over_budget { 1 } else { 0 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("lint") {
         run_lint(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("profile") {
+        run_profile(&args[1..]);
     }
     let opts = parse_args(&args);
     let Options {

@@ -6,5 +6,6 @@
 //! `tables` binary and the criterion benches share one implementation.
 
 pub mod experiments;
+pub mod profile;
 
 pub use experiments::*;

@@ -1,0 +1,145 @@
+//! Phase profiling over the builtin workloads: run each pipeline stage
+//! (model build → prediction → tile search → simulator replay) under the
+//! [`sdlo_trace`] collector and report per-phase wall time and counters,
+//! plus a Chrome trace-event document loadable in Perfetto / `chrome://tracing`.
+//!
+//! Used by `tables profile`; kept in the library so tests can drive it
+//! without spawning the binary.
+
+use sdlo_cachesim::{simulate_stack_distances, Granularity};
+use sdlo_core::MissModel;
+use sdlo_ir::programs::{builtin, BUILTIN_NAMES};
+use sdlo_ir::{Bindings, CompiledProgram};
+use sdlo_tilesearch::{SearchSpace, TileSearcher};
+use sdlo_trace::{MemoryCollector, PhaseSummary, Record};
+
+/// Knobs for one profiling run.
+#[derive(Debug, Clone)]
+pub struct ProfileOptions {
+    /// Loop bound bound to every `N*` symbol.
+    pub bound: i128,
+    /// Tile size bound to every `T*` symbol (prediction and replay).
+    pub tile: i128,
+    /// Cache size in elements for prediction and the tile search.
+    pub cache: u64,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        ProfileOptions {
+            bound: 32,
+            tile: 8,
+            cache: 8192,
+        }
+    }
+}
+
+/// One profiled builtin: its per-phase summary plus the raw trace records.
+pub struct ProfileReport {
+    pub program: String,
+    pub phases: Vec<PhaseSummary>,
+    pub records: Vec<Record>,
+}
+
+/// Accept the canonical builtin names plus the loop-order spelling
+/// `two_index_tiled` for `tiled_two_index`.
+pub fn resolve_name(name: &str) -> Option<&'static str> {
+    if name == "two_index_tiled" {
+        return Some("tiled_two_index");
+    }
+    BUILTIN_NAMES.iter().copied().find(|n| *n == name)
+}
+
+/// Bindings giving every free `N*` symbol `opts.bound` and every `T*`
+/// symbol `opts.tile`; other symbols (none among the builtins) get the
+/// bound. Returns the bindings plus the tile symbols, which drive the
+/// search-space construction.
+fn generic_bindings(program: &sdlo_ir::Program, opts: &ProfileOptions) -> (Bindings, Vec<String>) {
+    let mut bindings = Bindings::new();
+    let mut tile_syms = Vec::new();
+    for sym in program.free_symbols() {
+        let name = sym.name();
+        if name.starts_with('T') {
+            bindings = bindings.with(name, opts.tile);
+            tile_syms.push(name.to_string());
+        } else {
+            bindings = bindings.with(name, opts.bound);
+        }
+    }
+    (bindings, tile_syms)
+}
+
+/// Profile one builtin: install a fresh collector, run the full pipeline,
+/// and return the recorded spans. The collector is process-global, so runs
+/// are serialized by construction (the caller iterates).
+pub fn profile_builtin(name: &str, opts: &ProfileOptions) -> Option<ProfileReport> {
+    let canonical = resolve_name(name)?;
+    let program = builtin(canonical).expect("resolved builtin exists");
+    let (bindings, tile_syms) = generic_bindings(&program, opts);
+
+    let collector = MemoryCollector::new();
+    sdlo_trace::install(collector.clone());
+    {
+        let run = sdlo_trace::span("profile.run");
+        run.attr("program", canonical);
+
+        // Model build: partitioning + component classification + symbolic
+        // stack-distance derivation.
+        let model = MissModel::build(&program);
+
+        // One prediction at the profiled cache size.
+        let _ = model.predict_misses(&bindings, opts.cache);
+
+        // Tile search over the tiled builtins (the untiled ones have no
+        // tile symbols to search).
+        if !tile_syms.is_empty() {
+            let space = SearchSpace {
+                max: vec![opts.bound.max(4) as u64; tile_syms.len()],
+                tile_syms,
+                min: 4,
+            };
+            let mut bound_only = Bindings::new();
+            for sym in program.free_symbols() {
+                if !sym.name().starts_with('T') {
+                    bound_only = bound_only.with(sym.name(), opts.bound);
+                }
+            }
+            let searcher = TileSearcher::new(&model, bound_only, opts.cache, space);
+            let _ = searcher.pruned();
+        }
+
+        // Simulator replay at the same configuration.
+        if let Ok(compiled) = CompiledProgram::compile(&program, &bindings) {
+            let _ = simulate_stack_distances(&compiled, Granularity::Element);
+        }
+    }
+    sdlo_trace::uninstall();
+
+    let records = collector.records();
+    let phases = sdlo_trace::summarize(&records);
+    Some(ProfileReport {
+        program: canonical.to_string(),
+        phases,
+        records,
+    })
+}
+
+/// One Chrome trace-event document covering several profiled builtins.
+/// Span ids, thread ids and the timestamp epoch are process-global in
+/// `sdlo_trace`, so concatenating per-run records is sound.
+pub fn chrome_trace(reports: &[ProfileReport]) -> String {
+    let all: Vec<Record> = reports.iter().flat_map(|r| r.records.clone()).collect();
+    sdlo_trace::chrome::render(&all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_accepts_alias_and_builtins() {
+        assert_eq!(resolve_name("two_index_tiled"), Some("tiled_two_index"));
+        assert_eq!(resolve_name("matmul"), Some("matmul"));
+        assert_eq!(resolve_name("nope"), None);
+    }
+}

@@ -62,11 +62,15 @@ pub fn simulate_stack_distances(
     program: &CompiledProgram,
     granularity: Granularity,
 ) -> StackDistHistogram {
+    let span = sdlo_trace::span("cachesim.replay");
+    span.attr("mode", "stack_distance");
     let blocks = granularity.blocks(program.total_elements());
     let mut engine = StackDistanceEngine::with_dense_addresses(blocks);
     program.walk(&mut |a| {
         engine.access(granularity.map(a.addr));
     });
+    span.add("accesses", program.total_accesses());
+    span.add("blocks", blocks);
     engine.into_histogram()
 }
 
@@ -83,9 +87,12 @@ pub fn simulate_fully_associative(
 
 /// Drive a concrete cache model over the program's trace.
 pub fn simulate_cache(program: &CompiledProgram, cache: &mut SetAssocCache) -> CacheStats {
+    let span = sdlo_trace::span("cachesim.replay");
+    span.attr("mode", "set_assoc");
     program.walk(&mut |a| {
         cache.access_addr(a.addr);
     });
+    span.add("accesses", program.total_accesses());
     cache.stats()
 }
 

@@ -66,9 +66,13 @@ impl MissModel {
     /// Analyze `program` (paper §5: partition every reference's iteration
     /// space and attach symbolic stack distances).
     pub fn build(program: &Program) -> Self {
-        MissModel {
+        let span = sdlo_trace::span("model.build");
+        span.attr("program", program.name.as_str());
+        let model = MissModel {
             components: all_components(program),
-        }
+        };
+        span.add("components", model.components.len() as u64);
+        model
     }
 
     /// The underlying components.

@@ -348,11 +348,104 @@ fn combine(base: Expr, src: Boundary, tgt: Boundary) -> StackDistance {
     }
 }
 
-/// Enumerate the reuse components of reference `ref_idx` of statement `stmt`.
-pub fn components_for(program: &Program, stmt: &Stmt, ref_idx: usize) -> Vec<Component> {
-    let the_ref = &stmt.refs[ref_idx];
-    let array = the_ref.array;
+/// Deferred stack-distance derivation for one component: everything stage 1
+/// (partitioning + classification) learned that stage 2 needs. Splitting the
+/// two stages keeps the `model.partition` and `model.stack_distance` trace
+/// spans honest — each phase is timed separately.
+enum DistanceJob<'p> {
+    /// Compulsory component — no previous access.
+    Infinite,
+    /// Same-branch wrap-around reuse carried by `carrier`.
+    Wrap {
+        seq: &'p [Node],
+        carrier: &'p LoopNode,
+        branch_pos: usize,
+        array: ArrayId,
+    },
+    /// Reuse spanning from a source branch to a target branch of `seq`:
+    /// sibling reuse when `wraps` is false (`src_pos < tgt_pos`, span is the
+    /// contiguous slice), carried wrap-around across branches when true
+    /// (span leaves the end of `seq` and re-enters at the front).
+    Span {
+        seq: &'p [Node],
+        src_pos: usize,
+        tgt_pos: usize,
+        wraps: bool,
+        src_stmt: &'p Stmt,
+        tgt_stmt_id: StmtId,
+        the_ref: &'p ArrayRef,
+        array: ArrayId,
+    },
+}
+
+/// Stage 2: derive the symbolic stack distance for one component.
+fn distance_for(job: DistanceJob<'_>) -> StackDistance {
+    match job {
+        DistanceJob::Infinite => StackDistance::Infinite,
+        DistanceJob::Wrap {
+            seq,
+            carrier,
+            branch_pos,
+            array,
+        } => wrap_distance(seq, carrier, &seq[branch_pos], array),
+        DistanceJob::Span {
+            seq,
+            src_pos,
+            tgt_pos,
+            wraps,
+            src_stmt,
+            tgt_stmt_id,
+            the_ref,
+            array,
+        } => {
+            // Span: suffix of source branch + full mids + prefix of target
+            // branch; the reused array's coverage is its union box over the
+            // spanned branches.
+            let mut mids = CostMap::default();
+            let mut reused_span = CostMap::default();
+            if wraps {
+                for n in seq[src_pos + 1..].iter().chain(&seq[..tgt_pos]) {
+                    mids.merge(&subtree_costs(n));
+                }
+                for n in seq {
+                    reused_span.merge(&subtree_costs(n));
+                }
+            } else {
+                for n in &seq[src_pos + 1..tgt_pos] {
+                    mids.merge(&subtree_costs(n));
+                }
+                for n in &seq[src_pos..=tgt_pos] {
+                    reused_span.merge(&subtree_costs(n));
+                }
+            }
+            let base = mids.without(array).total() + reused_span.only(array).total();
+            let src_ref = src_stmt
+                .refs
+                .iter()
+                .find(|r| r.array == array)
+                .expect("source stmt references array");
+            let sb = boundary_costs(&seq[src_pos], src_stmt.id, src_ref, array, true);
+            let tb = boundary_costs(&seq[tgt_pos], tgt_stmt_id, the_ref, array, false);
+            combine(base, sb, tb)
+        }
+    }
+}
+
+/// Stage 1: partition the instances of reference `ref_idx` of `stmt` into
+/// components (kind + symbolic count) and record, per component, the
+/// [`DistanceJob`] stage 2 resolves into a stack distance.
+fn partition_reference<'p>(
+    program: &'p Program,
+    stmt: &Stmt,
+    ref_idx: usize,
+) -> Vec<(Component, DistanceJob<'p>)> {
     let levels = stmt_levels(program, stmt.id);
+    let last = levels.last().expect("statement occupies a level");
+    let Node::Stmt(tgt_stmt) = &last.seq[last.pos] else {
+        unreachable!("the last level addresses the statement itself")
+    };
+    let the_ref = &tgt_stmt.refs[ref_idx];
+    let array = the_ref.array;
     let owners: Vec<Option<&LoopNode>> = levels.iter().map(|l| l.owner).collect();
 
     let product_of = |range: &dyn Fn(usize, &LoopNode) -> Option<Expr>| -> Expr {
@@ -389,35 +482,28 @@ pub fn components_for(program: &Program, stmt: &Stmt, ref_idx: usize) -> Vec<Com
                     None
                 }
             });
-            // Span: suffix of source branch + full mids + prefix of target
-            // branch; the reused array's coverage is its union box over the
-            // spanned branches.
-            let mut mids = CostMap::default();
-            for n in &level.seq[j + 1..level.pos] {
-                mids.merge(&subtree_costs(n));
-            }
-            let mut reused_span = CostMap::default();
-            for n in &level.seq[j..=level.pos] {
-                reused_span.merge(&subtree_costs(n));
-            }
-            let base = mids.without(array).total() + reused_span.only(array).total();
-            let src_ref_obj = src_stmt
-                .refs
-                .iter()
-                .find(|r| r.array == array)
-                .expect("source stmt references array");
-            let sb = boundary_costs(&level.seq[j], src_stmt.id, src_ref_obj, array, true);
-            let tb = boundary_costs(&level.seq[level.pos], stmt.id, the_ref, array, false);
-            components.push(Component {
-                array,
-                stmt: stmt.id,
-                ref_idx,
-                kind: ComponentKind::CrossStmt {
-                    source_stmt: src_stmt.id,
+            components.push((
+                Component {
+                    array,
+                    stmt: stmt.id,
+                    ref_idx,
+                    kind: ComponentKind::CrossStmt {
+                        source_stmt: src_stmt.id,
+                    },
+                    count,
+                    distance: StackDistance::Infinite, // resolved in stage 2
                 },
-                count,
-                distance: combine(base, sb, tb),
-            });
+                DistanceJob::Span {
+                    seq: level.seq,
+                    src_pos: j,
+                    tgt_pos: level.pos,
+                    wraps: false,
+                    src_stmt,
+                    tgt_stmt_id: stmt.id,
+                    the_ref,
+                    array,
+                },
+            ));
             found_cross = true;
             break;
         }
@@ -446,44 +532,42 @@ pub fn components_for(program: &Program, stmt: &Stmt, ref_idx: usize) -> Vec<Com
             .iter()
             .rposition(|n| subtree_contains(n, array))
             .expect("rightmost leaf exists");
-        let distance = if src_pos == level.pos {
+        let job = if src_pos == level.pos {
             // Same branch: one full body traversal plus boundary extras for
             // carrier-dependent arrays (see `wrap_distance`).
-            wrap_distance(level.seq, owner, &level.seq[level.pos], array)
+            DistanceJob::Wrap {
+                seq: level.seq,
+                carrier: owner,
+                branch_pos: level.pos,
+                array,
+            }
         } else {
             debug_assert!(src_pos > level.pos, "source is the rightmost leaf");
-            let mut mids = CostMap::default();
-            for n in level.seq[src_pos + 1..]
-                .iter()
-                .chain(&level.seq[..level.pos])
-            {
-                mids.merge(&subtree_costs(n));
+            DistanceJob::Span {
+                seq: level.seq,
+                src_pos,
+                tgt_pos: level.pos,
+                wraps: true,
+                src_stmt,
+                tgt_stmt_id: stmt.id,
+                the_ref,
+                array,
             }
-            let mut reused_span = CostMap::default();
-            for n in level.seq {
-                reused_span.merge(&subtree_costs(n));
-            }
-            let base = mids.without(array).total() + reused_span.only(array).total();
-            let src_ref_obj = src_stmt
-                .refs
-                .iter()
-                .find(|r| r.array == array)
-                .expect("source references array");
-            let sb = boundary_costs(&level.seq[src_pos], src_stmt.id, src_ref_obj, array, true);
-            let tb = boundary_costs(&level.seq[level.pos], stmt.id, the_ref, array, false);
-            combine(base, sb, tb)
         };
-        components.push(Component {
-            array,
-            stmt: stmt.id,
-            ref_idx,
-            kind: ComponentKind::Carried {
-                loop_index: owner.index.clone(),
-                source_stmt: src_stmt.id,
+        components.push((
+            Component {
+                array,
+                stmt: stmt.id,
+                ref_idx,
+                kind: ComponentKind::Carried {
+                    loop_index: owner.index.clone(),
+                    source_stmt: src_stmt.id,
+                },
+                count,
+                distance: StackDistance::Infinite, // resolved in stage 2
             },
-            count,
-            distance,
-        });
+            job,
+        ));
     }
 
     if !found_cross {
@@ -494,26 +578,86 @@ pub fn components_for(program: &Program, stmt: &Stmt, ref_idx: usize) -> Vec<Com
                 None
             }
         });
-        components.push(Component {
-            array,
-            stmt: stmt.id,
-            ref_idx,
-            kind: ComponentKind::Compulsory,
-            count,
-            distance: StackDistance::Infinite,
-        });
+        components.push((
+            Component {
+                array,
+                stmt: stmt.id,
+                ref_idx,
+                kind: ComponentKind::Compulsory,
+                count,
+                distance: StackDistance::Infinite,
+            },
+            DistanceJob::Infinite,
+        ));
     }
     components
 }
 
-/// Enumerate reuse components for **every** reference of the program.
+/// Enumerate the reuse components of reference `ref_idx` of statement `stmt`.
+pub fn components_for(program: &Program, stmt: &Stmt, ref_idx: usize) -> Vec<Component> {
+    partition_reference(program, stmt, ref_idx)
+        .into_iter()
+        .map(|(mut c, job)| {
+            c.distance = distance_for(job);
+            c
+        })
+        .collect()
+}
+
+/// Enumerate reuse components for **every** reference of the program, in two
+/// traced phases: `model.partition` (enumeration + classification, with
+/// per-kind cell counters) and `model.stack_distance` (symbolic distance
+/// derivation, with term counters).
 pub fn all_components(program: &Program) -> Vec<Component> {
-    let mut out = Vec::new();
-    program.for_each_stmt(|s| {
-        for (ref_idx, _) in s.refs.iter().enumerate() {
-            out.extend(components_for(program, s, ref_idx));
+    let skeletons = {
+        let span = sdlo_trace::span("model.partition");
+        let mut skeletons = Vec::new();
+        program.for_each_stmt(|s| {
+            for ref_idx in 0..s.refs.len() {
+                skeletons.extend(partition_reference(program, s, ref_idx));
+            }
+        });
+        span.add("cells", skeletons.len() as u64);
+        if span.is_recording() {
+            let count_kind = |pred: &dyn Fn(&ComponentKind) -> bool| {
+                skeletons.iter().filter(|(c, _)| pred(&c.kind)).count() as u64
+            };
+            span.add(
+                "compulsory",
+                count_kind(&|k| matches!(k, ComponentKind::Compulsory)),
+            );
+            span.add(
+                "carried",
+                count_kind(&|k| matches!(k, ComponentKind::Carried { .. })),
+            );
+            span.add(
+                "cross_stmt",
+                count_kind(&|k| matches!(k, ComponentKind::CrossStmt { .. })),
+            );
         }
-    });
+        skeletons
+    };
+
+    let span = sdlo_trace::span("model.stack_distance");
+    let mut terms = 0u64;
+    let mut varying = 0u64;
+    let out: Vec<Component> = skeletons
+        .into_iter()
+        .map(|(mut c, job)| {
+            c.distance = distance_for(job);
+            match &c.distance {
+                StackDistance::Infinite => {}
+                StackDistance::Constant(e) => terms += e.terms().len() as u64,
+                StackDistance::Varying { lo, hi } => {
+                    varying += 1;
+                    terms += (lo.terms().len() + hi.terms().len()) as u64;
+                }
+            }
+            c
+        })
+        .collect();
+    span.add("distance_terms", terms);
+    span.add("varying_distances", varying);
     out
 }
 

@@ -23,12 +23,21 @@
 //!   [`Program::validate`] still lint (the `structure` diagnostic reports
 //!   the problem) — only schema-level decode errors fail the request.
 //! * `{"op":"stats"}` — counters, latency histograms, cache hit rate.
+//! * `{"op":"metrics"}` — the same counters in Prometheus text exposition
+//!   format (as a `"text"` field; add `"raw":true` at the transport level
+//!   for a scrape-ready plain-text reply).
 //!
 //! `"program"` is either a builtin name (`"matmul"`, `"tiled_matmul"`, …)
 //! or an inline program object (see `sdlo-wire`).
 //!
 //! Responses are `{"id":…,"ok":true,…}` or
 //! `{"id":…,"ok":false,"error":{"kind":…,"message":…}}`.
+//!
+//! Every response also carries a `"request_id"`: the client-supplied
+//! `"request_id"` string if present, otherwise a server-generated
+//! `req-XXXXXXXX`. The id is attached to the request's trace span
+//! (`service.request`) so daemon traces correlate with client logs, and is
+//! present on error replies too.
 
 use crate::cache::ShardedCache;
 use crate::metrics::{Kind, Metrics};
@@ -102,6 +111,8 @@ pub struct Engine {
     config: EngineConfig,
     cache: ShardedCache<CachedModel>,
     metrics: Arc<Metrics>,
+    /// Monotone source for server-generated request ids.
+    req_seq: std::sync::atomic::AtomicU64,
 }
 
 fn err_value(kind: &str, message: impl Into<String>) -> Value {
@@ -139,6 +150,7 @@ impl Engine {
             config,
             cache,
             metrics: Arc::new(Metrics::default()),
+            req_seq: std::sync::atomic::AtomicU64::new(1),
         }
     }
 
@@ -161,6 +173,7 @@ impl Engine {
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 return Value::obj(vec![
                     ("ok", Value::from(false)),
+                    ("request_id", Value::from(self.next_request_id())),
                     ("error", err_value("malformed", e.to_string())),
                 ])
                 .render();
@@ -169,19 +182,40 @@ impl Engine {
         self.handle(&v).render()
     }
 
+    /// Next server-generated request id.
+    fn next_request_id(&self) -> String {
+        let n = self
+            .req_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        format!("req-{n:08x}")
+    }
+
     /// Handle one parsed request document.
     pub fn handle(&self, request: &Value) -> Value {
         let started = Instant::now();
         let id = request.get("id").cloned();
         let op = request.get("op").and_then(Value::as_str).unwrap_or("");
         let kind = Kind::from_op(op);
+        let request_id = request
+            .get("request_id")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| self.next_request_id());
+        let span = sdlo_trace::span("service.request");
+        span.attr("op", op);
+        span.attr("request_id", request_id.as_str());
+        let in_flight = &self.metrics.kind(kind).in_flight;
+        in_flight.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let outcome = self.dispatch(kind, op, request, started);
+        in_flight.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
         let micros = started.elapsed().as_micros() as u64;
         self.metrics.record(kind, micros, outcome.is_ok());
+        drop(span);
         let mut fields: Vec<(String, Value)> = Vec::new();
         if let Some(id) = id {
             fields.push(("id".to_string(), id));
         }
+        fields.push(("request_id".to_string(), Value::from(request_id)));
         match outcome {
             Ok(body) => {
                 fields.push(("ok".to_string(), Value::from(true)));
@@ -205,6 +239,7 @@ impl Engine {
             Kind::Batch => self.op_batch(request, started),
             Kind::Lint => self.op_lint(request),
             Kind::Stats => self.op_stats(),
+            Kind::Metrics => self.op_metrics(),
             Kind::Sleep => self.op_sleep(request),
             Kind::Other => Err(fail(
                 "unsupported",
@@ -529,6 +564,20 @@ impl Engine {
         };
         snap.push(("cached_shapes".to_string(), Value::from(self.cache.len())));
         Ok(vec![("stats", Value::Object(snap))])
+    }
+
+    fn op_metrics(&self) -> OpResult {
+        Ok(vec![
+            ("content_type", Value::from("text/plain; version=0.0.4")),
+            ("text", Value::from(self.prometheus())),
+        ])
+    }
+
+    /// The full Prometheus text exposition, including the cache-size gauge
+    /// that lives outside [`Metrics`]. Used by the `metrics` op and by the
+    /// transport's raw-scrape path.
+    pub fn prometheus(&self) -> String {
+        self.metrics.prometheus(self.cache.len() as u64)
     }
 
     fn op_sleep(&self, request: &Value) -> OpResult {
@@ -909,6 +958,87 @@ mod tests {
             Some(1)
         );
         assert_eq!(stats.get("cached_shapes").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn request_ids_are_generated_and_echoed() {
+        let e = engine();
+        // Server-generated: distinct per request, error replies included.
+        let a = parse(&e.handle_line(r#"{"op":"stats"}"#));
+        let b = parse(&e.handle_line(r#"{"op":"nope"}"#));
+        let ida = a.get("request_id").unwrap().as_str().unwrap().to_string();
+        let idb = b.get("request_id").unwrap().as_str().unwrap().to_string();
+        assert!(ida.starts_with("req-"), "{ida}");
+        assert!(idb.starts_with("req-"), "{idb}");
+        assert_ne!(ida, idb);
+        assert_eq!(b.get("ok").unwrap().as_bool(), Some(false));
+        // Client-supplied ids pass through verbatim.
+        let c = parse(&e.handle_line(r#"{"op":"stats","request_id":"client-42"}"#));
+        assert_eq!(c.get("request_id").unwrap().as_str(), Some("client-42"));
+        // Malformed lines still get a request id.
+        let m = parse(&e.handle_line("not json"));
+        assert!(m
+            .get("request_id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("req-"));
+    }
+
+    #[test]
+    fn metrics_op_round_trips_stats_counters() {
+        let e = engine();
+        e.handle_line(
+            r#"{"op":"predict","program":"matmul","bindings":{"Ni":16,"Nj":16,"Nk":16},"cache":64}"#,
+        );
+        e.handle_line(
+            r#"{"op":"predict","program":"matmul","bindings":{"Ni":16,"Nj":16,"Nk":16},"cache":64}"#,
+        );
+        let stats = parse(&e.handle_line(r#"{"op":"stats"}"#));
+        let resp = parse(&e.handle_line(r#"{"op":"metrics"}"#));
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+        let text = resp.get("text").unwrap().as_str().unwrap();
+        // The exposition must agree with the `stats` JSON for the same
+        // counters (one extra stats request was recorded in between).
+        let s = stats.get("stats").unwrap();
+        let predicts = s
+            .path(&["requests", "predict", "requests"])
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let hits = s.path(&["cache", "hits"]).unwrap().as_u64().unwrap();
+        let shapes = s.get("cached_shapes").unwrap().as_u64().unwrap();
+        assert!(text.contains(&format!("sdlo_requests_total{{op=\"predict\"}} {predicts}")));
+        assert!(text.contains(&format!("sdlo_model_cache_hits_total {hits}")));
+        assert!(text.contains(&format!("sdlo_cached_shapes {shapes}")));
+        assert!(text.contains("sdlo_uptime_seconds "));
+        // In-flight gauge is back to zero once the request completes.
+        assert!(text.contains("sdlo_inflight{op=\"predict\"} 0"));
+    }
+
+    #[test]
+    fn stats_report_version_uptime_and_in_flight() {
+        let e = engine();
+        let resp = parse(&e.handle_line(r#"{"op":"stats"}"#));
+        let s = resp.get("stats").unwrap();
+        assert_eq!(
+            s.get("version").unwrap().as_str(),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(s.get("uptime_seconds").unwrap().as_f64().unwrap() >= 0.0);
+        // The stats request itself is in flight while the snapshot is taken.
+        assert_eq!(
+            s.path(&["requests", "stats", "in_flight"])
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            s.path(&["requests", "predict", "in_flight"])
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
     }
 
     use std::collections::BTreeSet;

@@ -16,7 +16,9 @@ fn usage() -> ! {
          \x20                   [--cache-capacity N] [--max-line BYTES]\n\
          \n\
          Tile-advisor daemon: newline-delimited JSON over TCP.\n\
-         Requests: analyze | predict | advise | batch | stats | shutdown.\n\
+         Requests: analyze | predict | advise | batch | lint | stats |\n\
+         \x20         metrics | shutdown ({{\"op\":\"metrics\",\"raw\":true}} for a\n\
+         \x20         plain-text Prometheus scrape).\n\
          Defaults: --addr 127.0.0.1:7464 --workers 4 --queue 64\n\
          \x20         --cache-capacity 256 --max-line 1048576"
     );

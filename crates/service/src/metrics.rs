@@ -1,9 +1,16 @@
 //! Lock-free service observability: per-request-kind counters, log₂ latency
 //! histograms, cache hit rates and queue depth, all plain atomics so the hot
 //! path never blocks on a metrics lock.
+//!
+//! Two exposition surfaces share these counters:
+//!
+//! * [`Metrics::snapshot`] — the JSON body of the `stats` op;
+//! * [`Metrics::prometheus`] — Prometheus text exposition format (the
+//!   `metrics` op), so a scraper can poll the daemon without parsing JSON.
 
 use sdlo_wire::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Request kinds tracked separately. `Other` covers unknown ops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,18 +21,20 @@ pub enum Kind {
     Batch,
     Lint,
     Stats,
+    Metrics,
     Sleep,
     Other,
 }
 
 impl Kind {
-    pub const ALL: [Kind; 8] = [
+    pub const ALL: [Kind; 9] = [
         Kind::Analyze,
         Kind::Predict,
         Kind::Advise,
         Kind::Batch,
         Kind::Lint,
         Kind::Stats,
+        Kind::Metrics,
         Kind::Sleep,
         Kind::Other,
     ];
@@ -38,6 +47,7 @@ impl Kind {
             Kind::Batch => "batch",
             Kind::Lint => "lint",
             Kind::Stats => "stats",
+            Kind::Metrics => "metrics",
             Kind::Sleep => "sleep",
             Kind::Other => "other",
         }
@@ -51,6 +61,7 @@ impl Kind {
             "batch" => Kind::Batch,
             "lint" => Kind::Lint,
             "stats" => Kind::Stats,
+            "metrics" => Kind::Metrics,
             "sleep" => Kind::Sleep,
             _ => Kind::Other,
         }
@@ -64,12 +75,15 @@ const BUCKETS: usize = 32;
 #[derive(Debug, Default)]
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
+    /// Total observed microseconds (Prometheus `_sum`).
+    sum_micros: AtomicU64,
 }
 
 impl Histogram {
     pub fn observe_micros(&self, micros: u64) {
         let idx = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
     }
 
     fn counts(&self) -> [u64; BUCKETS] {
@@ -77,6 +91,8 @@ impl Histogram {
     }
 
     /// Upper bucket bound (µs) below which `q` of the observations fall.
+    /// `q` above 1.0 (or rounding at the top) clamps to the bound of the
+    /// highest non-empty bucket — never a sentinel like `u64::MAX`.
     fn quantile_micros(counts: &[u64; BUCKETS], q: f64) -> u64 {
         let total: u64 = counts.iter().sum();
         if total == 0 {
@@ -84,13 +100,17 @@ impl Histogram {
         }
         let target = ((total as f64) * q).ceil() as u64;
         let mut seen = 0;
+        let mut last_nonempty = 0;
         for (i, c) in counts.iter().enumerate() {
             seen += c;
+            if *c > 0 {
+                last_nonempty = i;
+            }
             if seen >= target {
                 return 1u64 << (i + 1).min(63);
             }
         }
-        u64::MAX
+        1u64 << (last_nonempty + 1).min(63)
     }
 
     fn snapshot(&self) -> Value {
@@ -128,12 +148,14 @@ impl Histogram {
 pub struct KindStats {
     pub requests: AtomicU64,
     pub errors: AtomicU64,
+    /// Requests of this kind currently being handled (gauge).
+    pub in_flight: AtomicU64,
     pub latency: Histogram,
 }
 
 /// All service counters. Shared as `Arc<Metrics>` between the engine, the
 /// server and tests.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     per_kind: [KindStats; Kind::ALL.len()],
     /// Memoized model served from the canonical-shape cache.
@@ -156,6 +178,27 @@ pub struct Metrics {
     pub lint_diag_warnings: AtomicU64,
     /// `info`-severity diagnostics returned by `lint` requests.
     pub lint_diag_infos: AtomicU64,
+    /// Process start, for `uptime_seconds`.
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            per_kind: Default::default(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            oversized: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            lint_diag_errors: AtomicU64::new(0),
+            lint_diag_warnings: AtomicU64::new(0),
+            lint_diag_infos: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
 }
 
 impl Metrics {
@@ -172,6 +215,11 @@ impl Metrics {
         s.latency.observe_micros(micros);
     }
 
+    /// Seconds since this `Metrics` (≈ the service) was created.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
     /// Everything as one JSON object (the `stats` response body).
     pub fn snapshot(&self) -> Value {
         let load = |a: &AtomicU64| Value::from(a.load(Ordering::Relaxed));
@@ -184,12 +232,15 @@ impl Metrics {
                     Value::obj(vec![
                         ("requests", load(&s.requests)),
                         ("errors", load(&s.errors)),
+                        ("in_flight", load(&s.in_flight)),
                         ("latency", s.latency.snapshot()),
                     ]),
                 )
             })
             .collect();
         Value::obj(vec![
+            ("version", Value::from(env!("CARGO_PKG_VERSION"))),
+            ("uptime_seconds", Value::from(self.uptime_seconds())),
             ("requests", Value::Object(requests)),
             (
                 "cache",
@@ -216,6 +267,136 @@ impl Metrics {
             ("queue_depth", load(&self.queue_depth)),
         ])
     }
+
+    /// Prometheus text exposition (version 0.0.4) of every counter that
+    /// [`Metrics::snapshot`] reports. Histogram buckets are rendered
+    /// cumulatively as the format requires (our internal log₂ buckets are
+    /// per-bucket). `cached_shapes` is the current model-cache size, which
+    /// lives outside `Metrics`.
+    pub fn prometheus(&self, cached_shapes: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+
+        out.push_str("# TYPE sdlo_requests_total counter\n");
+        for k in Kind::ALL {
+            let _ = writeln!(
+                out,
+                "sdlo_requests_total{{op=\"{}\"}} {}",
+                k.name(),
+                load(&self.kind(k).requests)
+            );
+        }
+        out.push_str("# TYPE sdlo_request_errors_total counter\n");
+        for k in Kind::ALL {
+            let _ = writeln!(
+                out,
+                "sdlo_request_errors_total{{op=\"{}\"}} {}",
+                k.name(),
+                load(&self.kind(k).errors)
+            );
+        }
+        out.push_str("# TYPE sdlo_inflight gauge\n");
+        for k in Kind::ALL {
+            let _ = writeln!(
+                out,
+                "sdlo_inflight{{op=\"{}\"}} {}",
+                k.name(),
+                load(&self.kind(k).in_flight)
+            );
+        }
+        out.push_str("# TYPE sdlo_request_latency_micros histogram\n");
+        for k in Kind::ALL {
+            let h = &self.kind(k).latency;
+            let counts = h.counts();
+            let mut cum = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                cum += c;
+                if *c > 0 || i + 1 == BUCKETS {
+                    let _ = writeln!(
+                        out,
+                        "sdlo_request_latency_micros_bucket{{op=\"{}\",le=\"{}\"}} {}",
+                        k.name(),
+                        1u64 << (i + 1).min(63),
+                        cum
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "sdlo_request_latency_micros_bucket{{op=\"{}\",le=\"+Inf\"}} {}",
+                k.name(),
+                cum
+            );
+            let _ = writeln!(
+                out,
+                "sdlo_request_latency_micros_count{{op=\"{}\"}} {}",
+                k.name(),
+                cum
+            );
+            let _ = writeln!(
+                out,
+                "sdlo_request_latency_micros_sum{{op=\"{}\"}} {}",
+                k.name(),
+                h.sum_micros.load(Ordering::Relaxed)
+            );
+        }
+        let singles: [(&str, &str, u64); 8] = [
+            (
+                "sdlo_model_cache_hits_total",
+                "counter",
+                load(&self.cache_hits),
+            ),
+            (
+                "sdlo_model_cache_misses_total",
+                "counter",
+                load(&self.cache_misses),
+            ),
+            ("sdlo_cached_shapes", "gauge", cached_shapes),
+            (
+                "sdlo_malformed_lines_total",
+                "counter",
+                load(&self.malformed),
+            ),
+            (
+                "sdlo_rejected_requests_total",
+                "counter",
+                load(&self.rejected),
+            ),
+            (
+                "sdlo_oversized_requests_total",
+                "counter",
+                load(&self.oversized),
+            ),
+            ("sdlo_connections_total", "counter", load(&self.connections)),
+            ("sdlo_queue_depth", "gauge", load(&self.queue_depth)),
+        ];
+        for (name, ty, v) in singles {
+            let _ = writeln!(out, "# TYPE {name} {ty}");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        out.push_str("# TYPE sdlo_lint_diagnostics_total counter\n");
+        for (sev, a) in [
+            ("error", &self.lint_diag_errors),
+            ("warning", &self.lint_diag_warnings),
+            ("info", &self.lint_diag_infos),
+        ] {
+            let _ = writeln!(
+                out,
+                "sdlo_lint_diagnostics_total{{severity=\"{sev}\"}} {}",
+                load(a)
+            );
+        }
+        out.push_str("# TYPE sdlo_uptime_seconds gauge\n");
+        let _ = writeln!(out, "sdlo_uptime_seconds {:.3}", self.uptime_seconds());
+        out.push_str("# TYPE sdlo_build_info gauge\n");
+        let _ = writeln!(
+            out,
+            "sdlo_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        );
+        out
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +417,19 @@ mod tests {
         assert_eq!(counts[9], 10);
         assert_eq!(Histogram::quantile_micros(&counts, 0.5), 4);
         assert_eq!(Histogram::quantile_micros(&counts, 0.99), 1024);
+        assert_eq!(h.sum_micros.load(Ordering::Relaxed), 90 * 3 + 10 * 1000);
+    }
+
+    #[test]
+    fn quantile_clamps_to_highest_nonempty_bucket() {
+        let h = Histogram::default();
+        h.observe_micros(3); // bucket 1, bound 4
+        h.observe_micros(1000); // bucket 9, bound 1024
+        let counts = h.counts();
+        // A quantile beyond 1.0 must clamp to the top non-empty bucket's
+        // bound, not fall through to u64::MAX.
+        assert_eq!(Histogram::quantile_micros(&counts, 1.5), 1024);
+        assert_eq!(Histogram::quantile_micros(&counts, 1.0), 1024);
     }
 
     #[test]
@@ -250,6 +444,11 @@ mod tests {
         let snap = m.snapshot();
         let predict = snap.get("requests").unwrap().get("predict").unwrap();
         assert_eq!(predict.get("requests").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            snap.get("version").unwrap().as_str(),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(snap.get("uptime_seconds").unwrap().as_f64().unwrap() >= 0.0);
     }
 
     #[test]
@@ -257,5 +456,33 @@ mod tests {
         let h = Histogram::default();
         h.observe_micros(0);
         assert_eq!(h.counts()[0], 1);
+    }
+
+    #[test]
+    fn prometheus_text_matches_counters() {
+        let m = Metrics::default();
+        m.record(Kind::Predict, 10, true);
+        m.record(Kind::Predict, 20, false);
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        let text = m.prometheus(7);
+        assert!(text.contains("sdlo_requests_total{op=\"predict\"} 2"));
+        assert!(text.contains("sdlo_request_errors_total{op=\"predict\"} 1"));
+        assert!(text.contains("sdlo_model_cache_hits_total 3"));
+        assert!(text.contains("sdlo_cached_shapes 7"));
+        assert!(text.contains("sdlo_build_info{version="));
+        // Histogram buckets must be cumulative and end with +Inf == _count.
+        assert!(text.contains("sdlo_request_latency_micros_bucket{op=\"predict\",le=\"+Inf\"} 2"));
+        assert!(text.contains("sdlo_request_latency_micros_count{op=\"predict\"} 2"));
+        assert!(text.contains("sdlo_request_latency_micros_sum{op=\"predict\"} 30"));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let m = Metrics::default();
+        m.record(Kind::Analyze, 3, true); // bucket bound 4
+        m.record(Kind::Analyze, 1000, true); // bucket bound 1024
+        let text = m.prometheus(0);
+        assert!(text.contains("sdlo_request_latency_micros_bucket{op=\"analyze\",le=\"4\"} 1"));
+        assert!(text.contains("sdlo_request_latency_micros_bucket{op=\"analyze\",le=\"1024\"} 2"));
     }
 }

@@ -14,6 +14,12 @@
 //! are drained and answered with `too_large`, the connection survives),
 //! malformed JSON gets a structured error from the engine, and a
 //! `{"op":"shutdown"}` request stops the accept loop and drains workers.
+//!
+//! Scraping: `{"op":"metrics","raw":true}` is answered transport-side with
+//! the Prometheus text exposition itself (not JSON) and the connection is
+//! closed — `echo '{"op":"metrics","raw":true}' | nc host port` is a
+//! complete scrape. Without `"raw"`, `metrics` flows through the engine and
+//! returns the text inside a JSON envelope like any other op.
 
 use crate::engine::{Engine, EngineConfig};
 use crate::metrics::Metrics;
@@ -156,6 +162,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let stop = Arc::clone(&stop);
         let active = Arc::clone(&active_connections);
         let job_tx = job_tx.clone();
+        let engine = Arc::clone(&engine);
         let config = config.clone();
         Some(std::thread::spawn(move || {
             while !stop.load(Ordering::SeqCst) {
@@ -166,10 +173,10 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
                         let stop = Arc::clone(&stop);
                         let active = Arc::clone(&active);
                         let job_tx = job_tx.clone();
-                        let metrics = Arc::clone(&metrics);
+                        let engine = Arc::clone(&engine);
                         let max_line = config.max_line_bytes;
                         std::thread::spawn(move || {
-                            let _ = serve_connection(stream, &stop, &job_tx, &metrics, max_line);
+                            let _ = serve_connection(stream, &stop, &job_tx, &engine, max_line);
                             active.fetch_sub(1, Ordering::SeqCst);
                         });
                     }
@@ -272,12 +279,13 @@ fn serve_connection(
     stream: TcpStream,
     stop: &AtomicBool,
     job_tx: &SyncSender<Job>,
-    metrics: &Metrics,
+    engine: &Engine,
     max_line: usize,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    let metrics = engine.metrics();
     let mut acc = Vec::new();
     let mut overflowed = false;
     loop {
@@ -301,6 +309,28 @@ fn serve_connection(
         };
         if line.trim().is_empty() {
             continue;
+        }
+        // Raw Prometheus scrape: answered transport-side as plain text (a
+        // scraper can't frame a JSON envelope), then the connection closes
+        // so the reader sees EOF — `nc`-friendly. Parse only when the token
+        // appears so the hot path stays a substring check.
+        if line.contains("metrics") {
+            if let Ok(v) = sdlo_wire::parse(&line) {
+                if v.get("op").and_then(Value::as_str) == Some("metrics")
+                    && v.get("raw").and_then(Value::as_bool) == Some(true)
+                {
+                    let started = std::time::Instant::now();
+                    let text = engine.prometheus();
+                    metrics.record(
+                        crate::metrics::Kind::Metrics,
+                        started.elapsed().as_micros() as u64,
+                        true,
+                    );
+                    writer.write_all(text.as_bytes())?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+            }
         }
         // Shutdown is handled transport-side so it works even when the
         // worker queue is saturated. Parse only when the token appears.

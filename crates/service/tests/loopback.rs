@@ -275,6 +275,66 @@ fn backpressure_rejects_when_queue_is_full() {
 }
 
 #[test]
+fn metrics_op_and_raw_scrape_over_loopback() {
+    let handle = start(small_server());
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).unwrap();
+    req(
+        &mut c,
+        r#"{"op":"predict","program":"matmul","bindings":{"Ni":16,"Nj":16,"Nk":16},"cache":64}"#,
+    );
+
+    // JSON mode: the exposition rides inside the normal envelope.
+    let resp = req(&mut c, r#"{"op":"metrics","id":9}"#);
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+    assert_eq!(resp.get("id").unwrap().as_i64(), Some(9));
+    let text = resp.get("text").unwrap().as_str().unwrap();
+    assert!(text.contains("sdlo_requests_total{op=\"predict\"} 1"));
+    assert!(resp
+        .get("content_type")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .starts_with("text/plain"));
+
+    // Raw mode: plain Prometheus text, not JSON, then EOF — a complete
+    // scrape over one connection.
+    use std::io::{Read as _, Write as _};
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(b"{\"op\":\"metrics\",\"raw\":true}\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    assert!(
+        sdlo_wire::parse(&raw).is_err(),
+        "raw scrape must not be JSON"
+    );
+    assert!(raw.contains("# TYPE sdlo_requests_total counter"));
+    assert!(raw.contains("sdlo_requests_total{op=\"predict\"} 1"));
+    assert!(raw.contains("sdlo_build_info{version="));
+    assert!(raw.contains("sdlo_uptime_seconds "));
+
+    handle.shutdown();
+}
+
+#[test]
+fn request_ids_correlate_over_loopback() {
+    let handle = start(small_server());
+    let mut c = Client::connect(handle.addr()).unwrap();
+    // Client-supplied ids come back verbatim; server-generated ones are
+    // distinct per request and present even on errors.
+    let resp = req(&mut c, r#"{"op":"stats","request_id":"scrape-1"}"#);
+    assert_eq!(resp.get("request_id").unwrap().as_str(), Some("scrape-1"));
+    let a = req(&mut c, r#"{"op":"stats"}"#);
+    let b = req(&mut c, r#"{"op":"bogus"}"#);
+    let ida = a.get("request_id").unwrap().as_str().unwrap();
+    let idb = b.get("request_id").unwrap().as_str().unwrap();
+    assert!(ida.starts_with("req-") && idb.starts_with("req-"));
+    assert_ne!(ida, idb);
+    assert_eq!(b.get("ok").unwrap().as_bool(), Some(false));
+    handle.shutdown();
+}
+
+#[test]
 fn shutdown_request_stops_the_server() {
     let handle = start(small_server());
     let mut c = Client::connect(handle.addr()).unwrap();

@@ -155,6 +155,9 @@ impl<'a> TileSearcher<'a> {
     /// Exhaustive baseline: a full miss-count evaluation at every grid
     /// point.
     pub fn exhaustive(&self) -> SearchOutcome {
+        let span = sdlo_trace::span("tilesearch.exhaustive");
+        span.attr("cache_size", self.cache_size);
+        span.attr("dims", self.space.tile_syms.len());
         let mut best: Option<Evaluation> = None;
         let mut evaluations = 0;
         for tiles in self.grid() {
@@ -165,6 +168,8 @@ impl<'a> TileSearcher<'a> {
                 best = Some(e);
             }
         }
+        span.add("grid_points", evaluations as u64);
+        span.add("miss_evals", evaluations as u64);
         SearchOutcome {
             best: best.expect("non-empty space"),
             evaluations,
@@ -177,10 +182,15 @@ impl<'a> TileSearcher<'a> {
     /// stack distance crossing the cache size — and evaluate miss counts
     /// only for those.
     pub fn pruned(&self) -> SearchOutcome {
+        let span = sdlo_trace::span("tilesearch.pruned");
+        span.attr("cache_size", self.cache_size);
+        span.attr("dims", self.space.tile_syms.len());
         let dims = self.space.tile_syms.len();
+        let mut grid_points = 0usize;
         let mut frontier_tiles: Vec<Vec<u64>> = Vec::new();
         let mut sd_evals = 0usize;
         for tiles in self.grid() {
+            grid_points += 1;
             let here = self.distances_above(&tiles);
             sd_evals += 1;
             let mut is_frontier = true;
@@ -215,6 +225,11 @@ impl<'a> TileSearcher<'a> {
             }
             frontier.push(e);
         }
+        span.add("grid_points", grid_points as u64);
+        span.add("boundary_probes", sd_evals as u64);
+        span.add("frontier_kept", frontier.len() as u64);
+        span.add("pruned", (grid_points - frontier.len()) as u64);
+        span.add("miss_evals", frontier.len() as u64);
         SearchOutcome {
             best: best.expect("frontier non-empty: the max tile is always maximal"),
             evaluations: sd_evals + frontier.len(),
@@ -236,8 +251,12 @@ impl<'a> TileSearcher<'a> {
         cache_size: u64,
         space: SearchSpace,
     ) -> SearchOutcome {
+        let span = sdlo_trace::span("tilesearch.bounds_free");
+        span.attr("nominal", nominal as i64);
+        span.attr("cache_size", cache_size);
         let bounds: BTreeSet<Sym> = bound_syms.iter().map(|s| Sym::new(*s)).collect();
         let mentions = |e: &sdlo_symbolic::Expr| e.vars().iter().any(|v| bounds.contains(v));
+        let mut bound_dependent_dropped = 0u64;
         let components = model
             .components()
             .iter()
@@ -248,6 +267,7 @@ impl<'a> TileSearcher<'a> {
                     StackDistance::Varying { lo, hi } => mentions(lo) || mentions(hi),
                 };
                 if bound_dependent {
+                    bound_dependent_dropped += 1;
                     let mut c2 = c.clone();
                     c2.distance = StackDistance::Infinite;
                     c2
@@ -256,6 +276,7 @@ impl<'a> TileSearcher<'a> {
                 }
             })
             .collect();
+        span.add("bound_dependent_dropped", bound_dependent_dropped);
         let filtered = MissModel::from_components(components);
         let mut base = Bindings::new();
         for s in bound_syms {

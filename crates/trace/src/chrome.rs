@@ -1,0 +1,196 @@
+//! Chrome trace-event JSON export (the `chrome://tracing` / Perfetto
+//! format): every span renders as a balanced `"ph":"B"` / `"ph":"E"` pair
+//! on its thread's track, with attributes as `args` on the B event and
+//! span-scoped counters as `args` on the E event.
+//!
+//! The writer is self-contained (this crate is dependency-free); only the
+//! small subset of JSON the trace format needs is produced: objects,
+//! arrays, strings, integers, floats and booleans.
+
+use crate::{AttrValue, Record};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_attr(out: &mut String, v: &AttrValue) {
+    match v {
+        AttrValue::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        AttrValue::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        AttrValue::Float(f) if f.is_finite() => {
+            let _ = write!(out, "{f}");
+        }
+        AttrValue::Float(_) => out.push_str("null"),
+        AttrValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        AttrValue::Str(s) => push_json_str(out, s),
+    }
+}
+
+fn push_args(out: &mut String, args: &[(String, String)]) {
+    out.push('{');
+    for (i, (k, rendered)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, k);
+        out.push(':');
+        out.push_str(rendered);
+    }
+    out.push('}');
+}
+
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    ph: char,
+    ts: u64,
+    tid: u64,
+    args: &[(String, String)],
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str("  {\"name\":");
+    push_json_str(out, name);
+    let _ = write!(
+        out,
+        ",\"cat\":\"sdlo\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":"
+    );
+    push_args(out, args);
+    out.push('}');
+}
+
+/// Render records as a complete Chrome trace-event JSON document.
+///
+/// Attributes render as `args` on the span's B event; counters (summed per
+/// key) as `args` on its E event. Records of unclosed spans still emit
+/// their B event so truncated traces stay loadable.
+pub fn render(records: &[Record]) -> String {
+    // First pass: group attributes and counters by span id.
+    let mut attrs: BTreeMap<u64, Vec<(String, String)>> = BTreeMap::new();
+    let mut counters: BTreeMap<u64, BTreeMap<String, u64>> = BTreeMap::new();
+    for r in records {
+        match r {
+            Record::Attr { id, key, value } => {
+                let mut rendered = String::new();
+                push_attr(&mut rendered, value);
+                attrs
+                    .entry(*id)
+                    .or_default()
+                    .push((key.to_string(), rendered));
+            }
+            Record::Count { id, key, delta } => {
+                *counters
+                    .entry(*id)
+                    .or_default()
+                    .entry(key.to_string())
+                    .or_insert(0) += delta;
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    for r in records {
+        match r {
+            Record::Begin {
+                id,
+                name,
+                ts_micros,
+                tid,
+                ..
+            } => {
+                let args = attrs.get(id).cloned().unwrap_or_default();
+                push_event(&mut out, &mut first, name, 'B', *ts_micros, *tid, &args);
+            }
+            Record::End {
+                id,
+                name,
+                ts_micros,
+                tid,
+            } => {
+                let args: Vec<(String, String)> = counters
+                    .get(id)
+                    .map(|cs| cs.iter().map(|(k, v)| (k.clone(), v.to_string())).collect())
+                    .unwrap_or_default();
+                push_event(&mut out, &mut first, name, 'E', *ts_micros, *tid, &args);
+            }
+            _ => {}
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    #[test]
+    fn renders_balanced_events_with_args() {
+        let records = vec![
+            Record::Begin {
+                id: 1,
+                parent: None,
+                name: Cow::Borrowed("model.build"),
+                ts_micros: 10,
+                tid: 1,
+            },
+            Record::Attr {
+                id: 1,
+                key: Cow::Borrowed("program"),
+                value: AttrValue::Str("a\"b".to_string()),
+            },
+            Record::Count {
+                id: 1,
+                key: Cow::Borrowed("components"),
+                delta: 9,
+            },
+            Record::End {
+                id: 1,
+                name: Cow::Borrowed("model.build"),
+                ts_micros: 42,
+                tid: 1,
+            },
+        ];
+        let json = render(&records);
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"program\":\"a\\\"b\""));
+        assert!(json.contains("\"components\":9"));
+        assert!(json.contains("\"ts\":10"));
+        assert!(json.contains("\"ts\":42"));
+    }
+
+    #[test]
+    fn empty_records_render_empty_document() {
+        let json = render(&[]);
+        assert!(json.contains("\"traceEvents\":["));
+    }
+}

@@ -47,6 +47,16 @@ impl Value {
         }
     }
 
+    /// Walk a chain of object keys (`v.path(&["stats", "per_op"])` is
+    /// `v.get("stats").and_then(|s| s.get("per_op"))`).
+    pub fn path(&self, segments: &[&str]) -> Option<&Value> {
+        let mut cur = self;
+        for seg in segments {
+            cur = cur.get(seg)?;
+        }
+        Some(cur)
+    }
+
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),

@@ -39,6 +39,37 @@ fn main() -> std::io::Result<()> {
         println!("<- {shown}\n");
     }
 
+    // Request-ID propagation: every reply carries a `request_id` — the
+    // client's own string when supplied, a server-generated `req-…`
+    // otherwise. Send two ops and correlate the replies by that id, the
+    // way a caller multiplexing work over one connection would.
+    println!("-- request-id correlation --");
+    let tagged = [
+        r#"{"op":"predict","request_id":"job-alpha","program":"matmul","bindings":{"Ni":64,"Nj":64,"Nk":64},"cache":512}"#,
+        r#"{"op":"stats","request_id":"job-beta"}"#,
+    ];
+    for request in tagged {
+        let response = client.request_line(request)?;
+        let parsed = sdlo::wire::parse(&response).expect("response is JSON");
+        let id = parsed
+            .get("request_id")
+            .and_then(|v| v.as_str())
+            .expect("every reply carries request_id");
+        let ok = parsed.get("ok").and_then(|v| v.as_bool()).unwrap_or(false);
+        println!("reply for {id}: ok={ok}");
+    }
+    // Without a client-supplied id the server generates one; it shows up on
+    // error replies too, so failed calls are still attributable.
+    let response = client.request_line(r#"{"op":"no_such_op"}"#)?;
+    let parsed = sdlo::wire::parse(&response).expect("response is JSON");
+    println!(
+        "error reply got server-generated id {}\n",
+        parsed
+            .get("request_id")
+            .and_then(|v| v.as_str())
+            .expect("errors carry request_id too")
+    );
+
     client.shutdown()?;
     handle.shutdown();
     Ok(())

@@ -18,6 +18,8 @@
 //!   minimization, fusion, lowering),
 //! * [`tilesearch`] — the pruned tile-size search of §6,
 //! * [`parallel`] — the shared-memory parallelization and cost models of §7,
+//! * [`trace`] — low-overhead structured tracing: nestable spans, typed
+//!   attributes, span-scoped counters, Chrome trace-event export,
 //! * [`wire`] — the dependency-free JSON wire format for programs, analyses
 //!   and search results,
 //! * [`service`] — the long-running tile-advisor service (memoized analysis
@@ -35,4 +37,5 @@ pub use sdlo_service as service;
 pub use sdlo_symbolic as symbolic;
 pub use sdlo_tce as tce;
 pub use sdlo_tilesearch as tilesearch;
+pub use sdlo_trace as trace;
 pub use sdlo_wire as wire;
