@@ -30,4 +30,15 @@ echo "==> tables profile --all-builtins"
 cargo run --release -q -p sdlo-bench --bin tables -- profile --all-builtins \
     --trace-out results/profile-trace.json --json --budget-ms 2000
 
+# Wire compatibility: the golden reply-shape tests for every op, including
+# the deadline gate — an advise with a 1 ms deadline over the largest
+# builtin's full tile grid must come back `completed:false` within budget.
+echo "==> wire-compat tests (release)"
+cargo test --release -q -p sdlo-service --test wire_compat
+
+# Sequential-vs-parallel search: byte-identical outcomes and no throughput
+# regression; the measured speedup lands in results/search-speedup.txt.
+echo "==> search bench (seq vs parallel)"
+cargo bench -q -p sdlo-bench --bench search
+
 echo "CI green."

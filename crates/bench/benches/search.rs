@@ -1,0 +1,115 @@
+//! Sequential-vs-parallel tile search: the deadline-aware search engine
+//! parallelizes candidate evaluation, so this bench runs the same pruned
+//! search on one worker (a 1-thread installed pool) and on the default pool,
+//! asserts the outcomes are byte-identical (the deterministic-reduction
+//! promise), and reports the speedup into `results/search-speedup.txt`.
+
+use criterion::{criterion_group, Criterion};
+use rayon::ThreadPoolBuilder;
+use sdlo_core::MissModel;
+use sdlo_ir::{programs, Bindings};
+use sdlo_tilesearch::{SearchOutcome, SearchSpace, TileSearcher};
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: i128 = 256;
+const CACHE: u64 = 8192;
+
+fn searcher(model: &MissModel) -> TileSearcher<'_> {
+    let base = Bindings::new()
+        .with("Ni", N)
+        .with("Nj", N)
+        .with("Nm", N)
+        .with("Nn", N);
+    TileSearcher::new(
+        model,
+        base,
+        CACHE,
+        SearchSpace {
+            tile_syms: vec!["Ti".into(), "Tj".into(), "Tm".into(), "Tn".into()],
+            max: vec![N as u64; 4],
+            min: 4,
+        },
+    )
+}
+
+fn bench_search(c: &mut Criterion) {
+    let model = MissModel::build(&programs::tiled_two_index());
+    let s = searcher(&model);
+    let one = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let mut g = c.benchmark_group("tilesearch");
+    g.sample_size(10);
+    g.bench_function("pruned/sequential", |b| {
+        b.iter(|| black_box(one.install(|| s.pruned())));
+    });
+    g.bench_function("pruned/parallel", |b| {
+        b.iter(|| black_box(s.pruned()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_search);
+
+/// Median seconds per call over `samples` runs of `f`.
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn assert_identical(seq: &SearchOutcome, par: &SearchOutcome) {
+    assert_eq!(seq.best, par.best, "parallel search changed the best tile");
+    assert_eq!(seq.evaluations, par.evaluations);
+    assert_eq!(seq.frontier, par.frontier);
+    assert!(seq.completed && par.completed);
+}
+
+fn main() {
+    benches();
+
+    // The acceptance check behind the numbers above: the parallel search
+    // must return byte-identical outcomes to one worker, and must not be
+    // dramatically slower (a lenient floor so single-core CI still passes;
+    // multi-core machines see a real speedup).
+    let model = MissModel::build(&programs::tiled_two_index());
+    let s = searcher(&model);
+    let one = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let workers = rayon::current_num_threads();
+
+    let seq_out = one.install(|| s.pruned());
+    let par_out = s.pruned();
+    assert_identical(&seq_out, &par_out);
+
+    let seq = median_secs(5, || {
+        black_box(one.install(|| s.pruned()));
+    });
+    let par = median_secs(5, || {
+        black_box(s.pruned());
+    });
+    let speedup = seq / par;
+    let summary = format!(
+        "tilesearch/pruned on tiled_two_index (N={N}, cache={CACHE}): \
+         sequential {:.3} ms, parallel {:.3} ms on {workers} workers, speedup {speedup:.2}x\n",
+        seq * 1e3,
+        par * 1e3
+    );
+    print!("{summary}");
+
+    let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    let _ = std::fs::create_dir_all(&results);
+    std::fs::write(results.join("search-speedup.txt"), &summary)
+        .expect("write results/search-speedup.txt");
+
+    assert!(
+        speedup >= 0.7,
+        "parallel search must not regress sequential throughput, measured {speedup:.2}x"
+    );
+}

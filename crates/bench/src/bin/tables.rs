@@ -37,7 +37,8 @@ fn usage(to_stderr: bool) {
          \n\
          profile runs each pipeline phase (model build, prediction, tile\n\
          search, simulator replay) under the trace collector and prints a\n\
-         per-phase wall-time/counter table.\n\
+         per-phase wall-time/counter table, plus a sequential-vs-parallel\n\
+         tile-search speedup line for the tiled builtins.\n\
          \x20 tables profile <program>... | --all-builtins\n\
          \x20         [--trace-out PATH]  Chrome trace JSON (Perfetto-loadable)\n\
          \x20         [--budget-ms N]     exit 1 if model.build exceeds N ms\n\
@@ -567,6 +568,17 @@ fn run_profile(args: &[String]) -> ! {
                 p.name, p.calls, p.total_micros, counters
             );
         }
+        if let Some(s) = &report.search {
+            println!(
+                "search speedup: sequential {} µs, parallel {} µs on {} worker(s), \
+                 {:.2}x, identical best: {}",
+                s.sequential_micros,
+                s.parallel_micros,
+                s.workers,
+                s.speedup(),
+                s.identical
+            );
+        }
         println!();
         if let Some(budget) = budget_ms {
             let build_micros: u64 = report
@@ -608,30 +620,49 @@ fn run_profile(args: &[String]) -> ! {
                 .map(|r| {
                     (
                         r.program.clone(),
-                        Value::obj(vec![(
-                            "phases",
-                            Value::Array(
-                                r.phases
-                                    .iter()
-                                    .map(|p| {
-                                        Value::obj(vec![
-                                            ("name", Value::from(p.name.as_str())),
-                                            ("calls", Value::from(p.calls)),
-                                            ("total_micros", Value::from(p.total_micros)),
-                                            (
-                                                "counters",
-                                                Value::Object(
-                                                    p.counters
-                                                        .iter()
-                                                        .map(|(k, v)| (k.clone(), Value::from(*v)))
-                                                        .collect(),
+                        Value::obj(vec![
+                            (
+                                "phases",
+                                Value::Array(
+                                    r.phases
+                                        .iter()
+                                        .map(|p| {
+                                            Value::obj(vec![
+                                                ("name", Value::from(p.name.as_str())),
+                                                ("calls", Value::from(p.calls)),
+                                                ("total_micros", Value::from(p.total_micros)),
+                                                (
+                                                    "counters",
+                                                    Value::Object(
+                                                        p.counters
+                                                            .iter()
+                                                            .map(|(k, v)| {
+                                                                (k.clone(), Value::from(*v))
+                                                            })
+                                                            .collect(),
+                                                    ),
                                                 ),
-                                            ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "search_speedup",
+                                r.search
+                                    .as_ref()
+                                    .map(|s| {
+                                        Value::obj(vec![
+                                            ("workers", Value::from(s.workers as u64)),
+                                            ("sequential_micros", Value::from(s.sequential_micros)),
+                                            ("parallel_micros", Value::from(s.parallel_micros)),
+                                            ("speedup", Value::from(s.speedup())),
+                                            ("identical_best", Value::from(s.identical)),
                                         ])
                                     })
-                                    .collect(),
+                                    .unwrap_or(Value::Null),
                             ),
-                        )]),
+                        ]),
                     )
                 })
                 .collect(),

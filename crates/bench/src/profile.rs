@@ -6,12 +6,14 @@
 //! Used by `tables profile`; kept in the library so tests can drive it
 //! without spawning the binary.
 
+use rayon::ThreadPoolBuilder;
 use sdlo_cachesim::{simulate_stack_distances, Granularity};
 use sdlo_core::MissModel;
 use sdlo_ir::programs::{builtin, BUILTIN_NAMES};
 use sdlo_ir::{Bindings, CompiledProgram};
 use sdlo_tilesearch::{SearchSpace, TileSearcher};
 use sdlo_trace::{MemoryCollector, PhaseSummary, Record};
+use std::time::Instant;
 
 /// Knobs for one profiling run.
 #[derive(Debug, Clone)]
@@ -34,11 +36,34 @@ impl Default for ProfileOptions {
     }
 }
 
+/// Sequential-vs-parallel timing of the pruned tile search for one builtin,
+/// measured outside the trace collector so the phase table stays clean.
+#[derive(Debug, Clone)]
+pub struct SearchSpeedup {
+    /// Workers the parallel run had available (`rayon::current_num_threads`).
+    pub workers: usize,
+    /// Wall time of the search on a 1-thread installed pool.
+    pub sequential_micros: u64,
+    /// Wall time of the search on the default pool.
+    pub parallel_micros: u64,
+    /// Whether both runs returned byte-identical outcomes (they must).
+    pub identical: bool,
+}
+
+impl SearchSpeedup {
+    /// Sequential time over parallel time; > 1 means the parallel run won.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_micros as f64 / (self.parallel_micros.max(1)) as f64
+    }
+}
+
 /// One profiled builtin: its per-phase summary plus the raw trace records.
 pub struct ProfileReport {
     pub program: String,
     pub phases: Vec<PhaseSummary>,
     pub records: Vec<Record>,
+    /// Present for tiled builtins (the untiled ones run no search).
+    pub search: Option<SearchSpeedup>,
 }
 
 /// Accept the canonical builtin names plus the loop-order spelling
@@ -77,34 +102,40 @@ pub fn profile_builtin(name: &str, opts: &ProfileOptions) -> Option<ProfileRepor
     let program = builtin(canonical).expect("resolved builtin exists");
     let (bindings, tile_syms) = generic_bindings(&program, opts);
 
+    // Search configuration for the tiled builtins (the untiled ones have no
+    // tile symbols to search); reused below for the speedup measurement.
+    let search_config = (!tile_syms.is_empty()).then(|| {
+        let space = SearchSpace {
+            max: vec![opts.bound.max(4) as u64; tile_syms.len()],
+            tile_syms: tile_syms.clone(),
+            min: 4,
+        };
+        let mut bound_only = Bindings::new();
+        for sym in program.free_symbols() {
+            if !sym.name().starts_with('T') {
+                bound_only = bound_only.with(sym.name(), opts.bound);
+            }
+        }
+        (space, bound_only)
+    });
+
     let collector = MemoryCollector::new();
     sdlo_trace::install(collector.clone());
+    let model;
     {
         let run = sdlo_trace::span("profile.run");
         run.attr("program", canonical);
 
         // Model build: partitioning + component classification + symbolic
         // stack-distance derivation.
-        let model = MissModel::build(&program);
+        model = MissModel::build(&program);
 
         // One prediction at the profiled cache size.
         let _ = model.predict_misses(&bindings, opts.cache);
 
-        // Tile search over the tiled builtins (the untiled ones have no
-        // tile symbols to search).
-        if !tile_syms.is_empty() {
-            let space = SearchSpace {
-                max: vec![opts.bound.max(4) as u64; tile_syms.len()],
-                tile_syms,
-                min: 4,
-            };
-            let mut bound_only = Bindings::new();
-            for sym in program.free_symbols() {
-                if !sym.name().starts_with('T') {
-                    bound_only = bound_only.with(sym.name(), opts.bound);
-                }
-            }
-            let searcher = TileSearcher::new(&model, bound_only, opts.cache, space);
+        // Tile search over the tiled builtins.
+        if let Some((space, bound_only)) = &search_config {
+            let searcher = TileSearcher::new(&model, bound_only.clone(), opts.cache, space.clone());
             let _ = searcher.pruned();
         }
 
@@ -115,12 +146,37 @@ pub fn profile_builtin(name: &str, opts: &ProfileOptions) -> Option<ProfileRepor
     }
     sdlo_trace::uninstall();
 
+    // Sequential-vs-parallel search timing, after the collector is gone so
+    // the extra runs don't pollute the phase table.
+    let search = search_config.map(|(space, bound_only)| {
+        let searcher = TileSearcher::new(&model, bound_only, opts.cache, space);
+        let one = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("1-thread pool");
+        let t = Instant::now();
+        let seq = one.install(|| searcher.pruned());
+        let sequential_micros = t.elapsed().as_micros() as u64;
+        let t = Instant::now();
+        let par = searcher.pruned();
+        let parallel_micros = t.elapsed().as_micros() as u64;
+        SearchSpeedup {
+            workers: rayon::current_num_threads(),
+            sequential_micros,
+            parallel_micros,
+            identical: seq.best == par.best
+                && seq.evaluations == par.evaluations
+                && seq.frontier == par.frontier,
+        }
+    });
+
     let records = collector.records();
     let phases = sdlo_trace::summarize(&records);
     Some(ProfileReport {
         program: canonical.to_string(),
         phases,
         records,
+        search,
     })
 }
 

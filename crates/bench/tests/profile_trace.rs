@@ -29,6 +29,12 @@ fn chrome_trace_is_well_formed_and_covers_the_pipeline() {
     let _g = gate();
     let report = profile_builtin("two_index_tiled", &small()).expect("alias resolves");
     assert_eq!(report.program, "tiled_two_index");
+    let speedup = report
+        .search
+        .as_ref()
+        .expect("tiled builtin times the search");
+    assert!(speedup.identical, "parallel search must match sequential");
+    assert!(speedup.workers >= 1);
     let doc = chrome_trace(std::slice::from_ref(&report));
     let v = sdlo_wire::parse(&doc).expect("trace JSON parses");
     let events = v
@@ -94,11 +100,13 @@ fn phase_summary_counts_partition_cells() {
         .expect("partition phase recorded");
     assert_eq!(partition.calls, 1);
     assert!(partition.counters["cells"] > 0);
-    // matmul is untiled: no tile symbols, so no tile-search span.
+    // matmul is untiled: no tile symbols, so no tile-search span and no
+    // search-speedup measurement.
     assert!(!report
         .phases
         .iter()
         .any(|p| p.name.starts_with("tilesearch")));
+    assert!(report.search.is_none());
 }
 
 #[test]

@@ -1,0 +1,603 @@
+//! The typed, versioned protocol layer.
+//!
+//! Every request line decodes **once** into an [`Envelope`] (the fields
+//! every request shares: `v`, `id`, `request_id`, `op`) plus a typed
+//! [`Request`]; the engine dispatches on the enum instead of poking at raw
+//! [`Value`]s, and every reply is built by [`reply`] / [`error_reply`] so
+//! success and failure share one envelope shape:
+//!
+//! ```text
+//! {"id":…, "request_id":"…", "v":1, "ok":true,  …body…}
+//! {"id":…, "request_id":"…", "v":1, "ok":false, "error":{"kind":…, "message":…}}
+//! ```
+//!
+//! ## Versioning
+//!
+//! Requests may carry `"v": 1`; an absent `v` means 1. Every reply carries
+//! the protocol version it speaks ([`PROTOCOL_VERSION`]). A request with an
+//! unknown or non-integer `v` fails with the `unsupported_version` error
+//! kind before its `op` is even looked at, so clients can probe for support
+//! safely. `stats` advertises `protocol_version` and the supported [`OPS`].
+
+use sdlo_ir::Program;
+use sdlo_symbolic::Bindings;
+use sdlo_tilesearch::SearchSpace;
+use sdlo_wire::{
+    bindings_from_value, program_from_value, program_from_value_unchecked, Value, WireError,
+};
+
+/// The (single) protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Ops served to clients, advertised by `stats`. Test-only ops (`sleep`)
+/// are deliberately absent.
+pub const OPS: &[&str] = &[
+    "analyze", "predict", "advise", "batch", "lint", "stats", "metrics",
+];
+
+/// Every error kind the service can put in an error envelope, transport
+/// errors included — the single source of truth for the wire strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Unknown or missing `op`, or an op disabled in this configuration.
+    Unsupported,
+    /// The request's `v` is not a protocol version this build speaks.
+    UnsupportedVersion,
+    /// The line was not valid JSON.
+    Malformed,
+    /// JSON was fine but a field is missing or has the wrong shape.
+    Schema,
+    /// An inline program failed validation.
+    InvalidProgram,
+    /// Model evaluation failed (e.g. unbound symbol at eval time).
+    Eval,
+    /// A configured size limit was exceeded.
+    Limit,
+    /// The request ran out of its wall-clock budget.
+    DeadlineExceeded,
+    /// The worker queue is full (transport backpressure).
+    Overloaded,
+    /// The request line exceeded the transport's byte cap.
+    TooLarge,
+    /// The service failed internally.
+    Internal,
+}
+
+impl ErrorKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::UnsupportedVersion => "unsupported_version",
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::Schema => "schema",
+            ErrorKind::InvalidProgram => "invalid_program",
+            ErrorKind::Eval => "eval",
+            ErrorKind::Limit => "limit",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::TooLarge => "too_large",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A failure on its way into the unified error envelope.
+#[derive(Debug)]
+pub struct ApiError {
+    pub kind: ErrorKind,
+    pub message: String,
+}
+
+impl ApiError {
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        ApiError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+fn schema(message: impl Into<String>) -> ApiError {
+    ApiError::new(ErrorKind::Schema, message)
+}
+
+impl From<WireError> for ApiError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Json(e) => ApiError::new(ErrorKind::Malformed, e.to_string()),
+            WireError::Schema(m) => ApiError::new(ErrorKind::Schema, m),
+            WireError::Validate(e) => ApiError::new(ErrorKind::InvalidProgram, e.to_string()),
+        }
+    }
+}
+
+/// The fields every request shares, extracted even when the body fails to
+/// parse so error replies can still echo `id` and `request_id`.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Client-requested protocol version (absent ⇒ 1; `None` if non-integer).
+    pub v: Option<u64>,
+    /// Client correlation id, echoed back verbatim.
+    pub id: Option<Value>,
+    /// Client-supplied request id, if any.
+    pub request_id: Option<String>,
+    /// The raw op string (empty when absent), for metrics and spans.
+    pub op: String,
+}
+
+/// A program reference: a builtin name (resolved against the engine's
+/// precomputed table) or a validated inline program.
+#[derive(Debug)]
+pub enum ProgramSpec {
+    Builtin(String),
+    Inline(Program),
+}
+
+/// Like [`ProgramSpec`] but inline programs skip [`Program::validate`]:
+/// structural problems are exactly what lint's `structure` diagnostic
+/// reports.
+#[derive(Debug)]
+pub enum LintSpec {
+    Builtin(String),
+    Inline(Program),
+}
+
+#[derive(Debug)]
+pub struct Analyze {
+    pub program: ProgramSpec,
+}
+
+#[derive(Debug)]
+pub struct Predict {
+    pub program: ProgramSpec,
+    pub bindings: Bindings,
+    pub cache: u64,
+    pub per_array: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    Pruned,
+    Exhaustive,
+}
+
+/// What `advise` searches against: concrete loop bounds, or the §6
+/// bounds-free variant.
+#[derive(Debug)]
+pub enum AdviseTarget {
+    Bound {
+        bindings: Bindings,
+        mode: SearchMode,
+    },
+    BoundsFree {
+        bounds: Vec<String>,
+        nominal: i128,
+    },
+}
+
+#[derive(Debug)]
+pub struct Advise {
+    pub program: ProgramSpec,
+    pub cache: u64,
+    pub space: SearchSpace,
+    pub target: AdviseTarget,
+    /// Wall-clock budget for the tile search, from dispatch.
+    pub deadline_ms: Option<u64>,
+    /// Model-evaluation cap for the tile search.
+    pub max_evals: Option<usize>,
+}
+
+#[derive(Debug)]
+pub struct Batch {
+    /// Sub-requests, still raw: each goes through the full parse → dispatch
+    /// → encode cycle (and failures must not fail the batch).
+    pub requests: Vec<Value>,
+}
+
+#[derive(Debug)]
+pub struct Lint {
+    pub program: LintSpec,
+}
+
+#[derive(Debug)]
+pub struct Sleep {
+    pub millis: u64,
+}
+
+/// One fully parsed request, ready to dispatch.
+#[derive(Debug)]
+pub enum Request {
+    Analyze(Analyze),
+    Predict(Predict),
+    Advise(Advise),
+    Batch(Batch),
+    Lint(Lint),
+    Stats,
+    Metrics,
+    Sleep(Sleep),
+}
+
+/// Parse one request document. The envelope always comes back (error
+/// replies need `id`/`request_id`); the body parses only if the version is
+/// supported and the op's schema holds.
+pub fn parse_request(request: &Value) -> (Envelope, Result<Request, ApiError>) {
+    let envelope = Envelope {
+        v: match request.get("v") {
+            None => Some(PROTOCOL_VERSION),
+            Some(v) => v.as_u64(),
+        },
+        id: request.get("id").cloned(),
+        request_id: request
+            .get("request_id")
+            .and_then(Value::as_str)
+            .map(str::to_string),
+        op: request
+            .get("op")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string(),
+    };
+    let body = parse_body(&envelope, request);
+    (envelope, body)
+}
+
+fn parse_body(envelope: &Envelope, request: &Value) -> Result<Request, ApiError> {
+    match envelope.v {
+        Some(PROTOCOL_VERSION) => {}
+        Some(v) => {
+            return Err(ApiError::new(
+                ErrorKind::UnsupportedVersion,
+                format!(
+                    "protocol version {v} is not supported (this build speaks v{PROTOCOL_VERSION})"
+                ),
+            ))
+        }
+        None => {
+            return Err(ApiError::new(
+                ErrorKind::UnsupportedVersion,
+                "`v` must be an integer protocol version",
+            ))
+        }
+    }
+    match envelope.op.as_str() {
+        "analyze" => Ok(Request::Analyze(Analyze {
+            program: program_spec(request)?,
+        })),
+        "predict" => Ok(Request::Predict(Predict {
+            program: program_spec(request)?,
+            bindings: bindings(request)?,
+            cache: cache_elements(request)?,
+            per_array: request
+                .get("per_array")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+        })),
+        "advise" => parse_advise(request).map(Request::Advise),
+        "batch" => {
+            let items = request
+                .get("requests")
+                .and_then(Value::as_array)
+                .ok_or_else(|| schema("`requests` must be an array"))?;
+            if items
+                .iter()
+                .any(|i| i.get("op").and_then(Value::as_str) == Some("batch"))
+            {
+                return Err(ApiError::new(
+                    ErrorKind::Unsupported,
+                    "nested batch requests",
+                ));
+            }
+            Ok(Request::Batch(Batch {
+                requests: items.to_vec(),
+            }))
+        }
+        "lint" => {
+            let spec = request
+                .get("program")
+                .ok_or_else(|| schema("missing `program` field"))?;
+            let program = if let Some(name) = spec.as_str() {
+                LintSpec::Builtin(name.to_string())
+            } else {
+                LintSpec::Inline(program_from_value_unchecked(spec)?)
+            };
+            Ok(Request::Lint(Lint { program }))
+        }
+        "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "sleep" => Ok(Request::Sleep(Sleep {
+            millis: request.get("millis").and_then(Value::as_u64).unwrap_or(10),
+        })),
+        "" => Err(ApiError::new(ErrorKind::Unsupported, "missing `op` field")),
+        op => Err(ApiError::new(
+            ErrorKind::Unsupported,
+            format!("unknown op `{op}`"),
+        )),
+    }
+}
+
+fn program_spec(request: &Value) -> Result<ProgramSpec, ApiError> {
+    let spec = request
+        .get("program")
+        .ok_or_else(|| schema("missing `program` field"))?;
+    if let Some(name) = spec.as_str() {
+        Ok(ProgramSpec::Builtin(name.to_string()))
+    } else {
+        Ok(ProgramSpec::Inline(program_from_value(spec)?))
+    }
+}
+
+fn bindings(request: &Value) -> Result<Bindings, ApiError> {
+    Ok(request
+        .get("bindings")
+        .map(bindings_from_value)
+        .transpose()?
+        .unwrap_or_default())
+}
+
+fn cache_elements(request: &Value) -> Result<u64, ApiError> {
+    request
+        .get("cache")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| schema("missing or non-integer `cache` (elements)"))
+}
+
+fn parse_advise(request: &Value) -> Result<Advise, ApiError> {
+    let program = program_spec(request)?;
+    let cache = cache_elements(request)?;
+    let space = decode_space(request)?;
+    let target = if let Some(bf) = request.get("bounds_free") {
+        let bounds: Vec<String> = bf
+            .get("bounds")
+            .and_then(Value::as_array)
+            .ok_or_else(|| schema("`bounds_free.bounds` must be an array"))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| schema("bound symbols must be strings"))
+            })
+            .collect::<Result<_, _>>()?;
+        let nominal = bf
+            .get("nominal")
+            .and_then(Value::as_i64)
+            .unwrap_or(1_000_000) as i128;
+        AdviseTarget::BoundsFree { bounds, nominal }
+    } else {
+        let mode = match request
+            .get("mode")
+            .and_then(Value::as_str)
+            .unwrap_or("pruned")
+        {
+            "pruned" => SearchMode::Pruned,
+            "exhaustive" => SearchMode::Exhaustive,
+            other => {
+                return Err(schema(format!(
+                    "unknown mode `{other}` (expected pruned | exhaustive)"
+                )))
+            }
+        };
+        AdviseTarget::Bound {
+            bindings: bindings(request)?,
+            mode,
+        }
+    };
+    let deadline_ms = match request.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| schema("`deadline_ms` must be a non-negative integer"))?,
+        ),
+    };
+    let max_evals = match request.get("max_evals") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| schema("`max_evals` must be a non-negative integer"))?
+                as usize,
+        ),
+    };
+    Ok(Advise {
+        program,
+        cache,
+        space,
+        target,
+        deadline_ms,
+        max_evals,
+    })
+}
+
+fn decode_space(request: &Value) -> Result<SearchSpace, ApiError> {
+    let v = request
+        .get("space")
+        .ok_or_else(|| schema("missing `space` {syms, max, min}"))?;
+    let syms: Vec<String> = v
+        .get("syms")
+        .and_then(Value::as_array)
+        .ok_or_else(|| schema("`space.syms` must be an array of strings"))?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| schema("`space.syms` must be strings"))
+        })
+        .collect::<Result<_, _>>()?;
+    let max: Vec<u64> = v
+        .get("max")
+        .and_then(Value::as_array)
+        .ok_or_else(|| schema("`space.max` must be an array of integers"))?
+        .iter()
+        .map(|m| {
+            m.as_u64()
+                .ok_or_else(|| schema("`space.max` must be non-negative"))
+        })
+        .collect::<Result<_, _>>()?;
+    if syms.is_empty() || syms.len() != max.len() {
+        return Err(schema(
+            "`space.syms` and `space.max` must align and be non-empty",
+        ));
+    }
+    let min = v.get("min").and_then(Value::as_u64).unwrap_or(4).max(1);
+    if max.iter().any(|m| *m < min) {
+        return Err(schema("every `space.max` must be ≥ `space.min`"));
+    }
+    Ok(SearchSpace {
+        tile_syms: syms,
+        max,
+        min,
+    })
+}
+
+/// Grid points this space spans: candidates per dimension are the powers of
+/// two in `[min, max]`, i.e. ~log₂(max/min)+1 values. The engine compares
+/// this against its configured `max_search_points`.
+pub fn grid_points(space: &SearchSpace) -> u64 {
+    let mut points = 1u64;
+    for m in &space.max {
+        let per_dim = (m / space.min).ilog2() as u64 + 1;
+        points = points.saturating_mul(per_dim);
+    }
+    points
+}
+
+// -- reply builders ----------------------------------------------------------
+
+fn envelope_fields(id: Option<Value>, request_id: &str, ok: bool) -> Vec<(String, Value)> {
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_string(), id));
+    }
+    fields.push(("request_id".to_string(), Value::from(request_id)));
+    fields.push(("v".to_string(), Value::from(PROTOCOL_VERSION)));
+    fields.push(("ok".to_string(), Value::from(ok)));
+    fields
+}
+
+/// A success reply: `{"id":…, "request_id":…, "v":1, "ok":true, …body…}`.
+pub fn reply(id: Option<Value>, request_id: &str, body: Vec<(&'static str, Value)>) -> Value {
+    let mut fields = envelope_fields(id, request_id, true);
+    for (k, v) in body {
+        fields.push((k.to_string(), v));
+    }
+    Value::Object(fields)
+}
+
+/// The unified error envelope:
+/// `{"id":…, "request_id":…, "v":1, "ok":false, "error":{"kind":…, "message":…}}`.
+pub fn error_reply(id: Option<Value>, request_id: &str, error: &ApiError) -> Value {
+    let mut fields = envelope_fields(id, request_id, false);
+    fields.push((
+        "error".to_string(),
+        Value::obj(vec![
+            ("kind", Value::from(error.kind.as_str())),
+            ("message", Value::from(error.message.as_str())),
+        ]),
+    ));
+    Value::Object(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Value {
+        sdlo_wire::parse(s).unwrap()
+    }
+
+    #[test]
+    fn version_defaults_to_one_and_gates_first() {
+        let (env, body) = parse_request(&parse(r#"{"op":"stats"}"#));
+        assert_eq!(env.v, Some(1));
+        assert!(matches!(body, Ok(Request::Stats)));
+
+        let (env, body) = parse_request(&parse(r#"{"op":"stats","v":1}"#));
+        assert_eq!(env.v, Some(1));
+        assert!(body.is_ok());
+
+        // Unknown version loses even against a bad op: probing is safe.
+        let (_, body) = parse_request(&parse(r#"{"op":"nope","v":2}"#));
+        assert_eq!(body.unwrap_err().kind, ErrorKind::UnsupportedVersion);
+        let (_, body) = parse_request(&parse(r#"{"op":"stats","v":"x"}"#));
+        assert_eq!(body.unwrap_err().kind, ErrorKind::UnsupportedVersion);
+    }
+
+    #[test]
+    fn unknown_and_missing_ops_are_unsupported() {
+        let (_, body) = parse_request(&parse(r#"{"op":"frobnicate"}"#));
+        let err = body.unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unsupported);
+        assert!(err.message.contains("frobnicate"));
+        let (env, body) = parse_request(&parse(r#"{"id":3}"#));
+        assert_eq!(env.op, "");
+        assert_eq!(body.unwrap_err().kind, ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn advise_parses_budget_fields() {
+        let (_, body) = parse_request(&parse(
+            r#"{"op":"advise","program":"tiled_matmul","cache":4096,
+                "bindings":{"Ni":64,"Nj":64,"Nk":64},
+                "space":{"syms":["Ti","Tj","Tk"],"max":[64,64,64],"min":4},
+                "deadline_ms":250,"max_evals":1000}"#,
+        ));
+        let Ok(Request::Advise(a)) = body else {
+            panic!("expected advise")
+        };
+        assert_eq!(a.deadline_ms, Some(250));
+        assert_eq!(a.max_evals, Some(1000));
+        assert!(matches!(
+            a.target,
+            AdviseTarget::Bound {
+                mode: SearchMode::Pruned,
+                ..
+            }
+        ));
+
+        let (_, body) = parse_request(&parse(
+            r#"{"op":"advise","program":"x","cache":1,
+                "space":{"syms":["T"],"max":[8],"min":4},
+                "deadline_ms":"soon"}"#,
+        ));
+        assert_eq!(body.unwrap_err().kind, ErrorKind::Schema);
+    }
+
+    #[test]
+    fn nested_batches_are_rejected_at_parse_time() {
+        let (_, body) = parse_request(&parse(
+            r#"{"op":"batch","requests":[{"op":"batch","requests":[]}]}"#,
+        ));
+        assert_eq!(body.unwrap_err().kind, ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn reply_envelopes_share_one_shape() {
+        let ok = reply(
+            Some(Value::from(7u64)),
+            "req-00000001",
+            vec![("answer", Value::from(42u64))],
+        );
+        assert_eq!(
+            ok.render(),
+            r#"{"id":7,"request_id":"req-00000001","v":1,"ok":true,"answer":42}"#
+        );
+        let err = error_reply(
+            None,
+            "req-00000002",
+            &ApiError::new(ErrorKind::Limit, "too big"),
+        );
+        assert_eq!(
+            err.render(),
+            r#"{"request_id":"req-00000002","v":1,"ok":false,"error":{"kind":"limit","message":"too big"}}"#
+        );
+    }
+
+    #[test]
+    fn grid_points_counts_powers_of_two() {
+        let space = SearchSpace {
+            tile_syms: vec!["Ti".into(), "Tj".into()],
+            max: vec![64, 32],
+            min: 4,
+        };
+        // 4..64: 5 candidates; 4..32: 4 candidates.
+        assert_eq!(grid_points(&space), 20);
+    }
+}

@@ -30,15 +30,27 @@
 //! `"program"` is either a builtin name (`"matmul"`, `"tiled_matmul"`, …)
 //! or an inline program object (see `sdlo-wire`).
 //!
-//! Responses are `{"id":…,"ok":true,…}` or
-//! `{"id":…,"ok":false,"error":{"kind":…,"message":…}}`.
+//! Requests are decoded once into the typed [`crate::api::Request`] enum
+//! and dispatched on it; replies are built by the [`crate::api`] envelope
+//! builders, so every response — success or failure — shares one shape:
+//! `{"id":…,"request_id":…,"v":1,"ok":true,…}` or
+//! `{"id":…,"request_id":…,"v":1,"ok":false,"error":{"kind":…,"message":…}}`.
+//! See the [`crate::api`] docs for versioning rules.
 //!
-//! Every response also carries a `"request_id"`: the client-supplied
+//! `advise` accepts an optional search budget (`"deadline_ms"`,
+//! `"max_evals"`); a search that exhausts it returns `ok:true` with
+//! `completed:false` and the best tile found so far instead of blocking.
+//!
+//! Every response carries a `"request_id"`: the client-supplied
 //! `"request_id"` string if present, otherwise a server-generated
 //! `req-XXXXXXXX`. The id is attached to the request's trace span
 //! (`service.request`) so daemon traces correlate with client logs, and is
 //! present on error replies too.
 
+use crate::api::{
+    self, Advise, AdviseTarget, Analyze, ApiError, Batch, ErrorKind, Lint, LintSpec, Predict,
+    ProgramSpec, Request, SearchMode, Sleep,
+};
 use crate::cache::ShardedCache;
 use crate::metrics::{Kind, Metrics};
 use rayon::prelude::*;
@@ -47,14 +59,11 @@ use sdlo_ir::canon::{canonicalize, Canonical};
 use sdlo_ir::programs::{builtin, BUILTIN_NAMES as BUILTINS};
 use sdlo_ir::Program;
 use sdlo_symbolic::{Bindings, Sym};
-use sdlo_tilesearch::{SearchSpace, TileSearcher};
-use sdlo_wire::{
-    bindings_from_value, component_to_value, diagnostic_to_value, outcome_to_value,
-    program_from_value, program_from_value_unchecked, Value, WireError,
-};
+use sdlo_tilesearch::{SearchBudget, SearchSpace, TileSearcher};
+use sdlo_wire::{component_to_value, diagnostic_to_value, outcome_to_value, Value};
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Engine limits and cache sizing.
 #[derive(Debug, Clone)]
@@ -115,32 +124,10 @@ pub struct Engine {
     req_seq: std::sync::atomic::AtomicU64,
 }
 
-fn err_value(kind: &str, message: impl Into<String>) -> Value {
-    Value::obj(vec![
-        ("kind", Value::from(kind)),
-        ("message", Value::from(message.into())),
-    ])
-}
+type OpResult = Result<Vec<(&'static str, Value)>, ApiError>;
 
-enum OpError {
-    /// (error kind, message)
-    Fail(&'static str, String),
-}
-
-type OpResult = Result<Vec<(&'static str, Value)>, OpError>;
-
-fn fail(kind: &'static str, message: impl Into<String>) -> OpError {
-    OpError::Fail(kind, message.into())
-}
-
-impl From<WireError> for OpError {
-    fn from(e: WireError) -> Self {
-        match e {
-            WireError::Json(e) => fail("malformed", e.to_string()),
-            WireError::Schema(m) => fail("schema", m),
-            WireError::Validate(e) => fail("invalid_program", e.to_string()),
-        }
-    }
+fn fail(kind: ErrorKind, message: impl Into<String>) -> ApiError {
+    ApiError::new(kind, message)
 }
 
 impl Engine {
@@ -171,110 +158,79 @@ impl Engine {
                 self.metrics
                     .malformed
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                return Value::obj(vec![
-                    ("ok", Value::from(false)),
-                    ("request_id", Value::from(self.next_request_id())),
-                    ("error", err_value("malformed", e.to_string())),
-                ])
-                .render();
+                let err = fail(ErrorKind::Malformed, e.to_string());
+                return api::error_reply(None, &self.next_request_id(), &err).render();
             }
         };
         self.handle(&v).render()
     }
 
     /// Next server-generated request id.
-    fn next_request_id(&self) -> String {
+    pub(crate) fn next_request_id(&self) -> String {
         let n = self
             .req_seq
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         format!("req-{n:08x}")
     }
 
-    /// Handle one parsed request document.
+    /// Handle one parsed request document: parse → dispatch → encode.
     pub fn handle(&self, request: &Value) -> Value {
         let started = Instant::now();
-        let id = request.get("id").cloned();
-        let op = request.get("op").and_then(Value::as_str).unwrap_or("");
-        let kind = Kind::from_op(op);
-        let request_id = request
-            .get("request_id")
-            .and_then(Value::as_str)
-            .map(str::to_string)
+        let (envelope, parsed) = api::parse_request(request);
+        let kind = Kind::from_op(&envelope.op);
+        let request_id = envelope
+            .request_id
+            .clone()
             .unwrap_or_else(|| self.next_request_id());
         let span = sdlo_trace::span("service.request");
-        span.attr("op", op);
+        span.attr("op", envelope.op.as_str());
         span.attr("request_id", request_id.as_str());
         let in_flight = &self.metrics.kind(kind).in_flight;
         in_flight.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let outcome = self.dispatch(kind, op, request, started);
+        let outcome = parsed.and_then(|req| self.dispatch(req, started));
         in_flight.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
         let micros = started.elapsed().as_micros() as u64;
         self.metrics.record(kind, micros, outcome.is_ok());
         drop(span);
-        let mut fields: Vec<(String, Value)> = Vec::new();
-        if let Some(id) = id {
-            fields.push(("id".to_string(), id));
-        }
-        fields.push(("request_id".to_string(), Value::from(request_id)));
         match outcome {
-            Ok(body) => {
-                fields.push(("ok".to_string(), Value::from(true)));
-                for (k, v) in body {
-                    fields.push((k.to_string(), v));
-                }
-            }
-            Err(OpError::Fail(ekind, message)) => {
-                fields.push(("ok".to_string(), Value::from(false)));
-                fields.push(("error".to_string(), err_value(ekind, message)));
-            }
+            Ok(body) => api::reply(envelope.id, &request_id, body),
+            Err(e) => api::error_reply(envelope.id, &request_id, &e),
         }
-        Value::Object(fields)
     }
 
-    fn dispatch(&self, kind: Kind, op: &str, request: &Value, started: Instant) -> OpResult {
-        match kind {
-            Kind::Analyze => self.op_analyze(request),
-            Kind::Predict => self.op_predict(request),
-            Kind::Advise => self.op_advise(request),
-            Kind::Batch => self.op_batch(request, started),
-            Kind::Lint => self.op_lint(request),
-            Kind::Stats => self.op_stats(),
-            Kind::Metrics => self.op_metrics(),
-            Kind::Sleep => self.op_sleep(request),
-            Kind::Other => Err(fail(
-                "unsupported",
-                if op.is_empty() {
-                    "missing `op` field".to_string()
-                } else {
-                    format!("unknown op `{op}`")
-                },
-            )),
+    fn dispatch(&self, request: Request, started: Instant) -> OpResult {
+        match request {
+            Request::Analyze(r) => self.op_analyze(r),
+            Request::Predict(r) => self.op_predict(r),
+            Request::Advise(r) => self.op_advise(r),
+            Request::Batch(r) => self.op_batch(r, started),
+            Request::Lint(r) => self.op_lint(r),
+            Request::Stats => self.op_stats(),
+            Request::Metrics => self.op_metrics(),
+            Request::Sleep(r) => self.op_sleep(r),
         }
     }
 
     // -- program resolution + memoized analysis ----------------------------
 
-    fn resolve_program(&self, request: &Value) -> Result<Resolved, OpError> {
-        let spec = request
-            .get("program")
-            .ok_or_else(|| fail("schema", "missing `program` field"))?;
-        if let Some(name) = spec.as_str() {
-            builtin_resolved(name).ok_or_else(|| {
+    fn resolve_spec(&self, spec: ProgramSpec) -> Result<Resolved, ApiError> {
+        match spec {
+            ProgramSpec::Builtin(name) => builtin_resolved(&name).ok_or_else(|| {
                 fail(
-                    "schema",
+                    ErrorKind::Schema,
                     format!(
                         "unknown builtin program `{name}` (expected one of {})",
                         BUILTINS.join(", ")
                     ),
                 )
-            })
-        } else {
-            let program = program_from_value(spec)?;
-            let canonical = Arc::new(canonicalize(&program));
-            Ok(Resolved {
-                program: Arc::new(program),
-                canonical,
-            })
+            }),
+            ProgramSpec::Inline(program) => {
+                let canonical = Arc::new(canonicalize(&program));
+                Ok(Resolved {
+                    program: Arc::new(program),
+                    canonical,
+                })
+            }
         }
     }
 
@@ -319,8 +275,8 @@ impl Engine {
 
     // -- ops ----------------------------------------------------------------
 
-    fn op_analyze(&self, request: &Value) -> OpResult {
-        let resolved = self.resolve_program(request)?;
+    fn op_analyze(&self, request: Analyze) -> OpResult {
+        let resolved = self.resolve_spec(request.program)?;
         let program = &resolved.program;
         let (cached, hit) = self.model_for(&resolved);
         let name_of = Self::original_name(program, &cached.canonical);
@@ -347,24 +303,15 @@ impl Engine {
         ])
     }
 
-    fn op_predict(&self, request: &Value) -> OpResult {
-        let resolved = self.resolve_program(request)?;
+    fn op_predict(&self, request: Predict) -> OpResult {
+        let resolved = self.resolve_spec(request.program)?;
         let program = &resolved.program;
-        let bindings = request
-            .get("bindings")
-            .map(bindings_from_value)
-            .transpose()?
-            .unwrap_or_default();
-        let cache_size = request
-            .get("cache")
-            .and_then(Value::as_u64)
-            .ok_or_else(|| fail("schema", "missing or non-integer `cache` (elements)"))?;
-        self.require_bound(program, &bindings, &[])?;
+        self.require_bound(program, &request.bindings, &[])?;
         let (cached, hit) = self.model_for(&resolved);
         let misses = cached
             .model
-            .predict_misses(&bindings, cache_size)
-            .map_err(|e| fail("eval", e.to_string()))?;
+            .predict_misses(&request.bindings, request.cache)
+            .map_err(|e| fail(ErrorKind::Eval, e.to_string()))?;
         let mut body = vec![
             ("misses", Value::from(misses)),
             ("cache_hit", Value::from(hit)),
@@ -373,16 +320,12 @@ impl Engine {
                 Value::from(format!("{:016x}", cached.canonical.hash)),
             ),
         ];
-        if request
-            .get("per_array")
-            .and_then(Value::as_bool)
-            .unwrap_or(false)
-        {
+        if request.per_array {
             let name_of = Self::original_name(program, &cached.canonical);
             let by_array = cached
                 .model
-                .predict_by_array(&bindings, cache_size)
-                .map_err(|e| fail("eval", e.to_string()))?;
+                .predict_by_array(&request.bindings, request.cache)
+                .map_err(|e| fail(ErrorKind::Eval, e.to_string()))?;
             body.push((
                 "by_array",
                 Value::Object(
@@ -396,70 +339,54 @@ impl Engine {
         Ok(body)
     }
 
-    fn op_advise(&self, request: &Value) -> OpResult {
-        let resolved = self.resolve_program(request)?;
+    fn op_advise(&self, request: Advise) -> OpResult {
+        let resolved = self.resolve_spec(request.program)?;
         let program = &resolved.program;
-        let cache_size = request
-            .get("cache")
-            .and_then(Value::as_u64)
-            .ok_or_else(|| fail("schema", "missing or non-integer `cache` (elements)"))?;
-        let space = self.decode_space(request)?;
+        self.check_grid(&request.space)?;
+        let space = request.space;
         let (cached, hit) = self.model_for(&resolved);
+        let budget = SearchBudget {
+            deadline: request
+                .deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
+            max_evaluations: request.max_evals,
+        };
 
-        let bounds_free = request.get("bounds_free");
-        let outcome = if let Some(bf) = bounds_free {
-            let bounds: Vec<String> = bf
-                .get("bounds")
-                .and_then(Value::as_array)
-                .ok_or_else(|| fail("schema", "`bounds_free.bounds` must be an array"))?
-                .iter()
-                .map(|v| {
-                    v.as_str()
-                        .map(str::to_string)
-                        .ok_or_else(|| fail("schema", "bound symbols must be strings"))
-                })
-                .collect::<Result<_, _>>()?;
-            let nominal = bf
-                .get("nominal")
-                .and_then(Value::as_i64)
-                .unwrap_or(1_000_000) as i128;
-            let mut covered: Vec<&str> = bounds.iter().map(String::as_str).collect();
-            let tile_strs: Vec<&str> = space.tile_syms.iter().map(String::as_str).collect();
-            covered.extend(&tile_strs);
-            self.require_covered(program, &covered)?;
-            let bound_refs: Vec<&str> = bounds.iter().map(String::as_str).collect();
-            TileSearcher::bounds_free(
-                &cached.model,
-                &bound_refs,
-                nominal,
-                cache_size,
-                space.clone(),
-            )
-        } else {
-            let bindings = request
-                .get("bindings")
-                .map(bindings_from_value)
-                .transpose()?
-                .unwrap_or_default();
-            self.require_bound(program, &bindings, &space.tile_syms)?;
-            let searcher = TileSearcher::new(&cached.model, bindings, cache_size, space.clone());
-            match request
-                .get("mode")
-                .and_then(Value::as_str)
-                .unwrap_or("pruned")
-            {
-                "pruned" => searcher.pruned(),
-                "exhaustive" => searcher.exhaustive(),
-                other => {
-                    return Err(fail(
-                        "schema",
-                        format!("unknown mode `{other}` (expected pruned | exhaustive)"),
-                    ))
+        let outcome = match request.target {
+            AdviseTarget::BoundsFree { bounds, nominal } => {
+                let mut covered: Vec<&str> = bounds.iter().map(String::as_str).collect();
+                let tile_strs: Vec<&str> = space.tile_syms.iter().map(String::as_str).collect();
+                covered.extend(&tile_strs);
+                self.require_covered(program, &covered)?;
+                let bound_refs: Vec<&str> = bounds.iter().map(String::as_str).collect();
+                TileSearcher::bounds_free_with(
+                    &cached.model,
+                    &bound_refs,
+                    nominal,
+                    request.cache,
+                    space.clone(),
+                    &budget,
+                )
+            }
+            AdviseTarget::Bound { bindings, mode } => {
+                self.require_bound(program, &bindings, &space.tile_syms)?;
+                let searcher =
+                    TileSearcher::new(&cached.model, bindings, request.cache, space.clone());
+                match mode {
+                    SearchMode::Pruned => searcher.pruned_with(&budget),
+                    SearchMode::Exhaustive => searcher.exhaustive_with(&budget),
                 }
             }
         };
+        if !outcome.completed {
+            self.metrics
+                .searches_cancelled
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
         Ok(vec![
             ("outcome", outcome_to_value(&space.tile_syms, &outcome)),
+            ("completed", Value::from(outcome.completed)),
+            ("wall_micros", Value::from(outcome.wall_micros)),
             ("cache_hit", Value::from(hit)),
             (
                 "shape",
@@ -468,14 +395,11 @@ impl Engine {
         ])
     }
 
-    fn op_batch(&self, request: &Value, started: Instant) -> OpResult {
-        let items = request
-            .get("requests")
-            .and_then(Value::as_array)
-            .ok_or_else(|| fail("schema", "`requests` must be an array"))?;
+    fn op_batch(&self, request: Batch, started: Instant) -> OpResult {
+        let items = request.requests;
         if items.len() > self.config.max_batch {
             return Err(fail(
-                "limit",
+                ErrorKind::Limit,
                 format!(
                     "batch of {} exceeds max_batch={}",
                     items.len(),
@@ -483,25 +407,22 @@ impl Engine {
                 ),
             ));
         }
-        for item in items {
-            if item.get("op").and_then(Value::as_str) == Some("batch") {
-                return Err(fail("unsupported", "nested batch requests"));
-            }
-        }
-        let budget = std::time::Duration::from_millis(self.config.max_request_millis);
+        let budget = Duration::from_millis(self.config.max_request_millis);
         let responses: Vec<Value> = items
             .iter()
             .collect::<Vec<_>>()
             .into_par_iter()
             .map(|item| {
                 if started.elapsed() > budget {
-                    return Value::obj(vec![
-                        ("ok", Value::from(false)),
-                        (
-                            "error",
-                            err_value("limit", "batch exceeded the request time budget"),
-                        ),
-                    ]);
+                    let err = fail(
+                        ErrorKind::DeadlineExceeded,
+                        "batch exceeded the request time budget",
+                    );
+                    return api::error_reply(
+                        item.get("id").cloned(),
+                        &self.next_request_id(),
+                        &err,
+                    );
                 }
                 self.handle(item)
             })
@@ -509,25 +430,21 @@ impl Engine {
         Ok(vec![("responses", Value::Array(responses))])
     }
 
-    fn op_lint(&self, request: &Value) -> OpResult {
+    fn op_lint(&self, request: Lint) -> OpResult {
         use std::sync::atomic::Ordering::Relaxed;
-        let spec = request
-            .get("program")
-            .ok_or_else(|| fail("schema", "missing `program` field"))?;
-        let program = if let Some(name) = spec.as_str() {
-            builtin(name).ok_or_else(|| {
+        let program = match request.program {
+            LintSpec::Builtin(name) => builtin(&name).ok_or_else(|| {
                 fail(
-                    "schema",
+                    ErrorKind::Schema,
                     format!(
                         "unknown builtin program `{name}` (expected one of {})",
                         BUILTINS.join(", ")
                     ),
                 )
-            })?
-        } else {
-            // Deliberately skip validation: structural problems are exactly
-            // what the `structure` diagnostic reports.
-            program_from_value_unchecked(spec)?
+            })?,
+            // Validation was deliberately skipped at parse time: structural
+            // problems are exactly what the `structure` diagnostic reports.
+            LintSpec::Inline(program) => program,
         };
         let diags = sdlo_analysis::lint(&program);
         let counts = sdlo_analysis::SeverityCounts::of(&diags);
@@ -563,6 +480,14 @@ impl Engine {
             _ => unreachable!("snapshot is an object"),
         };
         snap.push(("cached_shapes".to_string(), Value::from(self.cache.len())));
+        snap.push((
+            "protocol_version".to_string(),
+            Value::from(api::PROTOCOL_VERSION),
+        ));
+        snap.push((
+            "ops".to_string(),
+            Value::Array(api::OPS.iter().map(|o| Value::from(*o)).collect()),
+        ));
         Ok(vec![("stats", Value::Object(snap))])
     }
 
@@ -580,77 +505,31 @@ impl Engine {
         self.metrics.prometheus(self.cache.len() as u64)
     }
 
-    fn op_sleep(&self, request: &Value) -> OpResult {
+    fn op_sleep(&self, request: Sleep) -> OpResult {
         if !self.config.enable_test_ops {
-            return Err(fail("unsupported", "test ops are disabled"));
+            return Err(fail(ErrorKind::Unsupported, "test ops are disabled"));
         }
-        let millis = request
-            .get("millis")
-            .and_then(Value::as_u64)
-            .unwrap_or(10)
-            .min(5_000);
-        std::thread::sleep(std::time::Duration::from_millis(millis));
+        let millis = request.millis.min(5_000);
+        std::thread::sleep(Duration::from_millis(millis));
         Ok(vec![("slept_millis", Value::from(millis))])
     }
 
     // -- request validation helpers -----------------------------------------
 
-    fn decode_space(&self, request: &Value) -> Result<SearchSpace, OpError> {
-        let v = request
-            .get("space")
-            .ok_or_else(|| fail("schema", "missing `space` {syms, max, min}"))?;
-        let syms: Vec<String> = v
-            .get("syms")
-            .and_then(Value::as_array)
-            .ok_or_else(|| fail("schema", "`space.syms` must be an array of strings"))?
-            .iter()
-            .map(|s| {
-                s.as_str()
-                    .map(str::to_string)
-                    .ok_or_else(|| fail("schema", "`space.syms` must be strings"))
-            })
-            .collect::<Result<_, _>>()?;
-        let max: Vec<u64> = v
-            .get("max")
-            .and_then(Value::as_array)
-            .ok_or_else(|| fail("schema", "`space.max` must be an array of integers"))?
-            .iter()
-            .map(|m| {
-                m.as_u64()
-                    .ok_or_else(|| fail("schema", "`space.max` must be non-negative"))
-            })
-            .collect::<Result<_, _>>()?;
-        if syms.is_empty() || syms.len() != max.len() {
-            return Err(fail(
-                "schema",
-                "`space.syms` and `space.max` must align and be non-empty",
-            ));
-        }
-        let min = v.get("min").and_then(Value::as_u64).unwrap_or(4).max(1);
-        if max.iter().any(|m| *m < min) {
-            return Err(fail("schema", "every `space.max` must be ≥ `space.min`"));
-        }
-        // Grid-size cap: candidates per dim are the powers of two in
-        // [min, max], i.e. ~log2(max/min)+1 values.
-        let mut points = 1u64;
-        for m in &max {
-            let per_dim = (m / min).ilog2() as u64 + 1;
-            points = points.saturating_mul(per_dim);
-        }
+    /// Grid-size cap: the schema checks already ran at parse time; the cap
+    /// is engine policy.
+    fn check_grid(&self, space: &SearchSpace) -> Result<(), ApiError> {
+        let points = api::grid_points(space);
         if points > self.config.max_search_points as u64 {
             return Err(fail(
-                "limit",
+                ErrorKind::Limit,
                 format!(
                     "search grid of {points} points exceeds max_search_points={}",
                     self.config.max_search_points
                 ),
             ));
         }
-        Ok(SearchSpace {
-            tile_syms: syms,
-            max,
-            min,
-        })
+        Ok(())
     }
 
     /// Every free symbol of the program must be bound, except `except`.
@@ -659,7 +538,7 @@ impl Engine {
         program: &Program,
         bindings: &Bindings,
         except: &[String],
-    ) -> Result<(), OpError> {
+    ) -> Result<(), ApiError> {
         let except: BTreeSet<Sym> = except.iter().map(|s| Sym::new(s.as_str())).collect();
         let missing: Vec<String> = program
             .free_symbols()
@@ -671,14 +550,14 @@ impl Engine {
             Ok(())
         } else {
             Err(fail(
-                "schema",
+                ErrorKind::Schema,
                 format!("unbound free symbols: {}", missing.join(", ")),
             ))
         }
     }
 
     /// Every free symbol must appear in `covered` (bounds-free advise).
-    fn require_covered(&self, program: &Program, covered: &[&str]) -> Result<(), OpError> {
+    fn require_covered(&self, program: &Program, covered: &[&str]) -> Result<(), ApiError> {
         let covered: BTreeSet<&str> = covered.iter().copied().collect();
         let missing: Vec<String> = program
             .free_symbols()
@@ -690,7 +569,7 @@ impl Engine {
             Ok(())
         } else {
             Err(fail(
-                "schema",
+                ErrorKind::Schema,
                 format!(
                     "free symbols neither tile nor bound symbols: {}",
                     missing.join(", ")

@@ -15,18 +15,22 @@
 //!
 //! Layers:
 //!
+//! * [`api`] — the typed, versioned protocol: request enum, reply builders,
+//!   the unified error envelope,
 //! * [`engine`] — embeddable request handler (JSON in, JSON out),
 //! * [`server`] — TCP transport: bounded worker pool, explicit backpressure,
 //!   per-line size caps, graceful shutdown,
 //! * [`client`] — minimal synchronous client,
 //! * [`cache`] / [`metrics`] — the shared infrastructure behind both.
 
+pub mod api;
 pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod metrics;
 pub mod server;
 
+pub use api::{ApiError, ErrorKind, Request, PROTOCOL_VERSION};
 pub use client::Client;
 pub use engine::{Engine, EngineConfig};
 pub use metrics::{Kind, Metrics};

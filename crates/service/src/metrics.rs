@@ -172,6 +172,9 @@ pub struct Metrics {
     pub connections: AtomicU64,
     /// Jobs currently queued or executing in the worker pool.
     pub queue_depth: AtomicU64,
+    /// Tile searches cut short by their budget (`advise` replies with
+    /// `completed:false`).
+    pub searches_cancelled: AtomicU64,
     /// `error`-severity diagnostics returned by `lint` requests.
     pub lint_diag_errors: AtomicU64,
     /// `warning`-severity diagnostics returned by `lint` requests.
@@ -193,6 +196,7 @@ impl Default for Metrics {
             oversized: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
+            searches_cancelled: AtomicU64::new(0),
             lint_diag_errors: AtomicU64::new(0),
             lint_diag_warnings: AtomicU64::new(0),
             lint_diag_infos: AtomicU64::new(0),
@@ -260,6 +264,7 @@ impl Metrics {
                     ]),
                 )]),
             ),
+            ("searches_cancelled", load(&self.searches_cancelled)),
             ("malformed", load(&self.malformed)),
             ("rejected", load(&self.rejected)),
             ("oversized", load(&self.oversized)),
@@ -341,11 +346,16 @@ impl Metrics {
                 h.sum_micros.load(Ordering::Relaxed)
             );
         }
-        let singles: [(&str, &str, u64); 8] = [
+        let singles: [(&str, &str, u64); 9] = [
             (
                 "sdlo_model_cache_hits_total",
                 "counter",
                 load(&self.cache_hits),
+            ),
+            (
+                "sdlo_searches_cancelled_total",
+                "counter",
+                load(&self.searches_cancelled),
             ),
             (
                 "sdlo_model_cache_misses_total",

@@ -21,6 +21,7 @@
 //! complete scrape. Without `"raw"`, `metrics` flows through the engine and
 //! returns the text inside a JSON envelope like any other op.
 
+use crate::api::{self, ApiError, ErrorKind};
 use crate::engine::{Engine, EngineConfig};
 use crate::metrics::Metrics;
 use sdlo_wire::Value;
@@ -200,18 +201,11 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
-fn error_line(kind: &str, message: &str) -> String {
-    Value::obj(vec![
-        ("ok", Value::from(false)),
-        (
-            "error",
-            Value::obj(vec![
-                ("kind", Value::from(kind)),
-                ("message", Value::from(message)),
-            ]),
-        ),
-    ])
-    .render()
+/// Transport-side failures use the same unified error envelope as engine
+/// failures, request id included, so clients parse one shape everywhere.
+fn error_line(engine: &Engine, kind: ErrorKind, message: &str) -> String {
+    let err = ApiError::new(kind, message);
+    api::error_reply(None, &engine.next_request_id(), &err).render()
 }
 
 enum Read1 {
@@ -298,7 +292,8 @@ fn serve_connection(
             Read1::TooLong => {
                 metrics.oversized.fetch_add(1, Ordering::Relaxed);
                 let resp = error_line(
-                    "too_large",
+                    engine,
+                    ErrorKind::TooLarge,
                     &format!("request line exceeds {max_line} bytes"),
                 );
                 writer.write_all(resp.as_bytes())?;
@@ -339,6 +334,7 @@ fn serve_connection(
                 if v.get("op").and_then(Value::as_str) == Some("shutdown") {
                     stop.store(true, Ordering::SeqCst);
                     let resp = Value::obj(vec![
+                        ("v", Value::from(api::PROTOCOL_VERSION)),
                         ("ok", Value::from(true)),
                         ("stopping", Value::from(true)),
                     ])
@@ -358,12 +354,16 @@ fn serve_connection(
         }) {
             Ok(()) => match reply_rx.recv() {
                 Ok(r) => r,
-                Err(_) => error_line("internal", "worker dropped the request"),
+                Err(_) => error_line(engine, ErrorKind::Internal, "worker dropped the request"),
             },
             Err(TrySendError::Full(_)) => {
                 metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
                 metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                error_line("overloaded", "request queue is full, retry later")
+                error_line(
+                    engine,
+                    ErrorKind::Overloaded,
+                    "request queue is full, retry later",
+                )
             }
             Err(TrySendError::Disconnected(_)) => {
                 metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);

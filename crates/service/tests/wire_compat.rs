@@ -1,0 +1,334 @@
+//! Golden wire-compatibility tests: the exact reply shape of every op,
+//! error envelopes included. These strings are the protocol contract —
+//! a failure here means a client-visible wire change that needs a version
+//! bump, not a test update.
+
+use sdlo_service::{Engine, EngineConfig};
+use sdlo_wire::Value;
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig::default())
+}
+
+fn parse(s: &str) -> Value {
+    sdlo_wire::parse(s).unwrap()
+}
+
+/// Top-level keys of a rendered object, in wire order.
+fn keys(v: &Value) -> Vec<&str> {
+    v.as_object()
+        .expect("object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect()
+}
+
+fn shape_hash(builtin: &str) -> String {
+    let program = sdlo_ir::programs::builtin(builtin).expect("builtin exists");
+    format!("{:016x}", sdlo_ir::canon::canonicalize(&program).hash)
+}
+
+// -- success replies ---------------------------------------------------------
+
+#[test]
+fn predict_reply_is_byte_stable() {
+    let e = engine();
+    let reply = e.handle_line(
+        r#"{"op":"predict","id":7,"request_id":"cli-1","program":"tiled_matmul","v":1,"bindings":{"Ni":512,"Nj":512,"Nk":512,"Ti":64,"Tj":64,"Tk":64},"cache":8192}"#,
+    );
+    assert_eq!(
+        reply,
+        format!(
+            r#"{{"id":7,"request_id":"cli-1","v":1,"ok":true,"misses":6291456,"cache_hit":false,"shape":"{}"}}"#,
+            shape_hash("tiled_matmul")
+        )
+    );
+}
+
+#[test]
+fn analyze_reply_keys_are_stable() {
+    let e = engine();
+    let reply = parse(&e.handle_line(r#"{"op":"analyze","id":1,"program":"matmul"}"#));
+    assert_eq!(
+        keys(&reply),
+        [
+            "id",
+            "request_id",
+            "v",
+            "ok",
+            "program",
+            "shape",
+            "cache_hit",
+            "free_symbols",
+            "components"
+        ]
+    );
+    assert_eq!(reply.get("v").unwrap().as_u64(), Some(1));
+}
+
+#[test]
+fn advise_reply_keys_and_outcome_shape_are_stable() {
+    let e = engine();
+    let reply = parse(&e.handle_line(
+        r#"{"op":"advise","program":"tiled_matmul","cache":4096,
+            "bindings":{"Ni":64,"Nj":64,"Nk":64},
+            "space":{"syms":["Ti","Tj","Tk"],"max":[64,64,64],"min":4}}"#,
+    ));
+    assert_eq!(
+        keys(&reply),
+        [
+            "request_id",
+            "v",
+            "ok",
+            "outcome",
+            "completed",
+            "wall_micros",
+            "cache_hit",
+            "shape"
+        ]
+    );
+    let outcome = reply.get("outcome").unwrap();
+    assert_eq!(
+        keys(outcome),
+        [
+            "best",
+            "evaluations",
+            "completed",
+            "wall_micros",
+            "frontier"
+        ]
+    );
+    assert_eq!(keys(outcome.get("best").unwrap()), ["tiles", "misses"]);
+    assert_eq!(reply.get("completed").unwrap().as_bool(), Some(true));
+}
+
+#[test]
+fn lint_stats_metrics_reply_keys_are_stable() {
+    let e = engine();
+    let lint = parse(&e.handle_line(r#"{"op":"lint","program":"matmul"}"#));
+    assert_eq!(
+        keys(&lint),
+        ["request_id", "v", "ok", "program", "diagnostics", "summary"]
+    );
+
+    let stats = parse(&e.handle_line(r#"{"op":"stats"}"#));
+    assert_eq!(keys(&stats), ["request_id", "v", "ok", "stats"]);
+    let body = stats.get("stats").unwrap();
+    assert_eq!(body.get("protocol_version").unwrap().as_u64(), Some(1));
+    let ops: Vec<&str> = body
+        .get("ops")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(Value::as_str)
+        .collect();
+    assert_eq!(
+        ops,
+        ["analyze", "predict", "advise", "batch", "lint", "stats", "metrics"]
+    );
+
+    let metrics = parse(&e.handle_line(r#"{"op":"metrics"}"#));
+    assert_eq!(
+        keys(&metrics),
+        ["request_id", "v", "ok", "content_type", "text"]
+    );
+    let text = metrics.get("text").unwrap().as_str().unwrap();
+    assert!(text.contains("sdlo_searches_cancelled_total 0"));
+}
+
+#[test]
+fn batch_replies_carry_the_envelope() {
+    let e = engine();
+    let reply = parse(&e.handle_line(
+        r#"{"op":"batch","requests":[
+             {"op":"stats","id":"a"},
+             {"op":"nope","id":"b"}]}"#,
+    ));
+    assert_eq!(keys(&reply), ["request_id", "v", "ok", "responses"]);
+    let rs = reply.get("responses").unwrap().as_array().unwrap();
+    for r in rs {
+        assert_eq!(r.get("v").unwrap().as_u64(), Some(1));
+        assert!(r.get("request_id").is_some());
+    }
+    assert_eq!(rs[1].get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        rs[1].path(&["error", "kind"]).unwrap().as_str(),
+        Some("unsupported")
+    );
+}
+
+// -- error envelopes ---------------------------------------------------------
+
+#[test]
+fn unsupported_op_error_is_byte_stable() {
+    let e = engine();
+    let reply = e.handle_line(r#"{"op":"nope","request_id":"cli-9"}"#);
+    assert_eq!(
+        reply,
+        r#"{"request_id":"cli-9","v":1,"ok":false,"error":{"kind":"unsupported","message":"unknown op `nope`"}}"#
+    );
+}
+
+#[test]
+fn malformed_line_error_envelope() {
+    let e = engine();
+    // A fresh engine generates its first request id for the reply.
+    let reply = e.handle_line("this is not json");
+    assert!(
+        reply.starts_with(
+            r#"{"request_id":"req-00000001","v":1,"ok":false,"error":{"kind":"malformed","message":"#
+        ),
+        "{reply}"
+    );
+}
+
+#[test]
+fn unsupported_version_error_is_byte_stable() {
+    let e = engine();
+    let reply = e.handle_line(r#"{"op":"stats","request_id":"cli-2","v":2}"#);
+    assert_eq!(
+        reply,
+        r#"{"request_id":"cli-2","v":1,"ok":false,"error":{"kind":"unsupported_version","message":"protocol version 2 is not supported (this build speaks v1)"}}"#
+    );
+    let reply = parse(&e.handle_line(r#"{"op":"stats","v":"latest"}"#));
+    assert_eq!(
+        reply.path(&["error", "kind"]).unwrap().as_str(),
+        Some("unsupported_version")
+    );
+    // v:1, spelled explicitly, is accepted.
+    let ok = parse(&e.handle_line(r#"{"op":"stats","v":1}"#));
+    assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+}
+
+#[test]
+fn schema_errors_use_the_unified_envelope() {
+    let e = engine();
+    for (line, kind) in [
+        (
+            r#"{"op":"predict","program":"matmul","cache":64}"#,
+            "schema",
+        ),
+        (
+            r#"{"op":"predict","program":"no_such","bindings":{},"cache":64}"#,
+            "schema",
+        ),
+        (
+            r#"{"op":"advise","program":"tiled_matmul","cache":64,"bindings":{},
+                "space":{"syms":["Ti","Tj","Tk"],
+                         "max":[1152921504606846976,1152921504606846976,1152921504606846976],
+                         "min":1}}"#,
+            "limit",
+        ),
+    ] {
+        let reply = parse(&e.handle_line(line));
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false), "{line}");
+        let k = keys(&reply);
+        assert_eq!(&k[k.len() - 3..], ["v", "ok", "error"], "{line}");
+        assert_eq!(
+            reply.path(&["error", "kind"]).unwrap().as_str(),
+            Some(kind),
+            "{line}"
+        );
+        assert!(reply
+            .path(&["error", "message"])
+            .unwrap()
+            .as_str()
+            .is_some());
+    }
+}
+
+#[test]
+fn batch_deadline_uses_deadline_exceeded_kind() {
+    // A zero request budget forces every sub-request over the line.
+    let e = Engine::new(EngineConfig {
+        max_request_millis: 0,
+        ..EngineConfig::default()
+    });
+    let reply = parse(&e.handle_line(r#"{"op":"batch","requests":[{"op":"stats","id":1}]}"#));
+    let rs = reply.get("responses").unwrap().as_array().unwrap();
+    assert_eq!(rs[0].get("id").unwrap().as_i64(), Some(1));
+    assert_eq!(rs[0].get("v").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        rs[0].path(&["error", "kind"]).unwrap().as_str(),
+        Some("deadline_exceeded")
+    );
+}
+
+// -- partial (budgeted) advise ----------------------------------------------
+
+#[test]
+fn expired_deadline_returns_partial_advise_reply() {
+    let e = engine();
+    let reply = parse(&e.handle_line(
+        r#"{"op":"advise","program":"tiled_matmul","cache":4096,
+            "bindings":{"Ni":64,"Nj":64,"Nk":64},
+            "space":{"syms":["Ti","Tj","Tk"],"max":[64,64,64],"min":4},
+            "deadline_ms":0}"#,
+    ));
+    assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true), "{reply:?}");
+    assert_eq!(reply.get("completed").unwrap().as_bool(), Some(false));
+    // Only the pre-paid seed evaluation ran: best is the largest tuple.
+    let outcome = reply.get("outcome").unwrap();
+    assert_eq!(outcome.get("evaluations").unwrap().as_u64(), Some(1));
+    assert_eq!(outcome.get("completed").unwrap().as_bool(), Some(false));
+    let tiles = outcome.path(&["best", "tiles"]).unwrap();
+    for sym in ["Ti", "Tj", "Tk"] {
+        assert_eq!(tiles.get(sym).unwrap().as_u64(), Some(64));
+    }
+    // Cancelled searches surface in stats.
+    let stats = parse(&e.handle_line(r#"{"op":"stats"}"#));
+    assert_eq!(
+        stats
+            .path(&["stats", "searches_cancelled"])
+            .unwrap()
+            .as_u64(),
+        Some(1)
+    );
+}
+
+/// The CI gate: a 1 ms deadline on an exhaustive sweep of the largest
+/// builtin's full tile grid returns a well-formed partial reply quickly
+/// instead of hanging.
+#[test]
+fn one_millisecond_deadline_on_largest_builtin_returns_quickly() {
+    let e = engine();
+    let started = std::time::Instant::now();
+    let reply = parse(&e.handle_line(
+        r#"{"op":"advise","program":"tiled_two_index","cache":8192,"mode":"exhaustive",
+            "bindings":{"Ni":16384,"Nj":16384,"Nm":16384,"Nn":16384},
+            "space":{"syms":["Ti","Tj","Tm","Tn"],"max":[16384,16384,16384,16384],"min":4},
+            "deadline_ms":1}"#,
+    ));
+    let wall = started.elapsed();
+    assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true), "{reply:?}");
+    assert_eq!(
+        reply.get("completed").unwrap().as_bool(),
+        Some(false),
+        "a 13^4-point exhaustive sweep cannot finish within 1 ms"
+    );
+    let outcome = reply.get("outcome").unwrap();
+    assert!(outcome.get("evaluations").unwrap().as_u64().unwrap() >= 1);
+    assert!(outcome
+        .path(&["best", "misses"])
+        .unwrap()
+        .as_u64()
+        .is_some());
+    // "Within budget" for CI purposes: cancellation latency is bounded by
+    // one model evaluation per worker, far under this ceiling.
+    assert!(wall.as_secs() < 5, "took {wall:?} despite a 1 ms deadline");
+}
+
+#[test]
+fn advise_best_is_deterministic_over_the_wire() {
+    let e = engine();
+    let req = r#"{"op":"advise","program":"tiled_matmul","cache":4096,
+        "bindings":{"Ni":128,"Nj":128,"Nk":128},
+        "space":{"syms":["Ti","Tj","Tk"],"max":[128,128,128],"min":4}}"#;
+    let first = parse(&e.handle_line(req));
+    let best = first.path(&["outcome", "best"]).unwrap().render();
+    for _ in 0..9 {
+        let again = parse(&e.handle_line(req));
+        assert_eq!(again.path(&["outcome", "best"]).unwrap().render(), best);
+    }
+}

@@ -21,10 +21,13 @@
 //! fixed cache for large bounds, so they are treated as always missing), it
 //! predicts tiles before the problem size is known.
 
+use rayon::prelude::*;
 use sdlo_core::{MissModel, StackDistance};
 use sdlo_ir::Bindings;
 use sdlo_symbolic::Sym;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// One evaluated tile tuple.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +36,119 @@ pub struct Evaluation {
     pub tiles: Vec<u64>,
     /// Predicted misses for the configured cache.
     pub misses: u64,
+}
+
+/// Wall-clock and work limits for one search.
+///
+/// The default is unlimited. A limited budget makes the search *cooperative*:
+/// workers check a shared [`CancelToken`] between model evaluations, stop
+/// claiming new work once the deadline passes or the evaluation cap is hit,
+/// and the search returns a partial [`SearchOutcome`] with
+/// `completed: false` and the best tuple found so far.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchBudget {
+    /// Hard deadline; no new evaluation starts at or after it.
+    pub deadline: Option<Instant>,
+    /// Maximum number of model evaluations (miss counts plus boundary
+    /// probes).
+    pub max_evaluations: Option<usize>,
+}
+
+impl SearchBudget {
+    /// No limits: the search always runs to completion.
+    pub fn unlimited() -> Self {
+        SearchBudget::default()
+    }
+
+    /// Deadline `d` from now, no evaluation cap.
+    pub fn deadline_in(d: Duration) -> Self {
+        SearchBudget {
+            deadline: Some(Instant::now() + d),
+            max_evaluations: None,
+        }
+    }
+
+    /// At most `n` model evaluations, no deadline.
+    pub fn max_evals(n: usize) -> Self {
+        SearchBudget {
+            deadline: None,
+            max_evaluations: Some(n),
+        }
+    }
+
+    /// Whether any limit is set. Limited searches pre-pay one *seed*
+    /// evaluation (the largest candidate tuple) so even a fully exhausted
+    /// budget yields a well-formed best-so-far.
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.max_evaluations.is_some()
+    }
+}
+
+/// Cooperative cancellation shared by every worker of one search: one
+/// relaxed flag load plus (when a deadline is set) one monotonic clock read
+/// per evaluation. Checked *between* evaluations — an in-flight model
+/// evaluation always finishes, so cancellation latency is one evaluation.
+#[derive(Debug)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    max_evaluations: usize,
+    evaluations: AtomicUsize,
+    cancelled: AtomicBool,
+}
+
+impl CancelToken {
+    pub fn new(budget: &SearchBudget) -> Self {
+        CancelToken {
+            deadline: budget.deadline,
+            max_evaluations: budget.max_evaluations.unwrap_or(usize::MAX),
+            evaluations: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// Claim one evaluation. Returns `false` — and flags the search
+    /// cancelled — once the deadline has passed or the evaluation cap is
+    /// reached; the caller must then skip the evaluation.
+    pub fn admit(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return false;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.cancel();
+                return false;
+            }
+        }
+        if self.evaluations.fetch_add(1, Ordering::Relaxed) >= self.max_evaluations {
+            self.cancel();
+            return false;
+        }
+        true
+    }
+
+    /// Charge one evaluation without the budget check (the seed evaluation
+    /// that guarantees a best-so-far under an exhausted budget).
+    fn charge(&self) {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Flag the search cancelled; subsequent [`admit`](Self::admit) calls
+    /// return `false` immediately.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations performed so far (clamped to the cap: racing workers may
+    /// overshoot the counter by their failed claims).
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+            .load(Ordering::Relaxed)
+            .min(self.max_evaluations)
+    }
 }
 
 /// Outcome of a search.
@@ -44,6 +160,11 @@ pub struct SearchOutcome {
     pub evaluations: usize,
     /// The frontier tuples the pruned search considered promising.
     pub frontier: Vec<Evaluation>,
+    /// `false` when the search was cut short by its [`SearchBudget`]; `best`
+    /// is then the best tuple evaluated before cancellation.
+    pub completed: bool,
+    /// Wall time of the search.
+    pub wall_micros: u64,
 }
 
 /// Configuration of the search space.
@@ -152,28 +273,81 @@ impl<'a> TileSearcher<'a> {
         grid
     }
 
+    /// The largest candidate tuple (the full power-of-two grid corner). It
+    /// is always a frontier point — no dimension can grow — so it is the
+    /// natural best-so-far seed for a budget-limited search.
+    fn max_tiles(&self) -> Vec<u64> {
+        (0..self.space.tile_syms.len())
+            .map(|d| {
+                *self
+                    .space
+                    .candidates(d)
+                    .last()
+                    .expect("non-empty candidate set")
+            })
+            .collect()
+    }
+
+    /// Pre-pay one evaluation of the largest tuple so a fully exhausted
+    /// budget still yields a well-formed best-so-far. Only limited budgets
+    /// pay this; unlimited searches keep their historical evaluation counts.
+    fn seed_evaluation(&self, token: &CancelToken) -> Evaluation {
+        token.charge();
+        let tiles = self.max_tiles();
+        let misses = self.misses(&tiles);
+        Evaluation { tiles, misses }
+    }
+
     /// Exhaustive baseline: a full miss-count evaluation at every grid
     /// point.
     pub fn exhaustive(&self) -> SearchOutcome {
+        self.exhaustive_with(&SearchBudget::unlimited())
+    }
+
+    /// [`exhaustive`](Self::exhaustive) under a [`SearchBudget`]. Grid
+    /// points are evaluated in parallel; the reduction folds results in grid
+    /// order with [`better`], so the outcome is independent of thread
+    /// interleaving.
+    pub fn exhaustive_with(&self, budget: &SearchBudget) -> SearchOutcome {
+        let started = Instant::now();
         let span = sdlo_trace::span("tilesearch.exhaustive");
         span.attr("cache_size", self.cache_size);
         span.attr("dims", self.space.tile_syms.len());
-        let mut best: Option<Evaluation> = None;
-        let mut evaluations = 0;
-        for tiles in self.grid() {
-            evaluations += 1;
-            let misses = self.misses(&tiles);
-            let e = Evaluation { tiles, misses };
+        span.attr("parallel.workers", rayon::current_num_threads() as u64);
+        let token = CancelToken::new(budget);
+        let seed = budget.is_limited().then(|| self.seed_evaluation(&token));
+
+        let results: Vec<Option<Evaluation>> = self
+            .grid()
+            .into_par_iter()
+            .map(|tiles| {
+                if !token.admit() {
+                    return None;
+                }
+                let misses = self.misses(&tiles);
+                Some(Evaluation { tiles, misses })
+            })
+            .collect();
+
+        let mut best = seed;
+        let mut evaluated = 0u64;
+        for e in results.into_iter().flatten() {
+            evaluated += 1;
             if best.as_ref().is_none_or(|b| better(&e, b)) {
                 best = Some(e);
             }
         }
-        span.add("grid_points", evaluations as u64);
-        span.add("miss_evals", evaluations as u64);
+        span.add("grid_points", evaluated);
+        span.add("miss_evals", evaluated);
+        if token.is_cancelled() {
+            span.add("search.cancelled", 1);
+        }
         SearchOutcome {
             best: best.expect("non-empty space"),
-            evaluations,
+            evaluations: token.evaluations(),
             frontier: Vec::new(),
+            completed: !token.is_cancelled(),
+            wall_micros: started.elapsed().as_micros() as u64,
         }
     }
 
@@ -182,58 +356,105 @@ impl<'a> TileSearcher<'a> {
     /// stack distance crossing the cache size — and evaluate miss counts
     /// only for those.
     pub fn pruned(&self) -> SearchOutcome {
+        self.pruned_with(&SearchBudget::unlimited())
+    }
+
+    /// [`pruned`](Self::pruned) under a [`SearchBudget`]. Both phases run in
+    /// parallel — the boundary-probe classification over the grid, then the
+    /// miss-count evaluation over the surviving frontier — and both reduce
+    /// in grid order, so the outcome is independent of thread interleaving.
+    pub fn pruned_with(&self, budget: &SearchBudget) -> SearchOutcome {
+        let started = Instant::now();
         let span = sdlo_trace::span("tilesearch.pruned");
         span.attr("cache_size", self.cache_size);
         span.attr("dims", self.space.tile_syms.len());
+        span.attr("parallel.workers", rayon::current_num_threads() as u64);
         let dims = self.space.tile_syms.len();
-        let mut grid_points = 0usize;
+        let token = CancelToken::new(budget);
+        let seed = budget.is_limited().then(|| self.seed_evaluation(&token));
+
+        // Phase 1: classify each grid point as frontier or grown-past, in
+        // parallel. Each distances_above call claims one evaluation; a point
+        // whose classification was cut short by the budget yields `None`.
+        let classified: Vec<Option<(Vec<u64>, bool, u64)>> = self
+            .grid()
+            .into_par_iter()
+            .map(|tiles| {
+                if !token.admit() {
+                    return None;
+                }
+                let here = self.distances_above(&tiles);
+                let mut probes = 1u64;
+                let mut is_frontier = true;
+                for d in 0..dims {
+                    let grown = tiles[d] * 2;
+                    if grown > self.space.max[d] {
+                        continue;
+                    }
+                    let mut t2 = tiles.clone();
+                    t2[d] = grown;
+                    if !token.admit() {
+                        return None;
+                    }
+                    probes += 1;
+                    if self.distances_above(&t2) <= here {
+                        // Can grow without crossing a phase boundary: the
+                        // larger tile has no additional misses and strictly
+                        // fewer inter-tile reuses.
+                        is_frontier = false;
+                        break;
+                    }
+                }
+                Some((tiles, is_frontier, probes))
+            })
+            .collect();
+
+        let mut grid_points = 0u64;
+        let mut boundary_probes = 0u64;
         let mut frontier_tiles: Vec<Vec<u64>> = Vec::new();
-        let mut sd_evals = 0usize;
-        for tiles in self.grid() {
+        for (tiles, is_frontier, probes) in classified.into_iter().flatten() {
             grid_points += 1;
-            let here = self.distances_above(&tiles);
-            sd_evals += 1;
-            let mut is_frontier = true;
-            for d in 0..dims {
-                let grown = tiles[d] * 2;
-                if grown > self.space.max[d] {
-                    continue;
-                }
-                let mut t2 = tiles.clone();
-                t2[d] = grown;
-                sd_evals += 1;
-                if self.distances_above(&t2) <= here {
-                    // Can grow without crossing a phase boundary: the larger
-                    // tile has no additional misses and strictly fewer
-                    // inter-tile reuses.
-                    is_frontier = false;
-                    break;
-                }
-            }
+            boundary_probes += probes;
             if is_frontier {
                 frontier_tiles.push(tiles);
             }
         }
+        let frontier_kept = frontier_tiles.len();
 
-        let mut best: Option<Evaluation> = None;
+        // Phase 2: miss counts for the frontier, in parallel.
+        let evaluated: Vec<Option<Evaluation>> = frontier_tiles
+            .into_par_iter()
+            .map(|tiles| {
+                if !token.admit() {
+                    return None;
+                }
+                let misses = self.misses(&tiles);
+                Some(Evaluation { tiles, misses })
+            })
+            .collect();
+
+        let mut best = seed;
         let mut frontier = Vec::new();
-        for tiles in frontier_tiles {
-            let misses = self.misses(&tiles);
-            let e = Evaluation { tiles, misses };
+        for e in evaluated.into_iter().flatten() {
             if best.as_ref().is_none_or(|b| better(&e, b)) {
                 best = Some(e.clone());
             }
             frontier.push(e);
         }
-        span.add("grid_points", grid_points as u64);
-        span.add("boundary_probes", sd_evals as u64);
-        span.add("frontier_kept", frontier.len() as u64);
-        span.add("pruned", (grid_points - frontier.len()) as u64);
+        span.add("grid_points", grid_points);
+        span.add("boundary_probes", boundary_probes);
+        span.add("frontier_kept", frontier_kept as u64);
+        span.add("pruned", grid_points.saturating_sub(frontier_kept as u64));
         span.add("miss_evals", frontier.len() as u64);
+        if token.is_cancelled() {
+            span.add("search.cancelled", 1);
+        }
         SearchOutcome {
             best: best.expect("frontier non-empty: the max tile is always maximal"),
-            evaluations: sd_evals + frontier.len(),
+            evaluations: token.evaluations(),
             frontier,
+            completed: !token.is_cancelled(),
+            wall_micros: started.elapsed().as_micros() as u64,
         }
     }
 
@@ -251,9 +472,30 @@ impl<'a> TileSearcher<'a> {
         cache_size: u64,
         space: SearchSpace,
     ) -> SearchOutcome {
+        Self::bounds_free_with(
+            model,
+            bound_syms,
+            nominal,
+            cache_size,
+            space,
+            &SearchBudget::unlimited(),
+        )
+    }
+
+    /// [`bounds_free`](Self::bounds_free) under a [`SearchBudget`]; the
+    /// budget governs the delegated pruned search.
+    pub fn bounds_free_with(
+        model: &MissModel,
+        bound_syms: &[&str],
+        nominal: i128,
+        cache_size: u64,
+        space: SearchSpace,
+        budget: &SearchBudget,
+    ) -> SearchOutcome {
         let span = sdlo_trace::span("tilesearch.bounds_free");
         span.attr("nominal", nominal as i64);
         span.attr("cache_size", cache_size);
+        span.attr("parallel.workers", rayon::current_num_threads() as u64);
         let bounds: BTreeSet<Sym> = bound_syms.iter().map(|s| Sym::new(*s)).collect();
         let mentions = |e: &sdlo_symbolic::Expr| e.vars().iter().any(|v| bounds.contains(v));
         let mut bound_dependent_dropped = 0u64;
@@ -283,7 +525,7 @@ impl<'a> TileSearcher<'a> {
             base.set(*s, nominal);
         }
         let searcher = TileSearcher::new(&filtered, base, cache_size, space);
-        searcher.pruned()
+        searcher.pruned_with(budget)
     }
 
     /// Miss counts along one tile dimension with the others fixed — the §6
@@ -402,6 +644,95 @@ mod tests {
                 free.best, known.best
             );
         }
+    }
+
+    fn outcomes_equal(a: &SearchOutcome, b: &SearchOutcome) {
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.frontier, b.frontier);
+        assert_eq!(a.completed, b.completed);
+    }
+
+    #[test]
+    fn parallel_matches_single_threaded_byte_identical() {
+        // The deterministic reduction promise: any worker count produces the
+        // same best, evaluation count, and frontier as one worker.
+        let one = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let matmul = MissModel::build(&programs::tiled_matmul());
+        let s = searcher_matmul(&matmul, 256, 8192);
+        outcomes_equal(&one.install(|| s.exhaustive()), &s.exhaustive());
+        outcomes_equal(&one.install(|| s.pruned()), &s.pruned());
+
+        let two = MissModel::build(&programs::tiled_two_index());
+        let space = SearchSpace {
+            tile_syms: vec!["Ti".into(), "Tj".into(), "Tm".into(), "Tn".into()],
+            max: vec![256, 256, 256, 256],
+            min: 4,
+        };
+        let free = |m: &MissModel, sp: SearchSpace| {
+            TileSearcher::bounds_free(m, &["Ni", "Nj", "Nm", "Nn"], 1 << 14, 8192, sp)
+        };
+        outcomes_equal(
+            &one.install(|| free(&two, space.clone())),
+            &free(&two, space),
+        );
+    }
+
+    #[test]
+    fn pruned_is_deterministic_across_runs() {
+        let model = MissModel::build(&programs::tiled_matmul());
+        let s = searcher_matmul(&model, 256, 8192);
+        let first = s.pruned();
+        assert!(first.completed);
+        for _ in 0..9 {
+            let again = s.pruned();
+            assert_eq!(again.best, first.best);
+            assert_eq!(again.frontier, first.frontier);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_returns_partial_outcome() {
+        let model = MissModel::build(&programs::tiled_matmul());
+        let s = searcher_matmul(&model, 256, 8192);
+        let budget = SearchBudget::deadline_in(Duration::ZERO);
+        for out in [s.pruned_with(&budget), s.exhaustive_with(&budget)] {
+            assert!(!out.completed);
+            // Only the pre-paid seed ran: best is the largest tuple.
+            assert_eq!(out.best.tiles, vec![256, 256, 256]);
+            assert_eq!(out.evaluations, 1);
+        }
+    }
+
+    #[test]
+    fn evaluation_cap_bounds_the_search() {
+        let model = MissModel::build(&programs::tiled_matmul());
+        let s = searcher_matmul(&model, 512, 8192);
+        let capped = s.pruned_with(&SearchBudget::max_evals(5));
+        assert!(!capped.completed);
+        assert!(capped.evaluations <= 5, "{}", capped.evaluations);
+        assert!(!capped.best.tiles.is_empty());
+
+        // A generous cap changes nothing but the pre-paid seed evaluation.
+        let full = s.pruned();
+        let roomy = s.pruned_with(&SearchBudget::max_evals(1_000_000));
+        assert!(roomy.completed);
+        assert_eq!(roomy.best, full.best);
+        assert_eq!(roomy.frontier, full.frontier);
+        assert_eq!(roomy.evaluations, full.evaluations + 1);
+    }
+
+    #[test]
+    fn searcher_and_model_are_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<MissModel>();
+        check::<TileSearcher<'static>>();
+        check::<SearchBudget>();
+        check::<CancelToken>();
+        check::<SearchOutcome>();
     }
 
     #[test]

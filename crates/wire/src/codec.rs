@@ -477,11 +477,14 @@ pub fn evaluation_to_value(tile_syms: &[String], e: &Evaluation) -> Value {
     ])
 }
 
-/// Encode a tile-search outcome: best point, evaluation count, frontier.
+/// Encode a tile-search outcome: best point, evaluation count, completion
+/// flag, wall time, frontier.
 pub fn outcome_to_value(tile_syms: &[String], o: &SearchOutcome) -> Value {
     Value::obj(vec![
         ("best", evaluation_to_value(tile_syms, &o.best)),
         ("evaluations", Value::from(o.evaluations)),
+        ("completed", Value::from(o.completed)),
+        ("wall_micros", Value::from(o.wall_micros)),
         (
             "frontier",
             Value::Array(

@@ -18,15 +18,22 @@ fn main() -> std::io::Result<()> {
 
     let session = [
         // What does the analysis say about tiled matrix multiplication?
-        r#"{"op":"analyze","id":1,"program":"tiled_matmul"}"#,
+        // `"v":1` is the protocol version; it may be omitted (absent means 1)
+        // and every reply echoes it back.
+        r#"{"op":"analyze","id":1,"v":1,"program":"tiled_matmul"}"#,
         // Predicted misses for 512³ with 64³ tiles in an 8K-element cache.
-        r#"{"op":"predict","id":2,"program":"tiled_matmul","bindings":{"Ni":512,"Nj":512,"Nk":512,"Ti":64,"Tj":64,"Tk":64},"cache":8192}"#,
+        r#"{"op":"predict","id":2,"v":1,"program":"tiled_matmul","bindings":{"Ni":512,"Nj":512,"Nk":512,"Ti":64,"Tj":64,"Tk":64},"cache":8192}"#,
         // Same shape, different tiles: answered from the memoized model.
-        r#"{"op":"predict","id":3,"program":"tiled_matmul","bindings":{"Ni":512,"Nj":512,"Nk":512,"Ti":32,"Tj":32,"Tk":32},"cache":8192}"#,
+        r#"{"op":"predict","id":3,"v":1,"program":"tiled_matmul","bindings":{"Ni":512,"Nj":512,"Nk":512,"Ti":32,"Tj":32,"Tk":32},"cache":8192}"#,
         // Which tiles should we use?
-        r#"{"op":"advise","id":4,"program":"tiled_matmul","cache":8192,"bindings":{"Ni":512,"Nj":512,"Nk":512},"space":{"syms":["Ti","Tj","Tk"],"max":[512,512,512],"min":4}}"#,
-        // How did the service fare?
-        r#"{"op":"stats","id":5}"#,
+        r#"{"op":"advise","id":4,"v":1,"program":"tiled_matmul","cache":8192,"bindings":{"Ni":512,"Nj":512,"Nk":512},"space":{"syms":["Ti","Tj","Tk"],"max":[512,512,512],"min":4}}"#,
+        // The same search under an expired deadline: the reply is still
+        // well-formed, but `completed` is false and the outcome holds only
+        // the pre-paid seed evaluation (the largest candidate tuple).
+        r#"{"op":"advise","id":5,"v":1,"program":"tiled_matmul","cache":8192,"bindings":{"Ni":512,"Nj":512,"Nk":512},"space":{"syms":["Ti","Tj","Tk"],"max":[512,512,512],"min":4},"deadline_ms":0}"#,
+        // How did the service fare? (`stats` advertises protocol_version
+        // and the supported ops, and counts the cancelled search above.)
+        r#"{"op":"stats","id":6}"#,
     ];
     for request in session {
         println!("-> {request}");
@@ -59,15 +66,31 @@ fn main() -> std::io::Result<()> {
         println!("reply for {id}: ok={ok}");
     }
     // Without a client-supplied id the server generates one; it shows up on
-    // error replies too, so failed calls are still attributable.
+    // error replies too, so failed calls are still attributable. Every
+    // failure uses the unified envelope {"ok":false,"error":{"kind",...}}.
     let response = client.request_line(r#"{"op":"no_such_op"}"#)?;
     let parsed = sdlo::wire::parse(&response).expect("response is JSON");
     println!(
-        "error reply got server-generated id {}\n",
+        "error reply got server-generated id {}, kind {}",
         parsed
             .get("request_id")
             .and_then(|v| v.as_str())
-            .expect("errors carry request_id too")
+            .expect("errors carry request_id too"),
+        parsed
+            .path(&["error", "kind"])
+            .and_then(|v| v.as_str())
+            .expect("errors carry a kind"),
+    );
+    // A protocol version this build doesn't speak is refused up front, so
+    // future clients can probe safely before sending real work.
+    let response = client.request_line(r#"{"op":"stats","v":2}"#)?;
+    let parsed = sdlo::wire::parse(&response).expect("response is JSON");
+    println!(
+        "v:2 request refused with kind {}\n",
+        parsed
+            .path(&["error", "kind"])
+            .and_then(|v| v.as_str())
+            .expect("version errors carry a kind"),
     );
 
     client.shutdown()?;

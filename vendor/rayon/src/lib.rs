@@ -38,6 +38,14 @@ fn current_threads() -> usize {
     })
 }
 
+/// Number of worker threads parallel calls on this thread currently use
+/// (rayon's free function of the same name): the installed pool's count
+/// inside [`ThreadPool::install`], the machine's available parallelism
+/// otherwise.
+pub fn current_num_threads() -> usize {
+    current_threads()
+}
+
 /// Error from [`ThreadPoolBuilder::build`]. The shim cannot fail to build.
 #[derive(Debug)]
 pub struct ThreadPoolBuildError;
