@@ -41,4 +41,14 @@ cargo test --release -q -p sdlo-service --test wire_compat
 echo "==> search bench (seq vs parallel)"
 cargo bench -q -p sdlo-bench --bench search
 
+# Load smoke: 256 concurrent clients against an in-process server for a few
+# seconds. Gates on zero transport/protocol errors, client/server counter
+# agreement, and a conservative throughput floor; bounded `overloaded`
+# rejections are expected (the queue is deliberately small so admission
+# control is exercised). The full report is archived in results/loadtest.json.
+echo "==> loadgen smoke (256 clients)"
+cargo run --release -q -p sdlo-loadgen --bin loadgen -- \
+    --clients 256 --duration 3s --workers 2 --queue 64 \
+    --seed 42 --min-throughput 300
+
 echo "CI green."

@@ -1,0 +1,891 @@
+//! # sdlo-loadgen
+//!
+//! Workload generator + latency harness for the tile-advisor service: N
+//! concurrent closed-loop clients issue a **seeded, deterministic mix** of
+//! `analyze` / `predict` / `advise` / `lint` / `batch` / `stats` requests
+//! against a running daemon, measure per-request latency from client-side
+//! timestamps, and cross-check the result against the server's own
+//! Prometheus latency histograms.
+//!
+//! The harness validates every reply: the protocol version must be v1, the
+//! client's `request_id` must come back verbatim, and the only error
+//! envelope tolerated is a well-formed `overloaded` rejection (admission
+//! control under deliberate oversubscription). Anything else counts as a
+//! protocol error and fails the run — so a load test doubles as a
+//! wire-compat soak.
+//!
+//! The `loadgen` binary wraps [`run_load`] with CLI flags, writes the
+//! report to `results/loadtest.json`, and exits non-zero when a throughput
+//! floor or the zero-error invariants are violated — CI-gateable.
+
+use sdlo_service::Client;
+use sdlo_wire::Value;
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+// -- deterministic randomness -------------------------------------------------
+
+/// SplitMix64: tiny, seedable, plenty for workload shuffling. Every client
+/// derives its own stream from `seed` and its client index, so a run is
+/// reproducible regardless of thread interleaving.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform pick from a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+// -- the op mix ---------------------------------------------------------------
+
+/// Request kinds the generator can issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Op {
+    Analyze,
+    Predict,
+    Advise,
+    Lint,
+    Batch,
+    Stats,
+}
+
+impl Op {
+    pub const ALL: [Op; 6] = [
+        Op::Analyze,
+        Op::Predict,
+        Op::Advise,
+        Op::Lint,
+        Op::Batch,
+        Op::Stats,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Analyze => "analyze",
+            Op::Predict => "predict",
+            Op::Advise => "advise",
+            Op::Lint => "lint",
+            Op::Batch => "batch",
+            Op::Stats => "stats",
+        }
+    }
+}
+
+/// A weighted op mix, e.g. `predict=8,analyze=2,advise=1,lint=1,batch=1,stats=1`.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    weights: Vec<(Op, u32)>,
+    total: u32,
+}
+
+impl Mix {
+    /// The default mix: prediction-heavy (the steady-state op of an
+    /// advisor daemon) with every other op represented.
+    pub fn default_mix() -> Mix {
+        Mix::from_weights(vec![
+            (Op::Predict, 8),
+            (Op::Analyze, 2),
+            (Op::Advise, 1),
+            (Op::Lint, 1),
+            (Op::Batch, 1),
+            (Op::Stats, 1),
+        ])
+    }
+
+    pub fn from_weights(weights: Vec<(Op, u32)>) -> Mix {
+        let total = weights.iter().map(|(_, w)| *w).sum::<u32>().max(1);
+        Mix { weights, total }
+    }
+
+    /// Parse `op=weight,op=weight,…`. Unknown ops and zero totals are
+    /// errors; omitted ops get weight 0.
+    pub fn parse(spec: &str) -> Result<Mix, String> {
+        let mut weights = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (name, w) = part
+                .split_once('=')
+                .ok_or_else(|| format!("mix entry `{part}` is not op=weight"))?;
+            let op = *Op::ALL
+                .iter()
+                .find(|o| o.name() == name.trim())
+                .ok_or_else(|| format!("unknown op `{name}` in mix"))?;
+            let w: u32 = w
+                .trim()
+                .parse()
+                .map_err(|_| format!("weight in `{part}` is not an integer"))?;
+            weights.push((op, w));
+        }
+        if weights.iter().map(|(_, w)| *w).sum::<u32>() == 0 {
+            return Err("mix has zero total weight".to_string());
+        }
+        Ok(Mix::from_weights(weights))
+    }
+
+    pub fn spec(&self) -> String {
+        self.weights
+            .iter()
+            .map(|(op, w)| format!("{}={w}", op.name()))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    pub fn sample(&self, rng: &mut Rng) -> Op {
+        let mut roll = rng.below(self.total as u64) as u32;
+        for (op, w) in &self.weights {
+            if roll < *w {
+                return *op;
+            }
+            roll -= w;
+        }
+        self.weights.last().map(|(op, _)| *op).unwrap_or(Op::Stats)
+    }
+}
+
+// -- request synthesis --------------------------------------------------------
+
+const PREDICT_PROGRAMS: [&str; 2] = ["matmul", "tiled_matmul"];
+const ANALYZE_PROGRAMS: [&str; 5] = [
+    "matmul",
+    "tiled_matmul",
+    "two_index_unfused",
+    "two_index_fused",
+    "tiled_two_index",
+];
+const SIZES: [u64; 4] = [32, 64, 96, 128];
+const CACHES: [u64; 3] = [512, 4096, 8192];
+
+/// Render one request line for `op`. Deterministic given the rng state;
+/// every line carries `request_id` so the reply can be matched.
+pub fn request_line(op: Op, rng: &mut Rng, request_id: &str) -> String {
+    match op {
+        Op::Analyze => format!(
+            r#"{{"op":"analyze","request_id":"{request_id}","program":"{}"}}"#,
+            rng.pick(&ANALYZE_PROGRAMS)
+        ),
+        Op::Lint => format!(
+            r#"{{"op":"lint","request_id":"{request_id}","program":"{}"}}"#,
+            rng.pick(&ANALYZE_PROGRAMS)
+        ),
+        Op::Stats => format!(r#"{{"op":"stats","request_id":"{request_id}"}}"#),
+        Op::Predict => {
+            let n = *rng.pick(&SIZES);
+            let cache = *rng.pick(&CACHES);
+            match *rng.pick(&PREDICT_PROGRAMS) {
+                "tiled_matmul" => {
+                    let t = 16 << rng.below(2);
+                    format!(
+                        r#"{{"op":"predict","request_id":"{request_id}","program":"tiled_matmul","bindings":{{"Ni":{n},"Nj":{n},"Nk":{n},"Ti":{t},"Tj":{t},"Tk":{t}}},"cache":{cache}}}"#
+                    )
+                }
+                p => format!(
+                    r#"{{"op":"predict","request_id":"{request_id}","program":"{p}","bindings":{{"Ni":{n},"Nj":{n},"Nk":{n}}},"cache":{cache}}}"#
+                ),
+            }
+        }
+        Op::Advise => {
+            let n = *rng.pick(&SIZES);
+            format!(
+                r#"{{"op":"advise","request_id":"{request_id}","program":"tiled_matmul","cache":4096,"bindings":{{"Ni":{n},"Nj":{n},"Nk":{n}}},"space":{{"syms":["Ti","Tj","Tk"],"max":[64,64,64],"min":4}},"deadline_ms":100}}"#
+            )
+        }
+        Op::Batch => {
+            let a = rng.pick(&ANALYZE_PROGRAMS);
+            let b = rng.pick(&ANALYZE_PROGRAMS);
+            format!(
+                r#"{{"op":"batch","request_id":"{request_id}","requests":[{{"op":"analyze","program":"{a}"}},{{"op":"analyze","program":"{b}"}}]}}"#
+            )
+        }
+    }
+}
+
+// -- the harness --------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    pub addr: SocketAddr,
+    pub clients: usize,
+    pub duration: Duration,
+    pub mix: Mix,
+    pub seed: u64,
+}
+
+/// What one client observed.
+#[derive(Debug, Default)]
+struct ClientOutcome {
+    sent: u64,
+    ok: u64,
+    overloaded: u64,
+    protocol_errors: u64,
+    transport_errors: u64,
+    /// Latency of every successful request, microseconds.
+    latencies: Vec<u64>,
+    per_op_sent: BTreeMap<&'static str, u64>,
+    per_op_ok: BTreeMap<&'static str, u64>,
+    /// First few validation failures, verbatim, for the report.
+    complaints: Vec<String>,
+}
+
+/// Aggregated results of one load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    pub config_summary: Vec<(String, Value)>,
+    pub requests: u64,
+    pub ok: u64,
+    pub overloaded: u64,
+    pub protocol_errors: u64,
+    pub transport_errors: u64,
+    pub wall_secs: f64,
+    pub throughput_rps: f64,
+    /// Client-side latency quantiles (µs) over successful requests.
+    pub client_p50: u64,
+    pub client_p99: u64,
+    pub client_p999: u64,
+    pub client_max: u64,
+    pub client_mean: f64,
+    pub per_op: BTreeMap<&'static str, (u64, u64)>,
+    pub complaints: Vec<String>,
+    /// The server's view, parsed from its Prometheus exposition after the
+    /// run (absent when the scrape failed).
+    pub server: Option<ServerView>,
+}
+
+/// Exact quantile (µs) of a sorted latency vector: the smallest recorded
+/// latency with at least `ceil(q * len)` observations at or below it.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Drive the configured load and aggregate every client's observations.
+/// Clients are closed-loop: each waits for a reply before issuing its next
+/// request, so concurrency is exactly `clients`.
+pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
+    let barrier = Barrier::new(config.clients + 1);
+    let started_flag = AtomicU64::new(0);
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|client| {
+                let barrier = &barrier;
+                let started_flag = &started_flag;
+                let config = config.clone();
+                scope.spawn(move || {
+                    let mut c = match Client::connect(config.addr) {
+                        Ok(c) => c,
+                        Err(_) => {
+                            barrier.wait();
+                            let mut o = ClientOutcome::default();
+                            o.transport_errors += 1;
+                            o.complaints
+                                .push(format!("client {client}: initial connect failed"));
+                            return o;
+                        }
+                    };
+                    barrier.wait();
+                    // All clients share one deadline measured from the
+                    // barrier release.
+                    let t0 = Instant::now();
+                    started_flag.store(1, Ordering::Release);
+                    let deadline = t0 + config.duration;
+                    let mut rng = Rng::new(config.seed ^ (client as u64).wrapping_mul(0x9e3));
+                    let mut o = ClientOutcome::default();
+                    let mut n = 0u64;
+                    while Instant::now() < deadline {
+                        let op = config.mix.sample(&mut rng);
+                        let rid = format!("lg-{client}-{n}");
+                        n += 1;
+                        let line = request_line(op, &mut rng, &rid);
+                        o.sent += 1;
+                        *o.per_op_sent.entry(op.name()).or_default() += 1;
+                        let sent_at = Instant::now();
+                        let reply = match c.request_line(&line) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                o.transport_errors += 1;
+                                if o.complaints.len() < 4 {
+                                    o.complaints
+                                        .push(format!("client {client} req {rid}: transport: {e}"));
+                                }
+                                // One reconnect attempt keeps a transient
+                                // socket failure from silencing the client;
+                                // the error still fails the run's gate.
+                                match Client::connect(config.addr) {
+                                    Ok(nc) => {
+                                        c = nc;
+                                        continue;
+                                    }
+                                    Err(_) => break,
+                                }
+                            }
+                        };
+                        let micros = sent_at.elapsed().as_micros() as u64;
+                        match validate_reply(&reply, &rid) {
+                            Verdict::Ok => {
+                                o.ok += 1;
+                                *o.per_op_ok.entry(op.name()).or_default() += 1;
+                                o.latencies.push(micros);
+                            }
+                            Verdict::Overloaded => o.overloaded += 1,
+                            Verdict::Protocol(why) => {
+                                o.protocol_errors += 1;
+                                if o.complaints.len() < 4 {
+                                    o.complaints
+                                        .push(format!("client {client} req {rid}: {why}"));
+                                }
+                            }
+                        }
+                    }
+                    o
+                })
+            })
+            .collect();
+        barrier.wait();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall_secs = config.duration.as_secs_f64();
+
+    let mut report = LoadReport {
+        config_summary: vec![
+            ("addr".to_string(), Value::from(config.addr.to_string())),
+            ("clients".to_string(), Value::from(config.clients)),
+            ("duration_secs".to_string(), Value::from(wall_secs)),
+            ("seed".to_string(), Value::from(config.seed)),
+            ("mix".to_string(), Value::from(config.mix.spec())),
+        ],
+        requests: 0,
+        ok: 0,
+        overloaded: 0,
+        protocol_errors: 0,
+        transport_errors: 0,
+        wall_secs,
+        throughput_rps: 0.0,
+        client_p50: 0,
+        client_p99: 0,
+        client_p999: 0,
+        client_max: 0,
+        client_mean: 0.0,
+        per_op: BTreeMap::new(),
+        complaints: Vec::new(),
+        server: None,
+    };
+    let mut all_latencies: Vec<u64> = Vec::new();
+    for o in outcomes {
+        report.requests += o.sent;
+        report.ok += o.ok;
+        report.overloaded += o.overloaded;
+        report.protocol_errors += o.protocol_errors;
+        report.transport_errors += o.transport_errors;
+        for (op, n) in o.per_op_sent {
+            report.per_op.entry(op).or_insert((0, 0)).0 += n;
+        }
+        for (op, n) in o.per_op_ok {
+            report.per_op.entry(op).or_insert((0, 0)).1 += n;
+        }
+        if report.complaints.len() < 16 {
+            report.complaints.extend(o.complaints);
+        }
+        all_latencies.extend(o.latencies);
+    }
+    all_latencies.sort_unstable();
+    report.client_p50 = quantile(&all_latencies, 0.50);
+    report.client_p99 = quantile(&all_latencies, 0.99);
+    report.client_p999 = quantile(&all_latencies, 0.999);
+    report.client_max = all_latencies.last().copied().unwrap_or(0);
+    report.client_mean = if all_latencies.is_empty() {
+        0.0
+    } else {
+        all_latencies.iter().sum::<u64>() as f64 / all_latencies.len() as f64
+    };
+    report.throughput_rps = report.ok as f64 / wall_secs;
+
+    report.server = scrape_prometheus(config.addr)
+        .ok()
+        .map(|text| ServerView::from_exposition(&text));
+    Ok(report)
+}
+
+enum Verdict {
+    Ok,
+    Overloaded,
+    Protocol(String),
+}
+
+/// A reply is valid iff it parses, speaks v1, echoes the request id, and
+/// is either a success or a well-formed `overloaded` rejection.
+fn validate_reply(reply: &str, request_id: &str) -> Verdict {
+    let v = match sdlo_wire::parse(reply) {
+        Ok(v) => v,
+        Err(e) => return Verdict::Protocol(format!("unparseable reply: {e}")),
+    };
+    if v.get("v").and_then(Value::as_u64) != Some(1) {
+        return Verdict::Protocol(format!("reply does not speak v1: {reply}"));
+    }
+    if v.get("request_id").and_then(Value::as_str) != Some(request_id) {
+        return Verdict::Protocol(format!("request_id not echoed: {reply}"));
+    }
+    match v.get("ok").and_then(Value::as_bool) {
+        Some(true) => Verdict::Ok,
+        Some(false) => {
+            let kind = v
+                .path(&["error", "kind"])
+                .and_then(Value::as_str)
+                .unwrap_or("");
+            let has_message = v
+                .path(&["error", "message"])
+                .and_then(Value::as_str)
+                .is_some();
+            if kind == "overloaded" && has_message {
+                Verdict::Overloaded
+            } else {
+                Verdict::Protocol(format!("unexpected error reply: {reply}"))
+            }
+        }
+        None => Verdict::Protocol(format!("reply missing ok: {reply}")),
+    }
+}
+
+// -- the server's view (Prometheus cross-check) -------------------------------
+
+/// One plain-text Prometheus scrape over a throwaway connection
+/// (`{"op":"metrics","raw":true}` followed by EOF).
+pub fn scrape_prometheus(addr: SocketAddr) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(b"{\"op\":\"metrics\",\"raw\":true}\n")?;
+    let mut text = String::new();
+    stream.read_to_string(&mut text)?;
+    Ok(text)
+}
+
+/// Latency quantiles and counters as the *server* recorded them, parsed
+/// out of the Prometheus text exposition. Histogram buckets are log₂, so
+/// server quantiles are upper bucket bounds — the cross-check is that the
+/// client-side quantile falls at or below the server's bucket bound for
+/// the same tail.
+#[derive(Debug)]
+pub struct ServerView {
+    /// Aggregated latency histogram across every op: `le_micros → count`
+    /// (non-cumulative, `u64::MAX` holds the +Inf bucket).
+    pub buckets: BTreeMap<u64, u64>,
+    pub histogram_count: u64,
+    pub p50_le: u64,
+    pub p99_le: u64,
+    pub p999_le: u64,
+    /// `sdlo_requests_total` per op.
+    pub requests_per_op: BTreeMap<String, u64>,
+    pub rejected: u64,
+    pub connections_total: u64,
+    pub connections_active: u64,
+}
+
+impl ServerView {
+    pub fn from_exposition(text: &str) -> ServerView {
+        let mut buckets: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut per_op_cum: BTreeMap<String, u64> = BTreeMap::new();
+        let mut requests_per_op = BTreeMap::new();
+        let mut rejected = 0;
+        let mut connections_total = 0;
+        let mut connections_active = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("sdlo_request_latency_micros_bucket{op=\"") {
+                let Some((op, rest)) = rest.split_once("\",le=\"") else {
+                    continue;
+                };
+                let Some((le, value)) = rest.split_once("\"} ") else {
+                    continue;
+                };
+                let le = if le == "+Inf" {
+                    u64::MAX
+                } else {
+                    le.parse().unwrap_or(u64::MAX)
+                };
+                let Ok(cum) = value.trim().parse::<u64>() else {
+                    continue;
+                };
+                // Buckets are cumulative per op and printed in increasing
+                // `le` order; diff against the op's running total to get
+                // this bucket's own count, then merge across ops.
+                let prev = per_op_cum.entry(op.to_string()).or_insert(0);
+                let own = cum.saturating_sub(*prev);
+                *prev = cum;
+                if own > 0 {
+                    *buckets.entry(le).or_insert(0) += own;
+                }
+            } else if let Some(rest) = line.strip_prefix("sdlo_requests_total{op=\"") {
+                if let Some((op, value)) = rest.split_once("\"} ") {
+                    if let Ok(n) = value.trim().parse() {
+                        requests_per_op.insert(op.to_string(), n);
+                    }
+                }
+            } else if let Some(v) = line.strip_prefix("sdlo_rejected_requests_total ") {
+                rejected = v.trim().parse().unwrap_or(0);
+            } else if let Some(v) = line.strip_prefix("sdlo_connections_total ") {
+                connections_total = v.trim().parse().unwrap_or(0);
+            } else if let Some(v) = line.strip_prefix("sdlo_connections_active ") {
+                connections_active = v.trim().parse().unwrap_or(0);
+            }
+        }
+        let histogram_count = buckets.values().sum();
+        let q = |q: f64| -> u64 {
+            if histogram_count == 0 {
+                return 0;
+            }
+            let target = ((histogram_count as f64) * q).ceil().max(1.0) as u64;
+            let mut seen = 0;
+            for (le, n) in &buckets {
+                seen += n;
+                if seen >= target {
+                    return *le;
+                }
+            }
+            *buckets.keys().last().unwrap_or(&0)
+        };
+        ServerView {
+            p50_le: q(0.50),
+            p99_le: q(0.99),
+            p999_le: q(0.999),
+            buckets,
+            histogram_count,
+            requests_per_op,
+            rejected,
+            connections_total,
+            connections_active,
+        }
+    }
+}
+
+// -- report rendering ---------------------------------------------------------
+
+impl LoadReport {
+    /// The whole report as one JSON document (`results/loadtest.json`).
+    pub fn to_json(&self) -> Value {
+        let per_op: Vec<(String, Value)> = self
+            .per_op
+            .iter()
+            .map(|(op, (sent, ok))| {
+                (
+                    op.to_string(),
+                    Value::obj(vec![("sent", Value::from(*sent)), ("ok", Value::from(*ok))]),
+                )
+            })
+            .collect();
+        let mut fields = vec![
+            (
+                "config".to_string(),
+                Value::Object(self.config_summary.clone()),
+            ),
+            (
+                "totals".to_string(),
+                Value::obj(vec![
+                    ("requests", Value::from(self.requests)),
+                    ("ok", Value::from(self.ok)),
+                    ("overloaded", Value::from(self.overloaded)),
+                    ("protocol_errors", Value::from(self.protocol_errors)),
+                    ("transport_errors", Value::from(self.transport_errors)),
+                ]),
+            ),
+            (
+                "throughput_rps".to_string(),
+                Value::from(self.throughput_rps),
+            ),
+            (
+                "latency_micros".to_string(),
+                Value::obj(vec![
+                    (
+                        "client",
+                        Value::obj(vec![
+                            ("p50", Value::from(self.client_p50)),
+                            ("p99", Value::from(self.client_p99)),
+                            ("p999", Value::from(self.client_p999)),
+                            ("max", Value::from(self.client_max)),
+                            ("mean", Value::from(self.client_mean)),
+                        ]),
+                    ),
+                    (
+                        "server_histogram",
+                        match &self.server {
+                            Some(s) => Value::obj(vec![
+                                ("p50_le", Value::from(s.p50_le)),
+                                ("p99_le", Value::from(s.p99_le)),
+                                ("p999_le", Value::from(s.p999_le)),
+                                ("count", Value::from(s.histogram_count)),
+                            ]),
+                            None => Value::Null,
+                        },
+                    ),
+                ]),
+            ),
+            ("per_op".to_string(), Value::Object(per_op)),
+        ];
+        if let Some(s) = &self.server {
+            fields.push((
+                "server".to_string(),
+                Value::obj(vec![
+                    ("rejected", Value::from(s.rejected)),
+                    ("connections_total", Value::from(s.connections_total)),
+                    ("connections_active", Value::from(s.connections_active)),
+                    (
+                        "requests_per_op",
+                        Value::Object(
+                            s.requests_per_op
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Value::from(*v)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        if !self.complaints.is_empty() {
+            fields.push((
+                "complaints".to_string(),
+                Value::Array(
+                    self.complaints
+                        .iter()
+                        .map(|c| Value::from(c.as_str()))
+                        .collect(),
+                ),
+            ));
+        }
+        Value::Object(fields)
+    }
+
+    /// Cross-checks between the two vantage points. Returns a list of
+    /// violated invariants (empty = consistent).
+    ///
+    /// `fresh_server` means the harness spawned the server itself, so its
+    /// counters cover exactly this run and counts can be matched exactly.
+    pub fn consistency_failures(&self, fresh_server: bool) -> Vec<String> {
+        let mut fails = Vec::new();
+        let Some(server) = &self.server else {
+            fails.push("server Prometheus scrape failed".to_string());
+            return fails;
+        };
+        if fresh_server {
+            // Every client-observed overload rejection is one transport
+            // rejection on the server, and vice versa.
+            if server.rejected != self.overloaded {
+                fails.push(format!(
+                    "server counted {} rejections, clients observed {}",
+                    server.rejected, self.overloaded
+                ));
+            }
+            // `predict` never nests in batches here, so the server-side op
+            // counter must match the client-side count exactly (rejected
+            // predicts never reach the engine).
+            if let Some((sent, ok)) = self.per_op.get("predict") {
+                let engine_seen = server.requests_per_op.get("predict").copied().unwrap_or(0);
+                if engine_seen != *ok + (self.protocol_errors.min(sent - ok)) {
+                    // ok + engine-side failures; with zero protocol errors
+                    // this is just `ok`.
+                    if self.protocol_errors == 0 && engine_seen != *ok {
+                        fails.push(format!(
+                            "server served {engine_seen} predicts, clients got {ok} replies"
+                        ));
+                    }
+                }
+            }
+        }
+        // The server's latency histogram must cover at least the
+        // successful requests the clients saw (it also counts scrapes and
+        // batch sub-requests, so ≥, not ==).
+        if server.histogram_count < self.ok {
+            fails.push(format!(
+                "server histogram holds {} observations, clients completed {}",
+                server.histogram_count, self.ok
+            ));
+        }
+        fails
+    }
+
+    /// Human-readable one-screen summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "loadgen: {} clients x {:.1}s  seed {}  mix {}",
+            self.config_summary
+                .iter()
+                .find(|(k, _)| k == "clients")
+                .and_then(|(_, v)| v.as_u64())
+                .unwrap_or(0),
+            self.wall_secs,
+            self.config_summary
+                .iter()
+                .find(|(k, _)| k == "seed")
+                .and_then(|(_, v)| v.as_u64())
+                .unwrap_or(0),
+            self.config_summary
+                .iter()
+                .find(|(k, _)| k == "mix")
+                .and_then(|(_, v)| v.as_str())
+                .unwrap_or("?"),
+        );
+        let _ = writeln!(
+            out,
+            "  {} requests: {} ok, {} overloaded, {} protocol errors, {} transport errors",
+            self.requests, self.ok, self.overloaded, self.protocol_errors, self.transport_errors
+        );
+        let _ = writeln!(out, "  throughput {:.0} req/s", self.throughput_rps);
+        let _ = writeln!(
+            out,
+            "  client latency µs: p50 {}  p99 {}  p999 {}  max {}",
+            self.client_p50, self.client_p99, self.client_p999, self.client_max
+        );
+        if let Some(s) = &self.server {
+            let _ = writeln!(
+                out,
+                "  server histogram µs (bucket bounds): p50 ≤{}  p99 ≤{}  p999 ≤{}  ({} observations, {} rejected)",
+                s.p50_le, s.p99_le, s.p999_le, s.histogram_count, s.rejected
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::new(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mix_parses_and_samples_only_listed_ops() {
+        let mix = Mix::parse("predict=3,stats=1").unwrap();
+        let mut rng = Rng::new(7);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(mix.sample(&mut rng));
+        }
+        assert!(seen.contains(&Op::Predict));
+        assert!(seen.contains(&Op::Stats));
+        assert_eq!(seen.len(), 2);
+        assert!(Mix::parse("frobnicate=1").is_err());
+        assert!(Mix::parse("predict=0").is_err());
+        assert_eq!(mix.spec(), "predict=3,stats=1");
+    }
+
+    #[test]
+    fn request_lines_are_valid_json_and_deterministic() {
+        for op in Op::ALL {
+            let mut rng = Rng::new(11);
+            let a = request_line(op, &mut rng, "rid-1");
+            let mut rng = Rng::new(11);
+            let b = request_line(op, &mut rng, "rid-1");
+            assert_eq!(a, b, "{op:?} must be deterministic");
+            let v = sdlo_wire::parse(&a).expect("generated line parses");
+            assert_eq!(v.get("op").unwrap().as_str(), Some(op.name()));
+            assert_eq!(v.get("request_id").unwrap().as_str(), Some("rid-1"));
+        }
+    }
+
+    #[test]
+    fn validate_reply_classifies_envelopes() {
+        assert!(matches!(
+            validate_reply(r#"{"request_id":"r","v":1,"ok":true,"x":1}"#, "r"),
+            Verdict::Ok
+        ));
+        assert!(matches!(
+            validate_reply(
+                r#"{"request_id":"r","v":1,"ok":false,"error":{"kind":"overloaded","message":"m"}}"#,
+                "r"
+            ),
+            Verdict::Overloaded
+        ));
+        // Wrong id, wrong version, other error kinds: protocol errors.
+        for bad in [
+            r#"{"request_id":"other","v":1,"ok":true}"#,
+            r#"{"request_id":"r","v":2,"ok":true}"#,
+            r#"{"request_id":"r","v":1,"ok":false,"error":{"kind":"internal","message":"m"}}"#,
+            "not json",
+        ] {
+            assert!(matches!(validate_reply(bad, "r"), Verdict::Protocol(_)));
+        }
+    }
+
+    #[test]
+    fn server_view_parses_cumulative_buckets_across_ops() {
+        let text = "\
+# TYPE sdlo_request_latency_micros histogram
+sdlo_request_latency_micros_bucket{op=\"predict\",le=\"4\"} 90
+sdlo_request_latency_micros_bucket{op=\"predict\",le=\"1024\"} 100
+sdlo_request_latency_micros_bucket{op=\"predict\",le=\"+Inf\"} 100
+sdlo_request_latency_micros_bucket{op=\"stats\",le=\"8\"} 10
+sdlo_request_latency_micros_bucket{op=\"stats\",le=\"+Inf\"} 10
+sdlo_requests_total{op=\"predict\"} 100
+sdlo_rejected_requests_total 3
+sdlo_connections_total 12
+sdlo_connections_active 2
+";
+        let view = ServerView::from_exposition(text);
+        assert_eq!(view.histogram_count, 110);
+        assert_eq!(view.buckets.get(&4), Some(&90));
+        assert_eq!(view.buckets.get(&8), Some(&10));
+        assert_eq!(view.buckets.get(&1024), Some(&10));
+        assert_eq!(view.p50_le, 4);
+        assert_eq!(view.p99_le, 1024);
+        assert_eq!(view.rejected, 3);
+        assert_eq!(view.connections_total, 12);
+        assert_eq!(view.connections_active, 2);
+        assert_eq!(view.requests_per_op.get("predict"), Some(&100));
+    }
+
+    #[test]
+    fn quantiles_pick_exact_ranks() {
+        let sorted: Vec<u64> = (1..=1000).collect();
+        assert_eq!(quantile(&sorted, 0.50), 500);
+        assert_eq!(quantile(&sorted, 0.99), 990);
+        assert_eq!(quantile(&sorted, 0.999), 999);
+        assert_eq!(quantile(&[], 0.5), 0);
+        assert_eq!(quantile(&[7], 0.999), 7);
+    }
+}

@@ -1,0 +1,227 @@
+//! `loadgen` — hammer a tile-advisor daemon with N concurrent clients.
+//!
+//! ```text
+//! loadgen [--clients N] [--duration 10s] [--addr HOST:PORT]
+//!         [--workers N] [--queue N] [--mix SPEC] [--seed N]
+//!         [--out PATH] [--min-throughput RPS] [--json]
+//! ```
+//!
+//! Without `--addr` the harness spawns an in-process server (sized by
+//! `--workers` / `--queue`), drives it, cross-checks client-side latencies
+//! against the server's Prometheus histograms, drains it, and writes the
+//! report to `results/loadtest.json`.
+//!
+//! Exit status is the CI gate: non-zero when any transport or protocol
+//! error occurred, when the client/server counters disagree, or when
+//! `--min-throughput` is not met.
+
+use sdlo_loadgen::{run_load, LoadConfig, Mix};
+use sdlo_service::{serve, ServerConfig};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--clients N] [--duration 10s] [--addr HOST:PORT]\n\
+         \x20              [--workers N] [--queue N] [--mix SPEC] [--seed N]\n\
+         \x20              [--out PATH] [--min-throughput RPS] [--json]\n\
+         \n\
+         Workload generator + latency harness for the sdlo tile-advisor\n\
+         service. Spawns an in-process server unless --addr names a running\n\
+         daemon. SPEC is op=weight pairs, e.g. predict=8,advise=1.\n\
+         Defaults: --clients 64 --duration 3s --workers 4 --queue 128\n\
+         \x20         --seed 42 --mix {} --out <repo>/results/loadtest.json",
+        Mix::default_mix().spec()
+    );
+    std::process::exit(2);
+}
+
+fn parse_duration(s: &str) -> Option<Duration> {
+    if let Some(ms) = s.strip_suffix("ms") {
+        return ms.parse::<u64>().ok().map(Duration::from_millis);
+    }
+    if let Some(secs) = s.strip_suffix('s') {
+        return secs.parse::<f64>().ok().map(Duration::from_secs_f64);
+    }
+    if let Some(mins) = s.strip_suffix('m') {
+        return mins
+            .parse::<u64>()
+            .ok()
+            .map(|m| Duration::from_secs(m * 60));
+    }
+    s.parse::<f64>().ok().map(Duration::from_secs_f64)
+}
+
+struct Args {
+    clients: usize,
+    duration: Duration,
+    addr: Option<String>,
+    workers: usize,
+    queue: usize,
+    mix: Mix,
+    seed: u64,
+    out: std::path::PathBuf,
+    min_throughput: Option<f64>,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let default_out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results/loadtest.json");
+    let mut args = Args {
+        clients: 64,
+        duration: Duration::from_secs(3),
+        addr: None,
+        workers: 4,
+        queue: 128,
+        mix: Mix::default_mix(),
+        seed: 42,
+        out: default_out,
+        min_throughput: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value_of = |flag: &str| match it.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("error: {flag} requires a value\n");
+                usage();
+            }
+        };
+        match flag.as_str() {
+            "--clients" => match value_of("--clients").parse() {
+                Ok(n) if n > 0 => args.clients = n,
+                _ => usage(),
+            },
+            "--duration" => match parse_duration(&value_of("--duration")) {
+                Some(d) if d > Duration::ZERO => args.duration = d,
+                _ => usage(),
+            },
+            "--addr" => args.addr = Some(value_of("--addr")),
+            "--workers" => match value_of("--workers").parse() {
+                Ok(n) if n > 0 => args.workers = n,
+                _ => usage(),
+            },
+            "--queue" => match value_of("--queue").parse() {
+                Ok(n) if n > 0 => args.queue = n,
+                _ => usage(),
+            },
+            "--mix" => match Mix::parse(&value_of("--mix")) {
+                Ok(m) => args.mix = m,
+                Err(e) => {
+                    eprintln!("error: {e}\n");
+                    usage();
+                }
+            },
+            "--seed" => match value_of("--seed").parse() {
+                Ok(n) => args.seed = n,
+                _ => usage(),
+            },
+            "--out" => args.out = value_of("--out").into(),
+            "--min-throughput" => match value_of("--min-throughput").parse() {
+                Ok(f) if f >= 0.0 => args.min_throughput = Some(f),
+                _ => usage(),
+            },
+            "--json" => args.json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag `{other}`\n");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Target: an external daemon, or an in-process server spawned for the
+    // run (whose counters then cover exactly this load).
+    let (addr, handle): (SocketAddr, Option<sdlo_service::ServerHandle>) = match &args.addr {
+        Some(a) => match a.parse() {
+            Ok(addr) => (addr, None),
+            Err(_) => {
+                eprintln!("error: `{a}` is not HOST:PORT");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let config = ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: args.workers,
+                queue: args.queue,
+                ..ServerConfig::default()
+            };
+            match serve(config) {
+                Ok(h) => (h.addr(), Some(h)),
+                Err(e) => {
+                    eprintln!("error: failed to spawn in-process server: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
+    let fresh_server = handle.is_some();
+
+    let config = LoadConfig {
+        addr,
+        clients: args.clients,
+        duration: args.duration,
+        mix: args.mix.clone(),
+        seed: args.seed,
+    };
+    let report = match run_load(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: load run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(h) = handle {
+        h.shutdown();
+    }
+
+    if let Some(dir) = args.out.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let json = report.to_json().render();
+    if let Err(e) = std::fs::write(&args.out, format!("{json}\n")) {
+        eprintln!("error: cannot write {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+
+    if args.json {
+        println!("{json}");
+    } else {
+        print!("{}", report.summary());
+        println!("  report: {}", args.out.display());
+    }
+
+    // -- gates ---------------------------------------------------------------
+    let mut failures: Vec<String> = Vec::new();
+    if report.transport_errors > 0 {
+        failures.push(format!("{} transport errors", report.transport_errors));
+    }
+    if report.protocol_errors > 0 {
+        failures.push(format!("{} protocol errors", report.protocol_errors));
+    }
+    if report.ok == 0 {
+        failures.push("no request succeeded".to_string());
+    }
+    failures.extend(report.consistency_failures(fresh_server));
+    if let Some(floor) = args.min_throughput {
+        if report.throughput_rps < floor {
+            failures.push(format!(
+                "throughput {:.0} req/s below floor {floor:.0}",
+                report.throughput_rps
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("loadgen: FAILED: {}", failures.join("; "));
+        std::process::exit(1);
+    }
+}

@@ -18,8 +18,10 @@
 //! * [`api`] — the typed, versioned protocol: request enum, reply builders,
 //!   the unified error envelope,
 //! * [`engine`] — embeddable request handler (JSON in, JSON out),
-//! * [`server`] — TCP transport: bounded worker pool, explicit backpressure,
-//!   per-line size caps, graceful shutdown,
+//! * [`server`] — TCP transport: event-driven reactor multiplexing every
+//!   connection onto one thread, bounded worker pool, explicit admission
+//!   control (`overloaded`), per-connection write-buffer backpressure,
+//!   per-line size caps, graceful drain on shutdown,
 //! * [`client`] — minimal synchronous client,
 //! * [`cache`] / [`metrics`] — the shared infrastructure behind both.
 

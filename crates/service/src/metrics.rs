@@ -170,6 +170,9 @@ pub struct Metrics {
     pub oversized: AtomicU64,
     /// Connections accepted over the lifetime of the server.
     pub connections: AtomicU64,
+    /// Connections currently open (gauge): incremented on accept,
+    /// decremented when the reactor retires the connection.
+    pub connections_active: AtomicU64,
     /// Jobs currently queued or executing in the worker pool.
     pub queue_depth: AtomicU64,
     /// Tile searches cut short by their budget (`advise` replies with
@@ -195,6 +198,7 @@ impl Default for Metrics {
             rejected: AtomicU64::new(0),
             oversized: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            connections_active: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             searches_cancelled: AtomicU64::new(0),
             lint_diag_errors: AtomicU64::new(0),
@@ -269,6 +273,7 @@ impl Metrics {
             ("rejected", load(&self.rejected)),
             ("oversized", load(&self.oversized)),
             ("connections", load(&self.connections)),
+            ("connections_active", load(&self.connections_active)),
             ("queue_depth", load(&self.queue_depth)),
         ])
     }
@@ -346,7 +351,7 @@ impl Metrics {
                 h.sum_micros.load(Ordering::Relaxed)
             );
         }
-        let singles: [(&str, &str, u64); 9] = [
+        let singles: [(&str, &str, u64); 10] = [
             (
                 "sdlo_model_cache_hits_total",
                 "counter",
@@ -379,6 +384,11 @@ impl Metrics {
                 load(&self.oversized),
             ),
             ("sdlo_connections_total", "counter", load(&self.connections)),
+            (
+                "sdlo_connections_active",
+                "gauge",
+                load(&self.connections_active),
+            ),
             ("sdlo_queue_depth", "gauge", load(&self.queue_depth)),
         ];
         for (name, ty, v) in singles {

@@ -1,37 +1,69 @@
-//! Newline-delimited-JSON TCP front end for the [`Engine`].
+//! Newline-delimited-JSON TCP front end for the [`Engine`]: an
+//! **event-driven connection loop** feeding a **bounded worker pool**.
 //!
-//! Architecture: an accept loop hands each connection to its own reader
-//! thread; reader threads submit request lines to a **bounded** worker pool
-//! (`std::sync::mpsc::sync_channel`) and wait for the response before
-//! reading the next line — so requests on one connection are answered in
-//! order, while different connections execute in parallel up to the worker
-//! count. When the queue is full, `try_send` fails immediately and the
-//! reader answers with a structured `overloaded` error instead of buffering
-//! unboundedly: backpressure is explicit and observable
-//! (`stats.rejected`).
+//! ## Architecture
 //!
-//! Robustness: request lines are read through a byte cap (oversized lines
-//! are drained and answered with `too_large`, the connection survives),
-//! malformed JSON gets a structured error from the engine, and a
-//! `{"op":"shutdown"}` request stops the accept loop and drains workers.
+//! One *reactor* thread owns the (non-blocking) listener and every open
+//! connection. Each loop tick it:
 //!
-//! Scraping: `{"op":"metrics","raw":true}` is answered transport-side with
-//! the Prometheus text exposition itself (not JSON) and the connection is
-//! closed — `echo '{"op":"metrics","raw":true}' | nc host port` is a
-//! complete scrape. Without `"raw"`, `metrics` flows through the engine and
-//! returns the text inside a JSON envelope like any other op.
+//! 1. accepts new connections (until the OS says `WouldBlock`),
+//! 2. drains worker completions into the owning connection's reorder
+//!    buffer,
+//! 3. per connection: flushes in-order responses into the write buffer,
+//!    writes as many bytes as the socket takes, then reads and frames new
+//!    request lines — submitting each to the worker pool.
+//!
+//! No thread is ever parked on one client, so thousands of mostly-idle
+//! connections cost one thread plus their buffers — not a thread each.
+//!
+//! ## Backpressure & admission control
+//!
+//! The reactor-to-workers queue is a **bounded** `sync_channel`; when
+//! `try_send` fails the request is rejected *immediately* with the
+//! structured `overloaded` error envelope — the client's `id` and
+//! `request_id` echoed — instead of stalling the socket (`stats.rejected`
+//! counts these). Per connection, the reactor stops reading while the
+//! write buffer is above [`ServerConfig::max_write_buffer`], so a client
+//! that pipelines faster than it drains responses is throttled by TCP flow
+//! control rather than ballooning server memory.
+//!
+//! Requests on one connection may execute on different workers
+//! concurrently (pipelining), but responses are written in request order:
+//! each request carries a per-connection sequence number and completions
+//! wait in a reorder buffer until their turn.
+//!
+//! ## Graceful drain
+//!
+//! Shutdown (the `{"op":"shutdown"}` request or
+//! [`ServerHandle::shutdown`]) is a *drain*, not an abort: the listener
+//! closes first (new connects are refused), no further request lines are
+//! read, every request already submitted to the pool completes and its
+//! response is flushed, and only then do connections close and the reactor
+//! exit. [`ServerConfig::drain_timeout_ms`] bounds how long a stuck worker
+//! can hold the drain open.
+//!
+//! ## Robustness
+//!
+//! Request lines are framed under a byte cap (oversized lines are
+//! discarded and answered with `too_large`; the connection survives),
+//! malformed JSON gets a structured error from the engine, and
+//! `{"op":"metrics","raw":true}` is answered transport-side with the
+//! Prometheus text exposition itself (not JSON) followed by EOF, so
+//! `echo '{"op":"metrics","raw":true}' | nc host port` is a complete
+//! scrape.
 
 use crate::api::{self, ApiError, ErrorKind};
 use crate::engine::{Engine, EngineConfig};
 use crate::metrics::Metrics;
 use sdlo_wire::Value;
-use std::io::{BufRead, BufReader, Write};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Transport configuration wrapped around an [`EngineConfig`].
 #[derive(Debug, Clone)]
@@ -41,11 +73,18 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads executing requests.
     pub workers: usize,
-    /// Bounded queue depth between readers and workers; beyond it requests
-    /// are rejected with `overloaded`.
+    /// Bounded queue depth between the reactor and the workers; beyond it
+    /// requests are rejected with `overloaded`.
     pub queue: usize,
     /// Maximum accepted request line length in bytes.
     pub max_line_bytes: usize,
+    /// Per-connection write-buffer cap: the reactor stops reading new
+    /// requests from a connection whose unsent responses exceed this, so
+    /// TCP flow control throttles the client instead of server memory.
+    pub max_write_buffer: usize,
+    /// Upper bound on how long a drain waits for in-flight requests before
+    /// closing connections anyway.
+    pub drain_timeout_ms: u64,
     pub engine: EngineConfig,
 }
 
@@ -56,14 +95,30 @@ impl Default for ServerConfig {
             workers: 4,
             queue: 64,
             max_line_bytes: 1 << 20,
+            max_write_buffer: 4 << 20,
+            drain_timeout_ms: 10_000,
             engine: EngineConfig::default(),
         }
     }
 }
 
+/// One request on its way to the worker pool.
 struct Job {
+    slot: usize,
+    generation: u64,
+    seq: u64,
     line: String,
-    reply: SyncSender<String>,
+}
+
+/// One finished response on its way back to the reactor.
+struct Completion {
+    slot: usize,
+    generation: u64,
+    seq: u64,
+    text: String,
+    /// Plain-text payload (raw Prometheus scrape): written without JSON
+    /// framing and the connection closes once flushed.
+    raw: bool,
 }
 
 /// Handle to a running server; dropping it does *not* stop the server —
@@ -72,8 +127,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     engine: Arc<Engine>,
     stop: Arc<AtomicBool>,
-    active_connections: Arc<AtomicUsize>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     job_tx: Option<SyncSender<Job>>,
 }
@@ -97,32 +151,26 @@ impl ServerHandle {
         self.stop.load(Ordering::SeqCst)
     }
 
-    /// Stop accepting, let readers notice (they poll the stop flag between
-    /// reads), drain the worker pool, and join everything.
+    /// Initiate a drain and block until it completes: stop accepting,
+    /// finish every request already submitted, flush every response, close
+    /// connections, join the reactor and the workers.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.reactor.take() {
             let _ = t.join();
         }
-        // Readers poll the flag at their read timeout; give them time to
-        // finish in-flight requests and exit.
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while self.active_connections.load(Ordering::SeqCst) > 0
-            && std::time::Instant::now() < deadline
-        {
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        // Workers exit when every job sender is gone.
+        // Workers exit when every job sender is gone (the reactor's clone
+        // dropped when it exited).
         drop(self.job_tx.take());
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
 
-    /// Block until a `{"op":"shutdown"}` request arrives, then drain (the
-    /// server binary's main loop).
+    /// Block until a `{"op":"shutdown"}` request arrives and the drain
+    /// completes (the server binary's main loop).
     pub fn run_until_shutdown(mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.reactor.take() {
             let _ = t.join();
         }
         self.shutdown();
@@ -136,57 +184,43 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let engine = Arc::new(Engine::new(config.engine.clone()));
-    let metrics = engine.metrics();
     let stop = Arc::new(AtomicBool::new(false));
-    let active_connections = Arc::new(AtomicUsize::new(0));
 
     let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue.max(1));
+    let (done_tx, done_rx) = mpsc::channel::<Completion>();
     let job_rx = Arc::new(Mutex::new(job_rx));
     let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
         .map(|_| {
             let job_rx = Arc::clone(&job_rx);
             let engine = Arc::clone(&engine);
+            let done_tx = done_tx.clone();
             let metrics = engine.metrics();
             std::thread::spawn(move || loop {
                 let job = match job_rx.lock().unwrap().recv() {
                     Ok(j) => j,
                     Err(_) => break,
                 };
-                let response = engine.handle_line(&job.line);
+                let text = engine.handle_line(&job.line);
                 metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                let _ = job.reply.send(response);
+                let _ = done_tx.send(Completion {
+                    slot: job.slot,
+                    generation: job.generation,
+                    seq: job.seq,
+                    text,
+                    raw: false,
+                });
             })
         })
         .collect();
+    drop(done_tx);
 
-    let accept_thread = {
+    let reactor = {
         let stop = Arc::clone(&stop);
-        let active = Arc::clone(&active_connections);
-        let job_tx = job_tx.clone();
         let engine = Arc::clone(&engine);
+        let job_tx = job_tx.clone();
         let config = config.clone();
         Some(std::thread::spawn(move || {
-            while !stop.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        metrics.connections.fetch_add(1, Ordering::Relaxed);
-                        active.fetch_add(1, Ordering::SeqCst);
-                        let stop = Arc::clone(&stop);
-                        let active = Arc::clone(&active);
-                        let job_tx = job_tx.clone();
-                        let engine = Arc::clone(&engine);
-                        let max_line = config.max_line_bytes;
-                        std::thread::spawn(move || {
-                            let _ = serve_connection(stream, &stop, &job_tx, &engine, max_line);
-                            active.fetch_sub(1, Ordering::SeqCst);
-                        });
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
-                }
-            }
+            Reactor::new(listener, engine, stop, job_tx, done_rx, config).run();
         }))
     };
 
@@ -194,136 +228,409 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         addr,
         engine,
         stop,
-        active_connections,
-        accept_thread,
+        reactor,
         workers,
         job_tx: Some(job_tx),
     })
 }
 
 /// Transport-side failures use the same unified error envelope as engine
-/// failures, request id included, so clients parse one shape everywhere.
-fn error_line(engine: &Engine, kind: ErrorKind, message: &str) -> String {
+/// failures. `id` and `request_id` are echoed when the offending line
+/// parsed far enough to carry them, so rejected clients can still
+/// correlate.
+fn error_line(engine: &Engine, request: Option<&Value>, kind: ErrorKind, message: &str) -> String {
     let err = ApiError::new(kind, message);
-    api::error_reply(None, &engine.next_request_id(), &err).render()
+    let id = request.and_then(|r| r.get("id")).cloned();
+    let request_id = request
+        .and_then(|r| r.get("request_id"))
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(|| engine.next_request_id());
+    api::error_reply(id, &request_id, &err).render()
 }
 
-enum Read1 {
-    Line(String),
-    TooLong,
-    Eof,
-    Idle,
+/// Per-connection state owned by the reactor.
+struct Conn {
+    stream: TcpStream,
+    /// Reused slot marker: completions for an earlier tenant of this slot
+    /// carry a stale generation and are dropped.
+    generation: u64,
+    /// Partial-line accumulator (bytes read but not yet newline-framed).
+    acc: Vec<u8>,
+    /// Currently discarding an oversized line (until its newline).
+    overflowed: bool,
+    /// Unsent response bytes plus the cursor of what is already written.
+    out: Vec<u8>,
+    out_cursor: usize,
+    /// Sequence number for the next submitted request.
+    next_seq: u64,
+    /// Sequence number of the next response to write.
+    next_write: u64,
+    /// Completions that arrived out of order, keyed by sequence number.
+    reorder: BTreeMap<u64, Completion>,
+    /// Peer closed its write side (EOF seen); flush what remains and
+    /// retire.
+    read_closed: bool,
+    /// Close once the write buffer drains (raw Prometheus scrape).
+    close_after_flush: bool,
+    /// Socket error: retire immediately.
+    dead: bool,
 }
 
-/// Pull the next newline-terminated request out of the buffered reader
-/// without ever holding more than `cap` bytes for one line. `overflowed`
-/// carries the "currently discarding an oversized line" state across calls.
-fn poll_line(
-    reader: &mut BufReader<TcpStream>,
-    acc: &mut Vec<u8>,
-    cap: usize,
-    overflowed: &mut bool,
-) -> std::io::Result<Read1> {
-    loop {
-        let available = match reader.fill_buf() {
-            Ok(b) => b,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                return Ok(Read1::Idle)
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        };
-        if available.is_empty() {
-            return Ok(Read1::Eof);
+impl Conn {
+    fn new(stream: TcpStream, generation: u64) -> Conn {
+        Conn {
+            stream,
+            generation,
+            acc: Vec::new(),
+            overflowed: false,
+            out: Vec::new(),
+            out_cursor: 0,
+            next_seq: 0,
+            next_write: 0,
+            reorder: BTreeMap::new(),
+            read_closed: false,
+            close_after_flush: false,
+            dead: false,
         }
-        if let Some(pos) = available.iter().position(|b| *b == b'\n') {
-            let had_overflow = *overflowed;
-            if !had_overflow {
-                acc.extend_from_slice(&available[..pos]);
-            }
-            reader.consume(pos + 1);
-            if had_overflow {
-                *overflowed = false;
-                return Ok(Read1::TooLong);
-            }
-            let line = String::from_utf8_lossy(acc).into_owned();
-            acc.clear();
-            if acc.capacity() > cap {
-                acc.shrink_to_fit();
-            }
-            return Ok(Read1::Line(line));
-        }
-        let n = available.len();
-        if !*overflowed {
-            if acc.len() + n > cap {
-                *overflowed = true;
-                acc.clear();
-            } else {
-                acc.extend_from_slice(available);
-            }
-        }
-        reader.consume(n);
+    }
+
+    /// Requests submitted whose responses are not yet fully ordered into
+    /// the write buffer.
+    fn in_flight(&self) -> u64 {
+        self.next_seq - self.next_write
+    }
+
+    fn unsent(&self) -> usize {
+        self.out.len() - self.out_cursor
     }
 }
 
-fn serve_connection(
-    stream: TcpStream,
-    stop: &AtomicBool,
-    job_tx: &SyncSender<Job>,
-    engine: &Engine,
-    max_line: usize,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let metrics = engine.metrics();
-    let mut acc = Vec::new();
-    let mut overflowed = false;
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            return Ok(());
+struct Reactor {
+    listener: Option<TcpListener>,
+    engine: Arc<Engine>,
+    metrics: Arc<Metrics>,
+    stop: Arc<AtomicBool>,
+    job_tx: SyncSender<Job>,
+    done_rx: Receiver<Completion>,
+    /// Loopback channel for transport-side completions (overload
+    /// rejections, shutdown acks, raw scrapes) so they respect response
+    /// ordering alongside worker completions.
+    done_tx: Sender<Completion>,
+    loop_rx: Receiver<Completion>,
+    config: ServerConfig,
+    conns: Vec<Option<Conn>>,
+    generation: u64,
+}
+
+impl Reactor {
+    fn new(
+        listener: TcpListener,
+        engine: Arc<Engine>,
+        stop: Arc<AtomicBool>,
+        job_tx: SyncSender<Job>,
+        done_rx: Receiver<Completion>,
+        config: ServerConfig,
+    ) -> Reactor {
+        // Transport-side completions loop back through a channel of our own
+        // so they interleave with worker completions in one code path.
+        let (done_tx, loop_rx) = mpsc::channel::<Completion>();
+        // Forwarding thread would be overkill: we instead drain both
+        // receivers each tick.
+        let metrics = engine.metrics();
+        Reactor {
+            listener: Some(listener),
+            engine,
+            metrics,
+            stop,
+            job_tx,
+            done_rx,
+            done_tx,
+            config,
+            conns: Vec::new(),
+            loop_rx,
+            generation: 0,
         }
-        let line = match poll_line(&mut reader, &mut acc, max_line, &mut overflowed)? {
-            Read1::Idle => continue,
-            Read1::Eof => return Ok(()),
-            Read1::TooLong => {
-                metrics.oversized.fetch_add(1, Ordering::Relaxed);
-                let resp = error_line(
-                    engine,
+    }
+
+    fn run(mut self) {
+        let mut draining_since: Option<Instant> = None;
+        loop {
+            let mut progress = false;
+
+            if self.stop.load(Ordering::SeqCst) {
+                if self.listener.take().is_some() {
+                    // Drain begins: the listener closes (connects are now
+                    // refused) and no further request lines are read.
+                    progress = true;
+                }
+                draining_since.get_or_insert_with(Instant::now);
+            } else {
+                progress |= self.accept_ready();
+            }
+
+            progress |= self.drain_completions();
+
+            for slot in 0..self.conns.len() {
+                if let Some(mut conn) = self.conns[slot].take() {
+                    progress |= self.service_conn(slot, &mut conn);
+                    if self.should_retire(&conn) {
+                        self.metrics
+                            .connections_active
+                            .fetch_sub(1, Ordering::SeqCst);
+                        progress = true;
+                    } else {
+                        self.conns[slot] = Some(conn);
+                    }
+                }
+            }
+
+            if let Some(since) = draining_since {
+                let idle = self
+                    .conns
+                    .iter()
+                    .flatten()
+                    .all(|c| c.in_flight() == 0 && c.unsent() == 0);
+                let expired =
+                    since.elapsed() >= Duration::from_millis(self.config.drain_timeout_ms);
+                if idle || expired {
+                    // Connections drop here: clients see EOF after their
+                    // last response.
+                    return;
+                }
+            }
+
+            if !progress {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Accept every connection the listener has ready.
+    fn accept_ready(&mut self) -> bool {
+        let mut progress = false;
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return progress;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .connections_active
+                        .fetch_add(1, Ordering::SeqCst);
+                    self.generation += 1;
+                    let conn = Conn::new(stream, self.generation);
+                    match self.conns.iter().position(Option::is_none) {
+                        Some(slot) => self.conns[slot] = Some(conn),
+                        None => self.conns.push(Some(conn)),
+                    }
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return progress,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return progress,
+            }
+        }
+    }
+
+    /// Move every completed response into its connection's reorder buffer.
+    fn drain_completions(&mut self) -> bool {
+        let mut progress = false;
+        loop {
+            let completion = match self.loop_rx.try_recv() {
+                Ok(c) => c,
+                Err(_) => match self.done_rx.try_recv() {
+                    Ok(c) => c,
+                    Err(_) => break,
+                },
+            };
+            progress = true;
+            if let Some(conn) = self.conns.get_mut(completion.slot).and_then(Option::as_mut) {
+                if conn.generation == completion.generation {
+                    conn.reorder.insert(completion.seq, completion);
+                }
+            }
+        }
+        progress
+    }
+
+    /// One tick of work for one connection: order responses, write, read.
+    fn service_conn(&mut self, slot: usize, conn: &mut Conn) -> bool {
+        let mut progress = false;
+
+        // Responses whose turn has come move into the write buffer.
+        while let Some(completion) = conn.reorder.remove(&conn.next_write) {
+            conn.next_write += 1;
+            if completion.raw {
+                conn.out.extend_from_slice(completion.text.as_bytes());
+                conn.close_after_flush = true;
+            } else {
+                conn.out.extend_from_slice(completion.text.as_bytes());
+                conn.out.push(b'\n');
+            }
+            progress = true;
+        }
+
+        progress |= self.write_ready(conn);
+
+        // Read new requests only while running (a drain submits no new
+        // work) and only while the peer is keeping up with its responses.
+        if !self.stop.load(Ordering::SeqCst)
+            && !conn.read_closed
+            && !conn.dead
+            && !conn.close_after_flush
+            && conn.unsent() <= self.config.max_write_buffer
+        {
+            progress |= self.read_ready(slot, conn);
+        }
+        progress
+    }
+
+    /// Write as much of the pending output as the socket accepts.
+    fn write_ready(&self, conn: &mut Conn) -> bool {
+        let mut progress = false;
+        while conn.out_cursor < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.out_cursor..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.out_cursor += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        if conn.out_cursor == conn.out.len() && !conn.out.is_empty() {
+            conn.out.clear();
+            conn.out_cursor = 0;
+        } else if conn.out_cursor > (64 << 10) {
+            conn.out.drain(..conn.out_cursor);
+            conn.out_cursor = 0;
+        }
+        progress
+    }
+
+    /// Read whatever the socket has, frame complete lines, submit them.
+    fn read_ready(&mut self, slot: usize, conn: &mut Conn) -> bool {
+        let mut scratch = [0u8; 16 << 10];
+        let mut progress = false;
+        loop {
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    progress = true;
+                    self.ingest(slot, conn, &scratch[..n]);
+                    // Stop reading the moment backpressure engages.
+                    if conn.unsent() > self.config.max_write_buffer || conn.close_after_flush {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Append freshly read bytes to the accumulator and dispatch every
+    /// complete line, honoring the per-line byte cap.
+    fn ingest(&mut self, slot: usize, conn: &mut Conn, mut bytes: &[u8]) {
+        let cap = self.config.max_line_bytes;
+        while let Some(pos) = bytes.iter().position(|b| *b == b'\n') {
+            let (head, rest) = bytes.split_at(pos);
+            bytes = &rest[1..];
+            if conn.overflowed {
+                conn.overflowed = false;
+                conn.acc.clear();
+                self.metrics.oversized.fetch_add(1, Ordering::Relaxed);
+                let text = error_line(
+                    &self.engine,
+                    None,
                     ErrorKind::TooLarge,
-                    &format!("request line exceeds {max_line} bytes"),
+                    &format!("request line exceeds {cap} bytes"),
                 );
-                writer.write_all(resp.as_bytes())?;
-                writer.write_all(b"\n")?;
+                self.complete_inline(slot, conn, text, false);
                 continue;
             }
-            Read1::Line(l) => l,
-        };
+            if conn.acc.len() + head.len() > cap {
+                conn.acc.clear();
+                self.metrics.oversized.fetch_add(1, Ordering::Relaxed);
+                let text = error_line(
+                    &self.engine,
+                    None,
+                    ErrorKind::TooLarge,
+                    &format!("request line exceeds {cap} bytes"),
+                );
+                self.complete_inline(slot, conn, text, false);
+                continue;
+            }
+            let line = if conn.acc.is_empty() {
+                String::from_utf8_lossy(head).into_owned()
+            } else {
+                conn.acc.extend_from_slice(head);
+                let l = String::from_utf8_lossy(&conn.acc).into_owned();
+                conn.acc.clear();
+                l
+            };
+            self.submit(slot, conn, line);
+            if conn.close_after_flush {
+                return;
+            }
+        }
+        if conn.overflowed {
+            return;
+        }
+        if conn.acc.len() + bytes.len() > cap {
+            conn.overflowed = true;
+            conn.acc.clear();
+        } else {
+            conn.acc.extend_from_slice(bytes);
+        }
+    }
+
+    /// Dispatch one framed request line: transport fast paths, then the
+    /// bounded worker queue with immediate `overloaded` rejection.
+    fn submit(&mut self, slot: usize, conn: &mut Conn, line: String) {
         if line.trim().is_empty() {
-            continue;
+            return;
         }
         // Raw Prometheus scrape: answered transport-side as plain text (a
         // scraper can't frame a JSON envelope), then the connection closes
-        // so the reader sees EOF — `nc`-friendly. Parse only when the token
-        // appears so the hot path stays a substring check.
+        // so the reader sees EOF — `nc`-friendly. Parse only when the
+        // token appears so the hot path stays a substring check.
         if line.contains("metrics") {
             if let Ok(v) = sdlo_wire::parse(&line) {
                 if v.get("op").and_then(Value::as_str) == Some("metrics")
                     && v.get("raw").and_then(Value::as_bool) == Some(true)
                 {
-                    let started = std::time::Instant::now();
-                    let text = engine.prometheus();
-                    metrics.record(
+                    let started = Instant::now();
+                    let text = self.engine.prometheus();
+                    self.metrics.record(
                         crate::metrics::Kind::Metrics,
                         started.elapsed().as_micros() as u64,
                         true,
                     );
-                    writer.write_all(text.as_bytes())?;
-                    writer.flush()?;
-                    return Ok(());
+                    self.complete_inline(slot, conn, text, true);
+                    return;
                 }
             }
         }
@@ -332,46 +639,79 @@ fn serve_connection(
         if line.contains("shutdown") {
             if let Ok(v) = sdlo_wire::parse(&line) {
                 if v.get("op").and_then(Value::as_str) == Some("shutdown") {
-                    stop.store(true, Ordering::SeqCst);
-                    let resp = Value::obj(vec![
+                    self.stop.store(true, Ordering::SeqCst);
+                    let text = Value::obj(vec![
                         ("v", Value::from(api::PROTOCOL_VERSION)),
                         ("ok", Value::from(true)),
                         ("stopping", Value::from(true)),
                     ])
                     .render();
-                    writer.write_all(resp.as_bytes())?;
-                    writer.write_all(b"\n")?;
-                    writer.flush()?;
-                    return Ok(());
+                    self.complete_inline(slot, conn, text, false);
+                    return;
                 }
             }
         }
-        let (reply_tx, reply_rx) = mpsc::sync_channel::<String>(1);
-        metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
-        let response = match job_tx.try_send(Job {
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        self.metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
+        match self.job_tx.try_send(Job {
+            slot,
+            generation: conn.generation,
+            seq,
             line,
-            reply: reply_tx,
         }) {
-            Ok(()) => match reply_rx.recv() {
-                Ok(r) => r,
-                Err(_) => error_line(engine, ErrorKind::Internal, "worker dropped the request"),
-            },
-            Err(TrySendError::Full(_)) => {
-                metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                error_line(
-                    engine,
+            Ok(()) => {}
+            Err(TrySendError::Full(job)) => {
+                self.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                // Admission control: reject now, echoing the client's
+                // correlation ids so the retry logic can match this reply
+                // to its request.
+                let parsed = sdlo_wire::parse(&job.line).ok();
+                let text = error_line(
+                    &self.engine,
+                    parsed.as_ref(),
                     ErrorKind::Overloaded,
                     "request queue is full, retry later",
-                )
+                );
+                conn.reorder.insert(
+                    seq,
+                    Completion {
+                        slot,
+                        generation: conn.generation,
+                        seq,
+                        text,
+                        raw: false,
+                    },
+                );
             }
             Err(TrySendError::Disconnected(_)) => {
-                metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                return Ok(());
+                self.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                conn.dead = true;
             }
-        };
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        }
+    }
+
+    /// Register a transport-side response under the connection's response
+    /// ordering (it still queues behind earlier in-flight requests).
+    fn complete_inline(&self, slot: usize, conn: &mut Conn, text: String, raw: bool) {
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        let _ = self.done_tx.send(Completion {
+            slot,
+            generation: conn.generation,
+            seq,
+            text,
+            raw,
+        });
+    }
+
+    /// A connection retires once nothing more can or should be said on it.
+    fn should_retire(&self, conn: &Conn) -> bool {
+        if conn.dead {
+            return true;
+        }
+        let flushed = conn.in_flight() == 0 && conn.unsent() == 0 && conn.reorder.is_empty();
+        (conn.read_closed || conn.close_after_flush) && flushed
     }
 }

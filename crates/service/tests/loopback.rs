@@ -275,6 +275,206 @@ fn backpressure_rejects_when_queue_is_full() {
 }
 
 #[test]
+fn overloaded_rejection_echoes_client_request_id() {
+    // Regression: the admission-control rejection path must echo the
+    // client's `request_id` and `id` (it used to mint a fresh server id,
+    // so a rejected client could not match the reply to its request).
+    let config = ServerConfig {
+        workers: 1,
+        queue: 1,
+        engine: EngineConfig {
+            enable_test_ops: true,
+            ..EngineConfig::default()
+        },
+        ..small_server()
+    };
+    let handle = start(config);
+    let addr = handle.addr();
+
+    let occupy = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        req(&mut c, r#"{"op":"sleep","millis":1200}"#)
+    });
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let queued = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        req(&mut c, r#"{"op":"sleep","millis":100}"#)
+    });
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    let mut c = Client::connect(addr).unwrap();
+    let resp = req(
+        &mut c,
+        r#"{"op":"stats","id":7,"request_id":"rid-backpressure"}"#,
+    );
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false), "{resp:?}");
+    assert_eq!(
+        resp.get("error").unwrap().get("kind").unwrap().as_str(),
+        Some("overloaded")
+    );
+    assert_eq!(
+        resp.get("request_id").unwrap().as_str(),
+        Some("rid-backpressure"),
+        "rejection must echo the client's request_id: {resp:?}"
+    );
+    assert_eq!(resp.get("id").unwrap().as_i64(), Some(7));
+
+    assert_eq!(
+        occupy.join().unwrap().get("ok").unwrap().as_bool(),
+        Some(true)
+    );
+    assert_eq!(
+        queued.join().unwrap().get("ok").unwrap().as_bool(),
+        Some(true)
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_drain_completes_queued_requests_before_closing() {
+    // A shutdown issued while K requests are queued must complete all K
+    // replies before the listener closes: drain, not abort.
+    const K: usize = 4;
+    let config = ServerConfig {
+        workers: 1,
+        queue: K,
+        engine: EngineConfig {
+            enable_test_ops: true,
+            ..EngineConfig::default()
+        },
+        ..small_server()
+    };
+    let handle = start(config);
+    let addr = handle.addr();
+
+    // K clients each park one request in the single-worker pool's queue.
+    let clients: Vec<_> = (0..K)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                req(
+                    &mut c,
+                    &format!(r#"{{"op":"sleep","millis":150,"request_id":"drain-{i}"}}"#),
+                )
+            })
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    // Shutdown arrives while the queue is still busy.
+    let mut c = Client::connect(addr).unwrap();
+    let ack = c.shutdown().unwrap();
+    assert_eq!(ack.get("stopping").unwrap().as_bool(), Some(true));
+    assert!(handle.is_stopping());
+
+    // Every queued request still gets its reply.
+    for (i, t) in clients.into_iter().enumerate() {
+        let resp = t.join().unwrap();
+        assert_eq!(
+            resp.get("ok").unwrap().as_bool(),
+            Some(true),
+            "queued request {i} must complete during drain: {resp:?}"
+        );
+        assert_eq!(
+            resp.get("request_id").unwrap().as_str().unwrap(),
+            format!("drain-{i}")
+        );
+    }
+
+    handle.shutdown();
+    // The drain has finished: the listener is closed, so new connections
+    // are refused (or die before answering).
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut c) => {
+            assert!(
+                c.request_line(r#"{"op":"stats"}"#).is_err(),
+                "server must not answer after drain"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    // The reactor executes lines from one connection on multiple workers;
+    // the reorder buffer must still deliver responses in request order.
+    let handle = start(small_server());
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut batch = String::new();
+    for i in 0..16 {
+        batch.push_str(&format!(
+            r#"{{"op":"predict","id":{i},"program":"matmul","bindings":{{"Ni":{n},"Nj":{n},"Nk":{n}}},"cache":512}}"#,
+            n = 16 + 16 * (i % 4),
+        ));
+        batch.push('\n');
+    }
+    writer.write_all(batch.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    for i in 0..16 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = sdlo_wire::parse(line.trim_end()).expect("valid response json");
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+        assert_eq!(
+            resp.get("id").unwrap().as_i64(),
+            Some(i),
+            "responses must come back in request order"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn many_concurrent_connections_all_get_served() {
+    // Way more connections than worker threads: the event loop must keep
+    // every socket alive and correct, and the active-connection gauge must
+    // return to zero after the clients hang up.
+    let handle = start(small_server());
+    let addr = handle.addr();
+    let threads: Vec<_> = (0..64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for j in 0..4 {
+                    let n = 16 + 16 * ((i + j) % 4);
+                    let resp = req(
+                        &mut c,
+                        &format!(
+                            r#"{{"op":"predict","program":"matmul","bindings":{{"Ni":{n},"Nj":{n},"Nk":{n}}},"cache":512}}"#
+                        ),
+                    );
+                    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let mut c = Client::connect(addr).unwrap();
+    let resp = req(&mut c, r#"{"op":"stats"}"#);
+    let stats = resp.get("stats").unwrap();
+    assert!(stats.get("connections").unwrap().as_u64().unwrap() >= 65);
+    let active = stats.get("connections_active").unwrap().as_u64().unwrap();
+    assert!(
+        (1..=65).contains(&active),
+        "only still-open connections may count as active: {active}"
+    );
+    assert_eq!(
+        stats
+            .path(&["requests", "predict", "requests"])
+            .unwrap()
+            .as_u64(),
+        Some(256)
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn metrics_op_and_raw_scrape_over_loopback() {
     let handle = start(small_server());
     let addr = handle.addr();
