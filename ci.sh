@@ -19,9 +19,19 @@ echo "==> cargo test -q"
 cargo test --workspace -q
 
 # Self-lint: every builtin workload must pass the static analyzer with zero
-# error-severity diagnostics (`tables lint` exits 1 otherwise).
+# error-severity diagnostics (`tables lint` exits 1 otherwise). The JSON
+# report is archived next to results/loadtest.json.
 echo "==> tables lint --all-builtins"
-cargo run --release -q -p sdlo-bench --bin tables -- lint --all-builtins
+cargo run --release -q -p sdlo-bench --bin tables -- lint --all-builtins --json
+
+# Verified auto-apply: applying every *proven* fix-it must converge and the
+# rewritten builtins must re-lint with zero errors.
+echo "==> tables lint --apply --all-builtins"
+cargo run --release -q -p sdlo-bench --bin tables -- lint --apply --all-builtins > /dev/null
+
+# Dependence graphs of every builtin, archived as results/deps.json.
+echo "==> tables deps --all-builtins"
+cargo run --release -q -p sdlo-bench --bin tables -- deps --all-builtins --json > /dev/null
 
 # Phase profiling: every builtin's model build must stay inside a generous
 # wall-time budget (`tables profile` exits 1 otherwise); the Chrome trace

@@ -37,6 +37,8 @@ pub mod rules;
 
 use sdlo_ir::{Program, StmtId, Sym};
 
+pub use sdlo_deps::Legality;
+
 /// How bad a diagnostic is.
 ///
 /// Ordering is by decreasing severity (`Error < Warning < Info`) so that
@@ -150,7 +152,55 @@ impl std::fmt::Display for Span {
     }
 }
 
+/// The exact transformation a fix-it proposes, in the form
+/// [`sdlo_ir`]'s appliers consume. Present only when the proposal lies
+/// inside the statement's perfect segment and is therefore
+/// machine-applicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FixTarget {
+    /// Reorder the perfect segment around `stmt` to `order` (outermost
+    /// first) via [`sdlo_ir::apply_permute`].
+    Permute {
+        /// Statement whose segment is reordered.
+        stmt: StmtId,
+        /// New loop order, outermost first.
+        order: Vec<Sym>,
+    },
+    /// Strip-mine segment loops via [`sdlo_ir::apply_tile`].
+    Tile {
+        /// Statement whose segment is tiled.
+        stmt: StmtId,
+        /// `(loop index, tile-size symbol)` pairs.
+        loops: Vec<(Sym, Sym)>,
+    },
+}
+
+impl FixTarget {
+    /// Statement the transform anchors on.
+    pub fn stmt(&self) -> StmtId {
+        match self {
+            FixTarget::Permute { stmt, .. } | FixTarget::Tile { stmt, .. } => *stmt,
+        }
+    }
+
+    /// Apply the transform, returning the rewritten program.
+    pub fn apply(&self, program: &Program) -> Result<Program, sdlo_ir::ApplyError> {
+        match self {
+            FixTarget::Permute { stmt, order } => sdlo_ir::apply_permute(program, *stmt, order),
+            FixTarget::Tile { stmt, loops } => sdlo_ir::apply_tile(program, *stmt, loops),
+        }
+    }
+}
+
 /// A machine-readable repair suggestion attached to a diagnostic.
+///
+/// Every fix-it carries a dependence-legality verdict from `sdlo-deps`:
+/// `proven` fix-its are safe to auto-apply (and the test suite verifies
+/// trace equivalence after applying them); `assumed` fix-its could not be
+/// proven safe (conservative dependence directions, or a proposal outside
+/// the statement's perfect segment); fix-its that would provably reverse a
+/// dependence are never emitted — the `illegal-transform` rule reports the
+/// suppression instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FixIt {
     /// Stable action verb (`"permute-loops"`, `"tile-loop"`, …) a driver can
@@ -158,6 +208,11 @@ pub struct FixIt {
     pub action: &'static str,
     /// Human-readable instantiation of the action for this site.
     pub detail: String,
+    /// Dependence-legality verdict for the proposed transform.
+    pub legality: Legality,
+    /// Machine-applicable payload, when the proposal is inside the perfect
+    /// segment (absent ⇒ `legality` is at best `assumed`).
+    pub target: Option<FixTarget>,
 }
 
 /// One finding of the linter.
@@ -183,7 +238,7 @@ impl std::fmt::Display for Diagnostic {
             self.severity, self.rule, self.span, self.message
         )?;
         if let Some(fx) = &self.fixit {
-            write!(f, " (fix: {})", fx.detail)?;
+            write!(f, " (fix[{}]: {})", fx.legality, fx.detail)?;
         }
         Ok(())
     }
@@ -198,6 +253,10 @@ pub trait Rule {
     fn id(&self) -> &'static str;
     /// One-line description for the rule catalog.
     fn description(&self) -> &'static str;
+    /// The severity tier(s) this rule emits at, as the documented label
+    /// (`"error"`, `"warning"`, `"info"`, or `"error/warning"` for mixed
+    /// rules). The doc-sync test checks this against the README catalog.
+    fn severity_label(&self) -> &'static str;
     /// Run the rule. The program has passed [`Program::validate`] (the
     /// [`rules::STRUCTURE`] rule gates on it) unless this *is* the structure
     /// rule.
@@ -229,11 +288,12 @@ impl Linter {
         Linter { rules }
     }
 
-    /// `(id, description)` of every registered rule, in execution order.
-    pub fn catalog(&self) -> Vec<(&'static str, &'static str)> {
+    /// `(id, severity label, description)` of every registered rule, in
+    /// execution order.
+    pub fn catalog(&self) -> Vec<(&'static str, &'static str, &'static str)> {
         self.rules
             .iter()
-            .map(|r| (r.id(), r.description()))
+            .map(|r| (r.id(), r.severity_label(), r.description()))
             .collect()
     }
 
@@ -320,13 +380,17 @@ mod tests {
         let cat = l.catalog();
         assert!(cat.len() >= 8, "only {} rules registered", cat.len());
         // Ids are unique and kebab-case.
-        let mut ids: Vec<_> = cat.iter().map(|(id, _)| *id).collect();
+        let mut ids: Vec<_> = cat.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), cat.len());
-        for (id, desc) in &cat {
+        for (id, sev, desc) in &cat {
             assert!(id.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
             assert!(!desc.is_empty());
+            assert!(
+                ["error", "warning", "info", "error/warning"].contains(sev),
+                "{id}: bad severity label {sev}"
+            );
         }
     }
 

@@ -2,19 +2,23 @@
 //!
 //! | id | severity | checks |
 //! |----|----------|--------|
-//! | `structure`        | error | [`Program::validate`] (gating) |
-//! | `subscript-class`  | error | every subscript is scalar, plain index, or one tile+intra pair |
-//! | `tile-consistency` | error | tile strides agree with intra-loop bounds and across references |
-//! | `bound-sanity`     | error/warning | bounds positive and rectangular; no unused loop index |
-//! | `model-class`      | error | no repeated indices per reference, no index-dependent strides |
-//! | `invariant-ref`    | info  | references missing surrounding indices + induced component kind |
-//! | `stride-innermost` | warning | innermost loop absent from fastest-varying dimension (fix-it: permute) |
-//! | `untiled-reuse`    | warning | carried reuse whose stack distance grows with problem size (fix-it: tile) |
-//! | `dead-array`       | warning | arrays never referenced or written but never read |
+//! | `structure`          | error | [`Program::validate`] (gating) |
+//! | `subscript-class`    | error | every subscript is scalar, plain index, or one tile+intra pair |
+//! | `tile-consistency`   | error | tile strides agree with intra-loop bounds and across references |
+//! | `bound-sanity`       | error/warning | bounds positive and rectangular; no unused loop index |
+//! | `model-class`        | error | no repeated indices per reference, no index-dependent strides |
+//! | `invariant-ref`      | info | references missing surrounding indices + induced component kind |
+//! | `stride-innermost`   | warning | innermost loop absent from fastest-varying dimension (fix-it: permute, legality-vetted) |
+//! | `untiled-reuse`      | warning | carried reuse whose stack distance grows with problem size (fix-it: tile, legality-vetted) |
+//! | `illegal-transform`  | warning | proposed permute/tile fix-its that would reverse a dependence (suppressed) |
+//! | `loop-carried-dep`   | info | loops carrying flow/anti/output dependences, with counts |
+//! | `parallelizable-loop`| info | loops carrying no dependence: iterations safe to run in parallel |
+//! | `dead-array`         | warning | arrays never referenced or written but never read |
 
-use crate::{Diagnostic, FixIt, Rule, Severity, Span};
+use crate::{Diagnostic, FixIt, FixTarget, Rule, Severity, Span};
 use sdlo_core::{components_for, ComponentKind, MissModel, StackDistance};
-use sdlo_ir::{DimExpr, Expr, LoopNode, Node, Program, Stmt, Sym};
+use sdlo_deps::{analyze, DepGraph, DepKind, Legality};
+use sdlo_ir::{perfect_segment, DimExpr, Expr, LoopNode, Node, Program, Stmt, StmtId, Sym};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Rule id of the gating structural-validation rule.
@@ -31,6 +35,9 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(InvariantRef),
         Box::new(StrideInnermost),
         Box::new(UntiledReuse),
+        Box::new(IllegalTransform),
+        Box::new(LoopCarriedDep),
+        Box::new(ParallelizableLoop),
         Box::new(DeadArray),
     ]
 }
@@ -124,6 +131,10 @@ impl Rule for Structure {
         "structural validity (Program::validate): bound indices, arities, numbering"
     }
 
+    fn severity_label(&self) -> &'static str {
+        "error"
+    }
+
     fn check(&self, program: &Program, out: &mut Vec<Diagnostic>) {
         use sdlo_ir::ValidateError as V;
         if let Err(e) = program.validate() {
@@ -167,6 +178,10 @@ impl Rule for SubscriptClass {
 
     fn description(&self) -> &'static str {
         "subscripts are scalar, plain stride-1 indices, or one tile+intra pair"
+    }
+
+    fn severity_label(&self) -> &'static str {
+        "error"
     }
 
     fn check(&self, program: &Program, out: &mut Vec<Diagnostic>) {
@@ -229,6 +244,10 @@ impl Rule for TileConsistency {
 
     fn description(&self) -> &'static str {
         "tile strides match intra-loop bounds and agree across references"
+    }
+
+    fn severity_label(&self) -> &'static str {
+        "error"
     }
 
     fn check(&self, program: &Program, out: &mut Vec<Diagnostic>) {
@@ -294,6 +313,10 @@ impl Rule for BoundSanity {
 
     fn description(&self) -> &'static str {
         "positive rectangular trip counts; every loop index used in its body"
+    }
+
+    fn severity_label(&self) -> &'static str {
+        "error/warning"
     }
 
     fn check(&self, program: &Program, out: &mut Vec<Diagnostic>) {
@@ -365,6 +388,10 @@ impl Rule for ModelClass {
 
     fn description(&self) -> &'static str {
         "no coupled subscripts, no iteration-dependent strides"
+    }
+
+    fn severity_label(&self) -> &'static str {
+        "error"
     }
 
     fn check(&self, program: &Program, out: &mut Vec<Diagnostic>) {
@@ -452,6 +479,10 @@ impl Rule for InvariantRef {
         "references missing surrounding indices, with their induced reuse components"
     }
 
+    fn severity_label(&self) -> &'static str {
+        "info"
+    }
+
     fn check(&self, program: &Program, out: &mut Vec<Diagnostic>) {
         for_each_stmt_with_loops(program, &mut |s, loops| {
             for (ri, r) in s.refs.iter().enumerate() {
@@ -498,9 +529,204 @@ impl Rule for InvariantRef {
     }
 }
 
+/// A reference site where the innermost loop strides a slow dimension —
+/// the trigger for `stride-innermost` and half the input of
+/// `illegal-transform`.
+struct PermuteSite {
+    stmt: StmtId,
+    ref_idx: usize,
+    slow_dim: usize,
+    array: Sym,
+    inner: Sym,
+    fast: Vec<Sym>,
+}
+
+/// All `stride-innermost` trigger sites of the program.
+fn permute_sites(program: &Program) -> Vec<PermuteSite> {
+    let mut sites = Vec::new();
+    for_each_stmt_with_loops(program, &mut |s, loops| {
+        let Some(inner) = loops.last() else { return };
+        for (ri, r) in s.refs.iter().enumerate() {
+            if r.dims.len() < 2 || !r.appears(&inner.index) {
+                continue;
+            }
+            let last = r.dims.last().expect("len >= 2");
+            if last.uses(&inner.index) {
+                continue;
+            }
+            let slow_dim = r
+                .dims
+                .iter()
+                .position(|d| d.uses(&inner.index))
+                .expect("appears implies some dim uses it");
+            sites.push(PermuteSite {
+                stmt: s.id,
+                ref_idx: ri,
+                slow_dim,
+                array: program.array(r.array).name.clone(),
+                inner: inner.index.clone(),
+                fast: last.indices().cloned().collect(),
+            });
+        }
+    });
+    sites
+}
+
+/// Verdict of vetting one proposed transform against the dependence graph.
+enum Vetted {
+    /// Emit the fix-it: verdict plus, when applicable, the applier payload
+    /// and the concrete choice made (innermost loop / tile-size symbol).
+    Emit {
+        legality: Legality,
+        chosen: Option<(Sym, FixTarget)>,
+    },
+    /// Every candidate provably reverses a dependence — suppress the
+    /// fix-it; `illegal-transform` reports it.
+    Suppressed,
+}
+
+/// Pick a legal loop order placing one of `site.fast` innermost: the first
+/// `proven` candidate wins, else the first `assumed`; if every in-segment
+/// candidate is illegal the fix-it is suppressed. Fast indices outside the
+/// statement's perfect segment cannot be vetted or applied → `assumed`
+/// with no payload.
+fn vet_permute(program: &Program, graph: &DepGraph, site: &PermuteSite) -> Vetted {
+    let Some(seg) = perfect_segment(program, site.stmt) else {
+        return Vetted::Emit {
+            legality: Legality::Assumed,
+            chosen: None,
+        };
+    };
+    let in_seg: Vec<&Sym> = site.fast.iter().filter(|f| seg.contains(f)).collect();
+    if in_seg.is_empty() {
+        return Vetted::Emit {
+            legality: Legality::Assumed,
+            chosen: None,
+        };
+    }
+    let mut fallback: Option<(Sym, FixTarget)> = None;
+    let mut any_vetted = false;
+    for f in in_seg {
+        let mut order: Vec<Sym> = seg.iter().filter(|x| *x != f).cloned().collect();
+        order.push(f.clone());
+        let target = FixTarget::Permute {
+            stmt: site.stmt,
+            order: order.clone(),
+        };
+        match graph.permutation_legality(program, site.stmt, &order) {
+            Ok(Legality::Proven) => {
+                return Vetted::Emit {
+                    legality: Legality::Proven,
+                    chosen: Some((f.clone(), target)),
+                };
+            }
+            Ok(Legality::Assumed) => {
+                any_vetted = true;
+                if fallback.is_none() {
+                    fallback = Some((f.clone(), target));
+                }
+            }
+            Ok(Legality::Illegal) => any_vetted = true,
+            Err(_) => {}
+        }
+    }
+    match fallback {
+        Some(chosen) => Vetted::Emit {
+            legality: Legality::Assumed,
+            chosen: Some(chosen),
+        },
+        None if any_vetted => Vetted::Suppressed,
+        None => Vetted::Emit {
+            legality: Legality::Assumed,
+            chosen: None,
+        },
+    }
+}
+
+/// Names a generated symbol must avoid: loop indices, free symbols, arrays.
+fn taken_names(program: &Program) -> BTreeSet<Sym> {
+    let mut taken = program.free_symbols();
+    for_each_loop(program, &mut |l, _| {
+        taken.insert(l.index.clone());
+    });
+    for a in &program.arrays {
+        taken.insert(a.name.clone());
+    }
+    taken
+}
+
+/// A fresh tile-size symbol for tiling `loop_index`: `T<loop>`, suffixed
+/// with a counter if taken.
+fn fresh_tile_sym(taken: &BTreeSet<Sym>, loop_index: &Sym) -> Sym {
+    let base = format!("T{loop_index}");
+    let mut candidate = Sym::new(base.clone());
+    let mut n = 2usize;
+    while taken.contains(&candidate) {
+        candidate = Sym::new(format!("{base}{n}"));
+        n += 1;
+    }
+    candidate
+}
+
+/// Vet tiling `loop_index` for the statement owning a carried-reuse
+/// component. Applicable only when the loop lies in the statement's perfect
+/// segment and the generated `xT`/`xI` names are fresh.
+fn vet_tile(program: &Program, graph: &DepGraph, stmt: StmtId, loop_index: &Sym) -> Vetted {
+    let assumed = Vetted::Emit {
+        legality: Legality::Assumed,
+        chosen: None,
+    };
+    let Some(seg) = perfect_segment(program, stmt) else {
+        return assumed;
+    };
+    if !seg.contains(loop_index) {
+        return assumed;
+    }
+    let taken = taken_names(program);
+    if taken.contains(&Sym::new(format!("{loop_index}T")))
+        || taken.contains(&Sym::new(format!("{loop_index}I")))
+    {
+        return assumed;
+    }
+    // Tiling stays in the analyzable class only while every subscript use
+    // of the loop is a plain stride-1 index: re-tiling the intra loop of an
+    // existing tile+intra pair would put three indices in one dimension.
+    let mut plain = true;
+    program.for_each_stmt(|s| {
+        for r in &s.refs {
+            for d in &r.dims {
+                if d.uses(loop_index) && d.parts.len() != 1 {
+                    plain = false;
+                }
+            }
+        }
+    });
+    if !plain {
+        return assumed;
+    }
+    match graph.tiling_legality(program, stmt, std::slice::from_ref(loop_index)) {
+        Ok(Legality::Illegal) => Vetted::Suppressed,
+        Ok(legality) => {
+            let t = fresh_tile_sym(&taken, loop_index);
+            Vetted::Emit {
+                legality,
+                chosen: Some((
+                    t.clone(),
+                    FixTarget::Tile {
+                        stmt,
+                        loops: vec![(loop_index.clone(), t)],
+                    },
+                )),
+            }
+        }
+        Err(_) => assumed,
+    }
+}
+
 /// `stride-innermost` — the innermost loop of a statement appears in a
 /// reference but not in its fastest-varying (last) dimension: consecutive
-/// iterations jump by at least a whole row. Fix-it: permute the nest.
+/// iterations jump by at least a whole row. Fix-it: permute the nest to a
+/// dependence-vetted order.
 pub struct StrideInnermost;
 
 impl Rule for StrideInnermost {
@@ -512,50 +738,60 @@ impl Rule for StrideInnermost {
         "innermost loop indexes the fastest-varying dimension of each reference"
     }
 
+    fn severity_label(&self) -> &'static str {
+        "warning"
+    }
+
     fn check(&self, program: &Program, out: &mut Vec<Diagnostic>) {
-        for_each_stmt_with_loops(program, &mut |s, loops| {
-            let Some(inner) = loops.last() else { return };
-            for (ri, r) in s.refs.iter().enumerate() {
-                if r.dims.len() < 2 || !r.appears(&inner.index) {
-                    continue;
-                }
-                let last = r.dims.last().expect("len >= 2");
-                if last.uses(&inner.index) {
-                    continue;
-                }
-                let name = &program.array(r.array).name;
-                let slow_dim = r
-                    .dims
-                    .iter()
-                    .position(|d| d.uses(&inner.index))
-                    .expect("appears implies some dim uses it");
-                let fast: Vec<String> = last.indices().map(|i| format!("`{i}`")).collect();
-                out.push(Diagnostic {
-                    rule: self.id(),
-                    severity: Severity::Warning,
-                    span: Span {
-                        array: Some(name.clone()),
-                        loop_index: Some(inner.index.clone()),
-                        ..Span::dim(s.id, ri, slow_dim)
-                    },
-                    message: format!(
-                        "innermost loop `{}` strides dimension {slow_dim} of `{name}`, not \
-                         its fastest-varying dimension: consecutive iterations are at least \
-                         a row apart",
-                        inner.index
+        let graph = analyze(program);
+        for site in permute_sites(program) {
+            let Vetted::Emit { legality, chosen } = vet_permute(program, &graph, &site) else {
+                continue; // suppressed; `illegal-transform` reports it
+            };
+            let name = &site.array;
+            let (detail, target) = match chosen {
+                Some((f, target)) => (
+                    format!(
+                        "permute the nest of S{} so `{f}` runs innermost instead of `{}`",
+                        site.stmt.0, site.inner
                     ),
-                    fixit: Some(FixIt {
-                        action: "permute-loops",
-                        detail: format!(
+                    Some(target),
+                ),
+                None => {
+                    let fast: Vec<String> = site.fast.iter().map(|i| format!("`{i}`")).collect();
+                    (
+                        format!(
                             "permute the nest of S{} so one of {} is innermost instead of `{}`",
-                            s.id.0,
+                            site.stmt.0,
                             fast.join("/"),
-                            inner.index
+                            site.inner
                         ),
-                    }),
-                });
-            }
-        });
+                        None,
+                    )
+                }
+            };
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Warning,
+                span: Span {
+                    array: Some(name.clone()),
+                    loop_index: Some(site.inner.clone()),
+                    ..Span::dim(site.stmt, site.ref_idx, site.slow_dim)
+                },
+                message: format!(
+                    "innermost loop `{}` strides dimension {} of `{name}`, not \
+                     its fastest-varying dimension: consecutive iterations are at least \
+                     a row apart",
+                    site.inner, site.slow_dim
+                ),
+                fixit: Some(FixIt {
+                    action: "permute-loops",
+                    detail,
+                    legality,
+                    target,
+                }),
+            });
+        }
     }
 }
 
@@ -590,7 +826,12 @@ impl Rule for UntiledReuse {
         "carried reuse with problem-size stack distance on an untiled loop"
     }
 
+    fn severity_label(&self) -> &'static str {
+        "warning"
+    }
+
     fn check(&self, program: &Program, out: &mut Vec<Diagnostic>) {
+        let graph = analyze(program);
         // Tile sizes (non-unit stride symbols) are controllable knobs; a
         // distance made only of them is bounded by construction. Loops
         // already acting as tile loops carry whole-working-set reuse by
@@ -629,6 +870,21 @@ impl Rule for UntiledReuse {
                 continue;
             }
             let name = &program.array(c.array).name;
+            let Vetted::Emit { legality, chosen } = vet_tile(program, &graph, c.stmt, loop_index)
+            else {
+                continue; // suppressed; `illegal-transform` reports it
+            };
+            let detail = match &chosen {
+                Some((t, _)) => format!(
+                    "tile loop `{loop_index}` with fresh tile size `{t}` (split into \
+                     `{loop_index}T`/`{loop_index}I`) so the reuse of `{name}` spans one \
+                     tile instead of the full extent"
+                ),
+                None => format!(
+                    "tile loop `{loop_index}` (split into tile+intra loops) so the \
+                     reuse of `{name}` spans one tile instead of the full extent"
+                ),
+            };
             out.push(Diagnostic {
                 rule: self.id(),
                 severity: Severity::Warning,
@@ -646,11 +902,179 @@ impl Rule for UntiledReuse {
                 ),
                 fixit: Some(FixIt {
                     action: "tile-loop",
-                    detail: format!(
-                        "tile loop `{loop_index}` (split into tile+intra loops) so the \
-                         reuse of `{name}` spans one tile instead of the full extent"
-                    ),
+                    detail,
+                    legality,
+                    target: chosen.map(|(_, target)| target),
                 }),
+            });
+        }
+    }
+}
+
+/// `illegal-transform` — a locality fix-it the other rules would have
+/// proposed provably reverses a data dependence; the fix-it is suppressed
+/// and the reason surfaced here instead of silently vanishing.
+pub struct IllegalTransform;
+
+impl Rule for IllegalTransform {
+    fn id(&self) -> &'static str {
+        "illegal-transform"
+    }
+
+    fn description(&self) -> &'static str {
+        "a locality fix-it was suppressed because it reverses a dependence"
+    }
+
+    fn severity_label(&self) -> &'static str {
+        "warning"
+    }
+
+    fn check(&self, program: &Program, out: &mut Vec<Diagnostic>) {
+        let graph = analyze(program);
+        for site in permute_sites(program) {
+            if !matches!(vet_permute(program, &graph, &site), Vetted::Suppressed) {
+                continue;
+            }
+            let fast: Vec<String> = site.fast.iter().map(|i| format!("`{i}`")).collect();
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Warning,
+                span: Span {
+                    array: Some(site.array.clone()),
+                    loop_index: Some(site.inner.clone()),
+                    ..Span::dim(site.stmt, site.ref_idx, site.slow_dim)
+                },
+                message: format!(
+                    "permuting the nest of S{} to run {} innermost would reverse a data \
+                     dependence; the stride-innermost fix-it was suppressed",
+                    site.stmt.0,
+                    fast.join("/")
+                ),
+                fixit: None,
+            });
+        }
+        let mut seen: BTreeSet<(StmtId, Sym)> = BTreeSet::new();
+        for c in MissModel::build(program).components() {
+            let ComponentKind::Carried { loop_index, .. } = &c.kind else {
+                continue;
+            };
+            if !seen.insert((c.stmt, loop_index.clone())) {
+                continue;
+            }
+            if !matches!(
+                vet_tile(program, &graph, c.stmt, loop_index),
+                Vetted::Suppressed
+            ) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Warning,
+                span: Span {
+                    stmt: Some(c.stmt),
+                    loop_index: Some(loop_index.clone()),
+                    ..Span::default()
+                },
+                message: format!(
+                    "tiling loop `{loop_index}` around S{} would reverse a data \
+                     dependence; the untiled-reuse fix-it was suppressed",
+                    c.stmt.0
+                ),
+                fixit: None,
+            });
+        }
+    }
+}
+
+/// `loop-carried-dep` — informational inventory of the loops that carry
+/// dependences, with a flow/anti/output breakdown. A loop that carries a
+/// dependence orders its iterations and bounds both parallelization and
+/// the transforms the legality checks will admit.
+pub struct LoopCarriedDep;
+
+impl Rule for LoopCarriedDep {
+    fn id(&self) -> &'static str {
+        "loop-carried-dep"
+    }
+
+    fn description(&self) -> &'static str {
+        "loops carrying flow/anti/output dependences are inventoried"
+    }
+
+    fn severity_label(&self) -> &'static str {
+        "info"
+    }
+
+    fn check(&self, program: &Program, out: &mut Vec<Diagnostic>) {
+        let graph = analyze(program);
+        // (loop name, [flow, anti, output] counts) in program loop order.
+        let mut counts: BTreeMap<Sym, [usize; 3]> = BTreeMap::new();
+        for info in graph.loops() {
+            for d in graph.carried_by(info.id) {
+                let slot = match d.kind {
+                    DepKind::Flow => 0,
+                    DepKind::Anti => 1,
+                    DepKind::Output => 2,
+                };
+                counts.entry(info.index.clone()).or_default()[slot] += 1;
+            }
+        }
+        for (index, [flow, anti, output]) in counts {
+            let mut parts = Vec::new();
+            for (n, label) in [(flow, "flow"), (anti, "anti"), (output, "output")] {
+                if n > 0 {
+                    parts.push(format!("{n} {label}"));
+                }
+            }
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Info,
+                span: Span::loop_(index.clone()),
+                message: format!(
+                    "loop `{index}` carries {} dependence(s): its iterations must run \
+                     in order",
+                    parts.join(" + ")
+                ),
+                fixit: None,
+            });
+        }
+    }
+}
+
+/// `parallelizable-loop` — loops that carry no dependence at all: every
+/// iteration is independent and the loop can run in parallel (the shared
+/// memory multiprocessor case the paper targets).
+pub struct ParallelizableLoop;
+
+impl Rule for ParallelizableLoop {
+    fn id(&self) -> &'static str {
+        "parallelizable-loop"
+    }
+
+    fn description(&self) -> &'static str {
+        "loops carrying no dependence are flagged as parallelizable"
+    }
+
+    fn severity_label(&self) -> &'static str {
+        "info"
+    }
+
+    fn check(&self, program: &Program, out: &mut Vec<Diagnostic>) {
+        let graph = analyze(program);
+        for info in graph.loops() {
+            if !graph.parallelizable(info.id) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Info,
+                span: Span::loop_(info.index.clone()),
+                message: format!(
+                    "loop `{}` carries no dependence: iterations are independent and \
+                     may run in parallel",
+                    info.index
+                ),
+                fixit: None,
             });
         }
     }
@@ -667,6 +1091,10 @@ impl Rule for DeadArray {
 
     fn description(&self) -> &'static str {
         "no unreferenced or write-only arrays"
+    }
+
+    fn severity_label(&self) -> &'static str {
+        "warning"
     }
 
     fn check(&self, program: &Program, out: &mut Vec<Diagnostic>) {

@@ -1,0 +1,85 @@
+//! The rule documentation must not drift from the registry: the README
+//! rule catalog and the `rules.rs` module-header table are parsed and
+//! compared against `Linter::new().catalog()` in both directions.
+
+use sdlo_analysis::Linter;
+use std::path::Path;
+
+/// Parse `| `id` | severity | … |` rows out of a markdown table, returning
+/// (id, severity) pairs. Rows without a backtick-quoted first cell (header,
+/// separator) are skipped.
+fn table_rows(text: &str) -> Vec<(String, String)> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(body) = line
+            .strip_prefix("|")
+            .or_else(|| line.strip_prefix("//! |"))
+        else {
+            continue;
+        };
+        let cells: Vec<&str> = body.trim_end_matches('|').split('|').collect();
+        if cells.len() < 3 {
+            continue;
+        }
+        let id_cell = cells[0].trim();
+        let Some(id) = id_cell.strip_prefix('`').and_then(|s| s.strip_suffix('`')) else {
+            continue;
+        };
+        rows.push((id.to_string(), cells[1].trim().to_string()));
+    }
+    rows
+}
+
+fn assert_matches_catalog(rows: &[(String, String)], source: &str) {
+    let catalog = Linter::new().catalog();
+    assert_eq!(
+        rows.len(),
+        catalog.len(),
+        "{source}: documented {} rules, registry has {}:\n  doc: {rows:?}\n  reg: {catalog:?}",
+        rows.len(),
+        catalog.len()
+    );
+    for ((doc_id, doc_sev), (id, sev, _desc)) in rows.iter().zip(&catalog) {
+        assert_eq!(doc_id, id, "{source}: rule order/id drift");
+        assert_eq!(doc_sev, sev, "{source}: severity drift for `{id}`");
+    }
+}
+
+#[test]
+fn module_header_table_matches_registry() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/rules.rs");
+    let text = std::fs::read_to_string(&src).unwrap();
+    let header: String = text
+        .lines()
+        .take_while(|l| l.starts_with("//!"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_matches_catalog(&table_rows(&header), "src/rules.rs header");
+}
+
+#[test]
+fn readme_rule_catalog_matches_registry() {
+    let readme = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../README.md");
+    let text = std::fs::read_to_string(&readme).unwrap();
+    let section = text
+        .split("### Rule catalog")
+        .nth(1)
+        .expect("README.md must keep a `### Rule catalog` section");
+    let section = section.split("\n\n").find(|b| b.contains("| `"));
+    let section = section.expect("a table must follow the Rule catalog heading");
+    let rows = table_rows(section);
+    assert_matches_catalog(&rows, "README.md rule catalog");
+    // The README additionally documents descriptions — keep them verbatim.
+    let catalog = Linter::new().catalog();
+    for (line, (_, _, desc)) in section
+        .lines()
+        .filter(|l| l.trim_start().starts_with("| `"))
+        .zip(&catalog)
+    {
+        assert!(
+            line.contains(desc),
+            "README.md rule catalog: description drift:\n  line: {line}\n  registry: {desc}"
+        );
+    }
+}

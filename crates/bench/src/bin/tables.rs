@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! tables <experiment> [--scale small|paper] [--measure] [--n <bound>] [--json]
-//! tables lint <program>... | --all-builtins [--json]
+//! tables lint <program>... | --all-builtins [--apply] [--json]
+//! tables deps <program>... | --all-builtins [--dot] [--json]
 //! tables profile <program>... | --all-builtins [--trace-out PATH]
 //!                [--budget-ms N] [--cache N] [--json]
 //!
@@ -11,8 +12,12 @@
 //!
 //! With `--json` the experiment's rows are additionally written to
 //! `results/<experiment>.json` for downstream tooling; `lint --json` writes
-//! `results/lint.json`. `lint` exits 1 if any error-severity diagnostic is
-//! reported, which is how `ci.sh` gates the builtin workloads.
+//! `results/lint.json` and `deps --json` writes `results/deps.json`. `lint`
+//! exits 1 if any error-severity diagnostic is reported, which is how
+//! `ci.sh` gates the builtin workloads. `lint --apply` auto-applies every
+//! *proven* fix-it to a fixpoint and re-lints the rewritten program; `deps`
+//! dumps each program's dependence graph as a table (or GraphViz DOT with
+//! `--dot`).
 
 use sdlo_bench::*;
 use sdlo_wire::Value;
@@ -20,7 +25,8 @@ use sdlo_wire::Value;
 fn usage(to_stderr: bool) {
     let text =
         "usage: tables <experiment> [--scale small|paper] [--measure] [--n <bound>] [--json]\n\
-         \x20      tables lint <program>... | --all-builtins [--json]\n\
+         \x20      tables lint <program>... | --all-builtins [--apply] [--json]\n\
+         \x20      tables deps <program>... | --all-builtins [--dot] [--json]\n\
          \n\
          experiments: table1 table2 table3 table4 fig10 fig11\n\
          \x20            ablations (aliases: ablation-assoc ablation-line\n\
@@ -34,6 +40,12 @@ fn usage(to_stderr: bool) {
          lint runs the static analyzer over builtin programs (see\n\
          sdlo-analysis); it exits 1 if any error-severity diagnostic fires.\n\
          --all-builtins        lint every builtin workload\n\
+         --apply               auto-apply proven fix-its to a fixpoint,\n\
+         \x20                     then re-lint the rewritten program\n\
+         \n\
+         deps dumps each program's data-dependence graph (sdlo-deps):\n\
+         direction vectors, carried-by levels, parallelizable loops.\n\
+         --dot                 emit GraphViz DOT instead of the table\n\
          \n\
          profile runs each pipeline phase (model build, prediction, tile\n\
          search, simulator replay) under the trace collector and prints a\n\
@@ -422,18 +434,55 @@ fn run_ablations(scale: Scale, json: bool) -> Option<Value> {
 // `tables lint` — static diagnostics over the builtin workloads
 // ---------------------------------------------------------------------------
 
+/// Apply every *proven* fix-it of `program` to a fixpoint: re-lint after
+/// each application (statement numbering and segments change under the
+/// rewrite) until no proven applicable fix-it remains. Returns the rewritten
+/// program and the applied fix-it details, newest last.
+fn apply_proven_fixits(program: &sdlo_ir::Program) -> (sdlo_ir::Program, Vec<String>) {
+    use sdlo_analysis::{lint, Legality};
+    let mut current = program.clone();
+    let mut applied = Vec::new();
+    // A cap, not a loop bound: each application removes the diagnostic that
+    // proposed it, so builtins converge in one or two rounds.
+    for _ in 0..16 {
+        let next = lint(&current).into_iter().find_map(|d| {
+            d.fixit.and_then(|fx| {
+                (fx.legality == Legality::Proven)
+                    .then_some(fx)
+                    .and_then(|fx| fx.target.map(|t| (fx.detail, t)))
+            })
+        });
+        let Some((detail, target)) = next else { break };
+        match target.apply(&current) {
+            Ok(rewritten) => {
+                applied.push(detail);
+                current = rewritten;
+            }
+            Err(e) => fail(&format!(
+                "proven fix-it failed to apply on `{}`: {e} ({detail})",
+                program.name
+            )),
+        }
+    }
+    (current, applied)
+}
+
 /// Run the linter over the named builtins. Exits 2 on usage errors, 1 if any
-/// error-severity diagnostic fires (the `ci.sh` gate), 0 otherwise.
+/// error-severity diagnostic fires (the `ci.sh` gate), 0 otherwise. With
+/// `--apply`, proven fix-its are auto-applied first and the *rewritten*
+/// program is what gets reported and gated.
 fn run_lint(args: &[String]) -> ! {
     use sdlo_analysis::{lint, render_report, SeverityCounts};
     use sdlo_ir::programs::{builtin, BUILTIN_NAMES};
 
     let mut names: Vec<String> = Vec::new();
     let mut json = false;
+    let mut apply = false;
     for arg in args {
         match arg.as_str() {
             "--all-builtins" => names.extend(BUILTIN_NAMES.iter().map(|n| n.to_string())),
             "--json" => json = true,
+            "--apply" => apply = true,
             "--help" | "-h" => {
                 usage(false);
                 std::process::exit(0);
@@ -455,30 +504,45 @@ fn run_lint(args: &[String]) -> ! {
                 BUILTIN_NAMES.join(", ")
             ))
         });
+        let (program, applied) = if apply {
+            apply_proven_fixits(&program)
+        } else {
+            (program, Vec::new())
+        };
         let diags = lint(&program);
         let counts = SeverityCounts::of(&diags);
         total.errors += counts.errors;
         total.warnings += counts.warnings;
         total.infos += counts.infos;
         println!("== {name} ==");
+        for detail in &applied {
+            println!("{name}: applied: {detail}");
+        }
+        if !applied.is_empty() {
+            println!("{name}: rewritten program:\n{}", program.render());
+        }
         println!("{}", render_report(&program, &diags));
-        report.push((
-            name.to_string(),
-            Value::obj(vec![
-                (
-                    "diagnostics",
-                    Value::Array(diags.iter().map(sdlo_wire::diagnostic_to_value).collect()),
-                ),
-                (
-                    "summary",
-                    Value::obj(vec![
-                        ("error", Value::from(counts.errors)),
-                        ("warning", Value::from(counts.warnings)),
-                        ("info", Value::from(counts.infos)),
-                    ]),
-                ),
-            ]),
-        ));
+        let mut fields = vec![
+            (
+                "diagnostics",
+                Value::Array(diags.iter().map(sdlo_wire::diagnostic_to_value).collect()),
+            ),
+            (
+                "summary",
+                Value::obj(vec![
+                    ("error", Value::from(counts.errors)),
+                    ("warning", Value::from(counts.warnings)),
+                    ("info", Value::from(counts.infos)),
+                ]),
+            ),
+        ];
+        if apply {
+            fields.push((
+                "applied",
+                Value::Array(applied.iter().map(|d| Value::from(d.as_str())).collect()),
+            ));
+        }
+        report.push((name.to_string(), Value::obj(fields)));
     }
     if json {
         write_json("lint", &Value::Object(report));
@@ -491,6 +555,95 @@ fn run_lint(args: &[String]) -> ! {
         total.infos
     );
     std::process::exit(if total.errors > 0 { 1 } else { 0 });
+}
+
+// ---------------------------------------------------------------------------
+// `tables deps` — dependence graphs of the builtin workloads
+// ---------------------------------------------------------------------------
+
+/// Dump the data-dependence graph of the named builtins as a table (default)
+/// or GraphViz DOT (`--dot`); `--json` writes `results/deps.json`.
+fn run_deps(args: &[String]) -> ! {
+    use sdlo_ir::programs::{builtin, BUILTIN_NAMES};
+
+    let mut names: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut dot = false;
+    for arg in args {
+        match arg.as_str() {
+            "--all-builtins" => names.extend(BUILTIN_NAMES.iter().map(|n| n.to_string())),
+            "--json" => json = true,
+            "--dot" => dot = true,
+            "--help" | "-h" => {
+                usage(false);
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => fail(&format!("unknown flag `{flag}`")),
+            positional => names.push(positional.to_string()),
+        }
+    }
+    if names.is_empty() {
+        fail("deps requires at least one program name or --all-builtins");
+    }
+
+    let mut report = Vec::new();
+    for name in &names {
+        let program = builtin(name).unwrap_or_else(|| {
+            fail(&format!(
+                "unknown builtin program `{name}` (expected one of {})",
+                BUILTIN_NAMES.join(", ")
+            ))
+        });
+        let graph = sdlo_deps::analyze(&program);
+        if dot {
+            println!("{}", graph.to_dot(name));
+        } else {
+            println!("== {name} ==");
+            println!("{}", graph.render_table());
+        }
+        let deps = graph
+            .deps
+            .iter()
+            .map(|d| {
+                Value::obj(vec![
+                    ("kind", Value::from(d.kind.name())),
+                    ("array", Value::from(d.array.name())),
+                    (
+                        "src",
+                        Value::obj(vec![
+                            ("stmt", Value::from(d.src.stmt.0)),
+                            ("ref", Value::from(d.src.ref_idx)),
+                        ]),
+                    ),
+                    (
+                        "dst",
+                        Value::obj(vec![
+                            ("stmt", Value::from(d.dst.stmt.0)),
+                            ("ref", Value::from(d.dst.ref_idx)),
+                        ]),
+                    ),
+                    (
+                        "loops",
+                        Value::Array(d.loops.iter().map(|l| Value::from(l.name())).collect()),
+                    ),
+                    ("vector", Value::from(d.vector_string())),
+                    ("loop_independent", Value::from(d.loop_independent)),
+                    ("precise", Value::from(d.precise)),
+                ])
+            })
+            .collect();
+        report.push((
+            name.to_string(),
+            Value::obj(vec![
+                ("deps", Value::Array(deps)),
+                ("summary", sdlo_wire::dep_summary_to_value(&graph.summary())),
+            ]),
+        ));
+    }
+    if json {
+        write_json("deps", &Value::Object(report));
+    }
+    std::process::exit(0);
 }
 
 // ---------------------------------------------------------------------------
@@ -676,6 +829,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("lint") {
         run_lint(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("deps") {
+        run_deps(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("profile") {
         run_profile(&args[1..]);

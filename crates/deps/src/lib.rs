@@ -1,0 +1,1166 @@
+//! # sdlo-deps
+//!
+//! Data-dependence analysis over the [`sdlo_ir`] loop tree, and the legality
+//! queries that make the linter's transformation advice trustworthy.
+//!
+//! Every locality transformation the paper applies — loop permutation and
+//! tiling of imperfect nests — is valid only when it preserves the data
+//! dependences of the program. This crate computes, for every pair of
+//! references to the same array where at least one writes, the set of
+//! **direction vectors** over the pair's *common loops* (the shared prefix of
+//! their enclosing loop chains, matched by tree position so sibling nests
+//! that reuse index names are kept apart), classifies each dependence as
+//! flow / anti / output, and answers:
+//!
+//! * [`DepGraph::permutation_legality`] — may the perfect segment of loops
+//!   around a statement be reordered?
+//! * [`DepGraph::tiling_legality`] — may loops of that segment be
+//!   strip-mined with the tile loops hoisted to the top of the segment?
+//!
+//! ## Subscript tests
+//!
+//! Subscript dimensions in this IR have the affine form
+//! `1 + Σ (idx − 1)·stride`. Per dimension the analysis applies, in order:
+//!
+//! * **ZIV** — neither side uses any loop index (scalars): always equal, no
+//!   constraint.
+//! * **strong SIV** — both sides are the *same* expression over common-loop
+//!   indices and the dimension is injective per index (a single index with a
+//!   non-zero stride, or a `tile + intra` pair whose tile stride equals the
+//!   intra loop's trip count): equal subscripts force every contributing
+//!   index pair to the `=` direction, distance 0.
+//! * **weak-zero SIV** — one side uses a single common index, the other is
+//!   scalar: the indexed side is pinned to iteration 1, restricting the
+//!   direction to `<=` (or `>=`).
+//! * **fallback** — MIV shapes, mismatched strides, or indices private to
+//!   one side: no constraint is derived, the direction stays `*`, and the
+//!   dependence is marked *imprecise*.
+//!
+//! A dependence whose every dimension fell into an exact case is **precise**:
+//! its direction-set cross product is exactly the realizable set (assuming
+//! every loop may run ≥ 2 iterations and strides are positive — both hold
+//! for the TCE class, where strides are 1 or tile sizes). Legality verdicts
+//! build on that split:
+//!
+//! * [`Legality::Proven`] — no realizable vector of *any* dependence
+//!   (precise or conservative) is reversed by the transform.
+//! * [`Legality::Assumed`] — only conservatively over-approximated
+//!   (imprecise) dependences could be reversed; the analysis cannot prove
+//!   the transform safe, but has no witness against it.
+//! * [`Legality::Illegal`] — a precise dependence is reversed: the transform
+//!   provably changes program semantics.
+
+use sdlo_ir::{ArrayId, DimExpr, Node, Program, StmtId, StmtKind};
+use sdlo_symbolic::{Expr, Sym};
+use std::collections::BTreeMap;
+
+/// Identity of one loop in the tree (preorder number). Distinct loops that
+/// share an index name — legal across sibling nests — get distinct ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(pub usize);
+
+/// One loop of the program, as seen by the dependence pass.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// Preorder identity.
+    pub id: LoopId,
+    /// Index variable.
+    pub index: Sym,
+    /// Trip count.
+    pub bound: Expr,
+    /// Nesting depth (0 = outermost).
+    pub depth: usize,
+}
+
+/// A single direction of a dependence at one loop level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Source iteration strictly before the sink's (`<`).
+    Lt,
+    /// Same iteration (`=`).
+    Eq,
+    /// Source iteration strictly after the sink's (`>`).
+    Gt,
+}
+
+/// A set of possible directions at one loop level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirSet(u8);
+
+const LT: u8 = 1;
+const EQ: u8 = 2;
+const GT: u8 = 4;
+
+impl DirSet {
+    /// The unconstrained set `{<, =, >}` (rendered `*`).
+    pub fn any() -> Self {
+        DirSet(LT | EQ | GT)
+    }
+
+    /// The singleton `{=}`.
+    pub fn eq() -> Self {
+        DirSet(EQ)
+    }
+
+    /// `{<, =}` (source pinned to the first iteration).
+    pub fn le() -> Self {
+        DirSet(LT | EQ)
+    }
+
+    /// `{=, >}` (sink pinned to the first iteration).
+    pub fn ge() -> Self {
+        DirSet(EQ | GT)
+    }
+
+    /// Whether `d` is in the set.
+    pub fn contains(self, d: Dir) -> bool {
+        let bit = match d {
+            Dir::Lt => LT,
+            Dir::Eq => EQ,
+            Dir::Gt => GT,
+        };
+        self.0 & bit != 0
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: DirSet) -> DirSet {
+        DirSet(self.0 & other.0)
+    }
+
+    /// Mirror the relation (`<` ↔ `>`), for the reversed source/sink pair.
+    pub fn reversed(self) -> DirSet {
+        let mut b = self.0 & EQ;
+        if self.0 & LT != 0 {
+            b |= GT;
+        }
+        if self.0 & GT != 0 {
+            b |= LT;
+        }
+        DirSet(b)
+    }
+
+    /// Directions a *tile* loop may take when the element loop takes a
+    /// direction in `self`: equal element iterations share a tile, and
+    /// ordered element iterations may share a tile or order the tiles the
+    /// same way.
+    pub fn tile_relaxed(self) -> DirSet {
+        if self.0 & (LT | GT) != 0 {
+            DirSet(self.0 | EQ)
+        } else {
+            self
+        }
+    }
+
+    /// The concrete directions of the set.
+    pub fn iter(self) -> impl Iterator<Item = Dir> {
+        [Dir::Lt, Dir::Eq, Dir::Gt]
+            .into_iter()
+            .filter(move |d| self.contains(*d))
+    }
+
+    /// Number of directions in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty (an unsatisfiable constraint).
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for DirSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self.0 {
+            b if b == LT => "<",
+            b if b == EQ => "=",
+            b if b == GT => ">",
+            b if b == (LT | EQ) => "<=",
+            b if b == (EQ | GT) => ">=",
+            b if b == (LT | GT) => "<>",
+            b if b == (LT | EQ | GT) => "*",
+            _ => "∅",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Dependence classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DepKind {
+    /// Write then read (true dependence).
+    Flow,
+    /// Read then write.
+    Anti,
+    /// Write then write.
+    Output,
+}
+
+impl DepKind {
+    /// Lower-case name used in tables and wire documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            DepKind::Flow => "flow",
+            DepKind::Anti => "anti",
+            DepKind::Output => "output",
+        }
+    }
+}
+
+impl std::fmt::Display for DepKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One endpoint of a dependence: a reference within a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RefSite {
+    /// Statement containing the reference.
+    pub stmt: StmtId,
+    /// Index into the statement's `refs`.
+    pub ref_idx: usize,
+}
+
+/// One data dependence between two reference sites.
+#[derive(Debug, Clone)]
+pub struct Dependence {
+    /// Flow, anti or output.
+    pub kind: DepKind,
+    /// Name of the array both sites touch.
+    pub array: Sym,
+    /// Source site (executes first).
+    pub src: RefSite,
+    /// Sink site.
+    pub dst: RefSite,
+    /// Common loops of the two sites, outermost first.
+    pub loop_ids: Vec<LoopId>,
+    /// Index names of `loop_ids` (names are unique along a nesting path, so
+    /// within one dependence the name identifies the loop).
+    pub loops: Vec<Sym>,
+    /// Possible directions per common loop.
+    pub dirs: Vec<DirSet>,
+    /// Known distance per common loop (`Some(0)` where the subscripts force
+    /// `=`; `None` where the distance is unknown).
+    pub distance: Vec<Option<i64>>,
+    /// Whether a loop-independent instance (all `=`, source textually
+    /// before sink) exists.
+    pub loop_independent: bool,
+    /// Whether every subscript dimension was resolved by an exact test: the
+    /// direction-set product is then the exact realizable set.
+    pub precise: bool,
+}
+
+impl Dependence {
+    /// `dirs` rendered `(<, =, *)`-style.
+    pub fn vector_string(&self) -> String {
+        let parts: Vec<String> = self.dirs.iter().map(|d| d.to_string()).collect();
+        format!("({})", parts.join(", "))
+    }
+
+    /// Levels (indices into `loops`) that can carry this dependence: level
+    /// `l` carries iff some realizable vector is `=` above `l` and `<` at
+    /// `l`.
+    pub fn carrier_levels(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for l in 0..self.dirs.len() {
+            if self.dirs[..l].iter().all(|d| d.contains(Dir::Eq)) && self.dirs[l].contains(Dir::Lt)
+            {
+                out.push(l);
+            }
+        }
+        out
+    }
+
+    /// All realizable direction vectors: lexicographically positive
+    /// selections from `dirs` (the loop-independent all-`=` instance, which
+    /// no permutation or tiling of the nest can reverse, is not included).
+    pub fn realizable_vectors(&self) -> Vec<Vec<Dir>> {
+        let mut out = Vec::new();
+        let mut cur = Vec::with_capacity(self.dirs.len());
+        fn rec(dirs: &[DirSet], cur: &mut Vec<Dir>, out: &mut Vec<Vec<Dir>>) {
+            let Some(first) = dirs.first() else {
+                return;
+            };
+            let rest = &dirs[1..];
+            for d in first.iter() {
+                match d {
+                    Dir::Gt => continue,
+                    Dir::Lt => {
+                        // Leading `<`: everything below is free.
+                        cur.push(Dir::Lt);
+                        free(rest, cur, out);
+                        cur.pop();
+                    }
+                    Dir::Eq => {
+                        cur.push(Dir::Eq);
+                        rec(rest, cur, out);
+                        cur.pop();
+                    }
+                }
+            }
+        }
+        fn free(dirs: &[DirSet], cur: &mut Vec<Dir>, out: &mut Vec<Vec<Dir>>) {
+            match dirs.first() {
+                None => out.push(cur.clone()),
+                Some(first) => {
+                    for d in first.iter() {
+                        cur.push(d);
+                        free(&dirs[1..], cur, out);
+                        cur.pop();
+                    }
+                }
+            }
+        }
+        rec(&self.dirs, &mut cur, &mut out);
+        out
+    }
+}
+
+/// Verdict of a legality query. See the crate docs for the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Legality {
+    /// No dependence — even conservatively over-approximated ones — is
+    /// reversed: the transform provably preserves semantics.
+    Proven,
+    /// Only imprecise (conservatively `*`-directed) dependences could be
+    /// reversed: not proven safe, no witness against.
+    Assumed,
+    /// A precise dependence is reversed: the transform is provably unsafe.
+    Illegal,
+}
+
+impl Legality {
+    /// Lower-case name used in wire documents and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Legality::Proven => "proven",
+            Legality::Assumed => "assumed",
+            Legality::Illegal => "illegal",
+        }
+    }
+}
+
+impl std::fmt::Display for Legality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from a legality query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The statement does not exist.
+    NoSuchStmt(StmtId),
+    /// The order/tile list does not match the statement's perfect segment.
+    NotASegmentPermutation,
+    /// A named loop is not part of the statement's perfect segment.
+    NotInSegment(Sym),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NoSuchStmt(s) => write!(f, "no statement S{}", s.0),
+            QueryError::NotASegmentPermutation => {
+                write!(f, "order is not a permutation of the perfect segment")
+            }
+            QueryError::NotInSegment(s) => {
+                write!(f, "loop `{s}` is not in the statement's perfect segment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Aggregate view of a [`DepGraph`], the summary attached to lint replies.
+#[derive(Debug, Clone, Default)]
+pub struct DepSummary {
+    /// Total dependence count.
+    pub total: usize,
+    /// Count per kind.
+    pub flow: usize,
+    /// Count per kind.
+    pub anti: usize,
+    /// Count per kind.
+    pub output: usize,
+    /// Dependences with exact direction vectors.
+    pub precise: usize,
+    /// Loop index name → number of dependences it can carry (same-named
+    /// sibling loops are merged).
+    pub carried: BTreeMap<String, usize>,
+    /// Loop index names (deduplicated) that carry no dependence: their
+    /// iterations are independent and may run in parallel.
+    pub parallelizable: Vec<String>,
+}
+
+/// The dependence graph of one program.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// All dependences, in (src, dst, kind) order.
+    pub deps: Vec<Dependence>,
+    loops: Vec<LoopInfo>,
+    /// Per statement (by id): enclosing chain, outermost first.
+    chains: Vec<Vec<LoopId>>,
+    /// Per statement (by id): its label, for rendering.
+    labels: Vec<String>,
+}
+
+/// Internal: one reference site with its read/write role.
+struct Site {
+    stmt: StmtId,
+    ref_idx: usize,
+    array: ArrayId,
+    dims: Vec<DimExpr>,
+    reads: bool,
+    writes: bool,
+}
+
+/// Compute the dependence graph of `program`. The program must pass
+/// [`Program::validate`]; call sites that may hold invalid trees should
+/// validate first (the linter's structure rule gates exactly this way).
+pub fn analyze(program: &Program) -> DepGraph {
+    let mut loops = Vec::new();
+    let mut chains: Vec<Vec<LoopId>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut sites: Vec<Site> = Vec::new();
+
+    fn walk(
+        node: &Node,
+        chain: &mut Vec<LoopId>,
+        loops: &mut Vec<LoopInfo>,
+        chains: &mut Vec<Vec<LoopId>>,
+        labels: &mut Vec<String>,
+        sites: &mut Vec<Site>,
+    ) {
+        match node {
+            Node::Loop(l) => {
+                let id = LoopId(loops.len());
+                loops.push(LoopInfo {
+                    id,
+                    index: l.index.clone(),
+                    bound: l.bound.clone(),
+                    depth: chain.len(),
+                });
+                chain.push(id);
+                for n in &l.body {
+                    walk(n, chain, loops, chains, labels, sites);
+                }
+                chain.pop();
+            }
+            Node::Stmt(s) => {
+                debug_assert_eq!(s.id.0, chains.len(), "program-order stmt numbering");
+                chains.push(chain.clone());
+                labels.push(s.label.clone());
+                for (ri, r) in s.refs.iter().enumerate() {
+                    // The LHS of `+=` is read-modify-write; plain reads and
+                    // plain writes keep their single role.
+                    let rmw = s.kind == StmtKind::MulAddAssign && ri == 0;
+                    sites.push(Site {
+                        stmt: s.id,
+                        ref_idx: ri,
+                        array: r.array,
+                        dims: r.dims.clone(),
+                        reads: !r.is_write || rmw,
+                        writes: r.is_write,
+                    });
+                }
+            }
+        }
+    }
+    let mut chain = Vec::new();
+    for n in &program.root {
+        walk(
+            n,
+            &mut chain,
+            &mut loops,
+            &mut chains,
+            &mut labels,
+            &mut sites,
+        );
+    }
+
+    let mut deps = Vec::new();
+    for (i, a) in sites.iter().enumerate() {
+        for b in &sites[i..] {
+            if a.array != b.array || !(a.writes || b.writes) {
+                continue;
+            }
+            if !(a.writes && b.reads || a.reads && b.writes || a.writes && b.writes) {
+                continue;
+            }
+            pair_deps(program, &loops, &chains, a, b, &mut deps);
+        }
+    }
+    deps.sort_by(|x, y| {
+        (x.src, x.dst, x.kind, x.array.name().to_string()).cmp(&(
+            y.src,
+            y.dst,
+            y.kind,
+            y.array.name().to_string(),
+        ))
+    });
+    DepGraph {
+        deps,
+        loops,
+        chains,
+        labels,
+    }
+}
+
+/// Per-dimension subscript test: returns constraints on common loops plus a
+/// precision flag. `common` maps index name → level for the common loops.
+fn dim_constraints(
+    e_a: &DimExpr,
+    e_b: &DimExpr,
+    common: &BTreeMap<&Sym, usize>,
+    intra_bound: &dyn Fn(&Sym) -> Option<Expr>,
+    sets: &mut [DirSet],
+) -> bool {
+    // ZIV: both scalar — always equal, exact.
+    if e_a.parts.is_empty() && e_b.parts.is_empty() {
+        return true;
+    }
+    // Strong SIV (per index): syntactically identical dimensions over
+    // common-loop indices, injective per index.
+    let same = e_a.parts.len() == e_b.parts.len()
+        && e_a
+            .parts
+            .iter()
+            .all(|p| e_b.parts.iter().filter(|q| *q == p).count() == 1)
+        && e_b
+            .parts
+            .iter()
+            .all(|p| e_a.parts.iter().filter(|q| *q == p).count() == 1);
+    if same && e_a.parts.iter().all(|(idx, _)| common.contains_key(idx)) {
+        let injective = match e_a.parts.as_slice() {
+            [(_, s)] => s.as_const().map(|c| c != 0).unwrap_or(true),
+            [p, q] => {
+                // tile + intra: the non-unit stride must equal the intra
+                // loop's trip count, making tile ranges disjoint.
+                let classified = |tile: &(Sym, Expr), intra: &(Sym, Expr)| {
+                    intra.1.as_const() == Some(1)
+                        && intra_bound(&intra.0).is_some_and(|b| b == tile.1)
+                };
+                classified(p, q) || classified(q, p)
+            }
+            _ => false,
+        };
+        if injective {
+            for (idx, _) in &e_a.parts {
+                let l = common[idx];
+                sets[l] = sets[l].intersect(DirSet::eq());
+            }
+            return true;
+        }
+        // Same shape but not provably injective: the `=` instance certainly
+        // exists, other aliasing may too — no constraint, imprecise.
+        return false;
+    }
+    // Weak-zero SIV: one side a single common index, the other scalar. The
+    // indexed side is pinned to iteration 1 (positive stride).
+    if let ([(idx, s)], []) = (e_a.parts.as_slice(), e_b.parts.as_slice()) {
+        if let Some(l) = common.get(idx) {
+            if s.as_const().map(|c| c > 0).unwrap_or(true) {
+                sets[*l] = sets[*l].intersect(DirSet::le());
+                return true;
+            }
+        }
+    }
+    if let ([], [(idx, s)]) = (e_a.parts.as_slice(), e_b.parts.as_slice()) {
+        if let Some(l) = common.get(idx) {
+            if s.as_const().map(|c| c > 0).unwrap_or(true) {
+                sets[*l] = sets[*l].intersect(DirSet::ge());
+                return true;
+            }
+        }
+    }
+    // MIV / mismatched shapes: conservative, no constraint.
+    false
+}
+
+fn pair_deps(
+    program: &Program,
+    loops: &[LoopInfo],
+    chains: &[Vec<LoopId>],
+    a: &Site,
+    b: &Site,
+    out: &mut Vec<Dependence>,
+) {
+    let chain_a = &chains[a.stmt.0];
+    let chain_b = &chains[b.stmt.0];
+    let prefix = chain_a
+        .iter()
+        .zip(chain_b.iter())
+        .take_while(|(x, y)| x == y)
+        .count();
+    let common_ids: Vec<LoopId> = chain_a[..prefix].to_vec();
+    let common_syms: Vec<Sym> = common_ids
+        .iter()
+        .map(|id| loops[id.0].index.clone())
+        .collect();
+    let common: BTreeMap<&Sym, usize> = common_syms.iter().zip(0..).collect();
+
+    let mut sets = vec![DirSet::any(); prefix];
+    let mut precise = true;
+    let intra_bound = |idx: &Sym| -> Option<Expr> {
+        common_ids
+            .iter()
+            .find(|id| &loops[id.0].index == idx)
+            .map(|id| loops[id.0].bound.clone())
+    };
+    for (e_a, e_b) in a.dims.iter().zip(b.dims.iter()) {
+        precise &= dim_constraints(e_a, e_b, &common, &intra_bound, &mut sets);
+    }
+    let distance: Vec<Option<i64>> = sets
+        .iter()
+        .map(|s| if *s == DirSet::eq() { Some(0) } else { None })
+        .collect();
+
+    let array = program.array(a.array).name.clone();
+    let same_site = a.stmt == b.stmt && a.ref_idx == b.ref_idx;
+    let mut push = |src: &Site, dst: &Site, kind: DepKind, dirs: Vec<DirSet>| {
+        // A dependence exists if some instance of src executes before some
+        // instance of dst: a lexicographically positive vector, or the
+        // all-`=` instance with src textually first.
+        let li = (src.stmt, src.ref_idx) < (dst.stmt, dst.ref_idx)
+            && dirs.iter().all(|d| d.contains(Dir::Eq));
+        let carried = {
+            let mut cur: &[DirSet] = &dirs;
+            let mut found = dirs.is_empty() && li;
+            while let Some((first, rest)) = cur.split_first() {
+                if first.contains(Dir::Lt) {
+                    found = true;
+                    break;
+                }
+                if !first.contains(Dir::Eq) {
+                    break;
+                }
+                cur = rest;
+            }
+            found || (li && !dirs.is_empty())
+        };
+        if !carried && !li {
+            return;
+        }
+        out.push(Dependence {
+            kind,
+            array: array.clone(),
+            src: RefSite {
+                stmt: src.stmt,
+                ref_idx: src.ref_idx,
+            },
+            dst: RefSite {
+                stmt: dst.stmt,
+                ref_idx: dst.ref_idx,
+            },
+            loop_ids: common_ids.clone(),
+            loops: common_syms.clone(),
+            dirs,
+            distance: distance.clone(),
+            loop_independent: li,
+            precise,
+        });
+    };
+
+    let rev: Vec<DirSet> = sets.iter().map(|s| s.reversed()).collect();
+    if a.writes && b.reads {
+        push(a, b, DepKind::Flow, sets.clone());
+    }
+    if a.reads && b.writes {
+        push(a, b, DepKind::Anti, sets.clone());
+    }
+    if a.writes && b.writes {
+        // For a single site this is the self output-dependence across
+        // iterations; `push` drops it when the subscripts force `=`.
+        push(a, b, DepKind::Output, sets.clone());
+    }
+    if !same_site {
+        if b.writes && a.reads {
+            push(b, a, DepKind::Flow, rev.clone());
+        }
+        if b.reads && a.writes {
+            push(b, a, DepKind::Anti, rev.clone());
+        }
+        if a.writes && b.writes {
+            push(b, a, DepKind::Output, rev.clone());
+        }
+    }
+}
+
+impl DepGraph {
+    /// Every loop of the program, preorder.
+    pub fn loops(&self) -> &[LoopInfo] {
+        &self.loops
+    }
+
+    /// Dependences that loop `id` can carry.
+    pub fn carried_by(&self, id: LoopId) -> Vec<&Dependence> {
+        self.deps
+            .iter()
+            .filter(|d| d.carrier_levels().iter().any(|l| d.loop_ids[*l] == id))
+            .collect()
+    }
+
+    /// Whether loop `id` carries no dependence — its iterations are
+    /// independent and safe to run in parallel on a shared-memory machine.
+    pub fn parallelizable(&self, id: LoopId) -> bool {
+        self.carried_by(id).is_empty()
+    }
+
+    /// The enclosing chain of a statement, outermost first.
+    pub fn chain(&self, stmt: StmtId) -> Option<&[LoopId]> {
+        self.chains.get(stmt.0).map(|c| c.as_slice())
+    }
+
+    /// Legality of reordering the perfect segment around `stmt` to
+    /// `order` (see [`sdlo_ir::perfect_segment`]). The segment's loops and
+    /// `order` must coincide as sets.
+    pub fn permutation_legality(
+        &self,
+        program: &Program,
+        stmt: StmtId,
+        order: &[Sym],
+    ) -> Result<Legality, QueryError> {
+        let seg = sdlo_ir::perfect_segment(program, stmt).ok_or(QueryError::NoSuchStmt(stmt))?;
+        if order.len() != seg.len()
+            || !seg.iter().all(|s| order.contains(s))
+            || !order.iter().all(|s| seg.contains(s))
+        {
+            return Err(QueryError::NotASegmentPermutation);
+        }
+        let chain = self.chain(stmt).ok_or(QueryError::NoSuchStmt(stmt))?;
+        let seg_start = chain.len() - seg.len();
+        let seg_ids: Vec<LoopId> = chain[seg_start..].to_vec();
+        // order[j] names the loop placed at segment position j.
+        let placed: Vec<usize> = order
+            .iter()
+            .map(|s| seg.iter().position(|x| x == s).expect("checked above"))
+            .collect();
+        self.band_legality(&seg_ids, |vec_seg: &[Dir]| {
+            placed.iter().map(|&old| vec_seg[old]).collect()
+        })
+    }
+
+    /// Legality of tiling loops `tiled` (a subset of the perfect segment
+    /// around `stmt`): each tiled loop is strip-mined and its tile loop
+    /// hoisted to the top of the segment, tile loops in segment order —
+    /// exactly what [`sdlo_ir::apply_tile`] performs.
+    pub fn tiling_legality(
+        &self,
+        program: &Program,
+        stmt: StmtId,
+        tiled: &[Sym],
+    ) -> Result<Legality, QueryError> {
+        let seg = sdlo_ir::perfect_segment(program, stmt).ok_or(QueryError::NoSuchStmt(stmt))?;
+        for t in tiled {
+            if !seg.contains(t) {
+                return Err(QueryError::NotInSegment(t.clone()));
+            }
+        }
+        let chain = self.chain(stmt).ok_or(QueryError::NoSuchStmt(stmt))?;
+        let seg_start = chain.len() - seg.len();
+        let seg_ids: Vec<LoopId> = chain[seg_start..].to_vec();
+        let tiled_pos: Vec<usize> = seg
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| tiled.contains(s))
+            .map(|(k, _)| k)
+            .collect();
+        // Transformed segment vector: tile components (relaxed) then the
+        // original segment. Tile components are *sets*; expand below.
+        self.band_legality_sets(&seg_ids, |vec_seg: &[Dir]| {
+            let mut v: Vec<DirSet> = tiled_pos
+                .iter()
+                .map(|&k| single(vec_seg[k]).tile_relaxed())
+                .collect();
+            v.extend(vec_seg.iter().map(|d| single(*d)));
+            v
+        })
+    }
+
+    /// Shared core: check every dependence whose endpoints both lie under
+    /// the segment's outermost loop. `remap` rewrites the segment slice of a
+    /// realizable vector into its post-transform shape.
+    fn band_legality(
+        &self,
+        seg_ids: &[LoopId],
+        remap: impl Fn(&[Dir]) -> Vec<Dir>,
+    ) -> Result<Legality, QueryError> {
+        self.band_legality_sets(seg_ids, |v| remap(v).into_iter().map(single).collect())
+    }
+
+    fn band_legality_sets(
+        &self,
+        seg_ids: &[LoopId],
+        remap: impl Fn(&[Dir]) -> Vec<DirSet>,
+    ) -> Result<Legality, QueryError> {
+        let Some(outer) = seg_ids.first() else {
+            return Ok(Legality::Proven);
+        };
+        let mut verdict = Legality::Proven;
+        for d in &self.deps {
+            let Some(pos) = d.loop_ids.iter().position(|id| id == outer) else {
+                continue; // an endpoint is outside the segment's subtree
+            };
+            debug_assert_eq!(
+                &d.loop_ids[pos..pos + seg_ids.len()],
+                seg_ids,
+                "segment loops are contiguous in the common prefix"
+            );
+            let seg_end = pos + seg_ids.len();
+            for v in d.realizable_vectors() {
+                let mapped = remap(&v[pos..seg_end]);
+                // Transformed vector: common prefix above the segment,
+                // remapped segment, common levels below the segment.
+                let mut t: Vec<DirSet> = v[..pos].iter().map(|x| single(*x)).collect();
+                t.extend(mapped);
+                t.extend(v[seg_end..].iter().map(|x| single(*x)));
+                if reversible(&t) {
+                    if d.precise {
+                        return Ok(Legality::Illegal);
+                    }
+                    verdict = Legality::Assumed;
+                }
+            }
+        }
+        Ok(verdict)
+    }
+
+    /// Summary used by lint replies and the CLI.
+    pub fn summary(&self) -> DepSummary {
+        let mut s = DepSummary {
+            total: self.deps.len(),
+            ..DepSummary::default()
+        };
+        for d in &self.deps {
+            match d.kind {
+                DepKind::Flow => s.flow += 1,
+                DepKind::Anti => s.anti += 1,
+                DepKind::Output => s.output += 1,
+            }
+            if d.precise {
+                s.precise += 1;
+            }
+        }
+        let mut serial: BTreeMap<String, usize> = BTreeMap::new();
+        let mut names: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for l in &self.loops {
+            names.insert(l.index.name().to_string());
+            let carried = self.carried_by(l.id).len();
+            if carried > 0 {
+                *serial.entry(l.index.name().to_string()).or_insert(0) += carried;
+            }
+        }
+        s.parallelizable = names
+            .iter()
+            .filter(|k| !serial.contains_key(*k))
+            .cloned()
+            .collect();
+        s.carried = serial;
+        s
+    }
+
+    /// One row per dependence, plus a parallelizability trailer.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("kind    array  src           dst           vector          precise\n");
+        for d in &self.deps {
+            let fmt_site = |s: &RefSite| format!("S{}/ref{}", s.stmt.0, s.ref_idx);
+            out.push_str(&format!(
+                "{:<7} {:<6} {:<13} {:<13} {:<15} {}\n",
+                d.kind.name(),
+                d.array.name(),
+                fmt_site(&d.src),
+                fmt_site(&d.dst),
+                d.vector_string(),
+                if d.precise { "yes" } else { "no" },
+            ));
+        }
+        let s = self.summary();
+        out.push_str(&format!(
+            "{} dependence(s): {} flow, {} anti, {} output; {} precise\n",
+            s.total, s.flow, s.anti, s.output, s.precise
+        ));
+        if s.parallelizable.is_empty() {
+            out.push_str("parallelizable loops: (none)\n");
+        } else {
+            out.push_str(&format!(
+                "parallelizable loops: {}\n",
+                s.parallelizable.join(", ")
+            ));
+        }
+        out
+    }
+
+    /// Graphviz DOT rendering: one node per statement, one edge per
+    /// dependence labelled with kind and direction vector.
+    pub fn to_dot(&self, program_name: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "digraph \"{}\" {{\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n",
+            program_name
+        ));
+        for (k, label) in self.labels.iter().enumerate() {
+            out.push_str(&format!(
+                "  S{k} [label=\"S{k}: {}\"];\n",
+                label.replace('"', "\\\"")
+            ));
+        }
+        for d in &self.deps {
+            let style = match d.kind {
+                DepKind::Flow => "solid",
+                DepKind::Anti => "dashed",
+                DepKind::Output => "dotted",
+            };
+            out.push_str(&format!(
+                "  S{} -> S{} [style={style}, label=\"{} {} {}\"];\n",
+                d.src.stmt.0,
+                d.dst.stmt.0,
+                d.kind.name(),
+                d.array.name(),
+                d.vector_string()
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn single(d: Dir) -> DirSet {
+    match d {
+        Dir::Lt => DirSet(LT),
+        Dir::Eq => DirSet(EQ),
+        Dir::Gt => DirSet(GT),
+    }
+}
+
+/// Whether some concrete selection from `sets` is lexicographically
+/// negative (first non-`=` is `>`): a reversed dependence.
+fn reversible(sets: &[DirSet]) -> bool {
+    for s in sets {
+        if s.contains(Dir::Gt) {
+            return true;
+        }
+        if !s.contains(Dir::Eq) {
+            // Must take `<` here: everything after is ordered forward.
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdlo_ir::{programs, Stmt};
+
+    fn graph(name: &str) -> (Program, DepGraph) {
+        let p = programs::builtin(name).unwrap();
+        let g = analyze(&p);
+        (p, g)
+    }
+
+    #[test]
+    fn matmul_output_dep_carried_by_j_only() {
+        let (_, g) = graph("matmul");
+        let out: Vec<_> = g
+            .deps
+            .iter()
+            .filter(|d| d.kind == DepKind::Output)
+            .collect();
+        assert_eq!(out.len(), 1, "{:?}", g.deps);
+        let d = out[0];
+        assert_eq!(d.array, Sym::new("C"));
+        assert_eq!(d.vector_string(), "(=, *, =)");
+        assert!(d.precise);
+        let carriers: Vec<&Sym> = d.carrier_levels().iter().map(|l| &d.loops[*l]).collect();
+        assert_eq!(carriers, [&Sym::new("j")]);
+    }
+
+    #[test]
+    fn matmul_is_fully_permutable() {
+        let (p, g) = graph("matmul");
+        let s0 = StmtId(0);
+        for order in [
+            ["i", "j", "k"],
+            ["k", "j", "i"],
+            ["j", "i", "k"],
+            ["k", "i", "j"],
+        ] {
+            let order: Vec<Sym> = order.iter().map(Sym::new).collect();
+            assert_eq!(
+                g.permutation_legality(&p, s0, &order),
+                Ok(Legality::Proven),
+                "{order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_i_and_k_parallelizable_j_not() {
+        let (_, g) = graph("matmul");
+        let by_name = |n: &str| g.loops().iter().find(|l| l.index.name() == n).unwrap().id;
+        assert!(g.parallelizable(by_name("i")));
+        assert!(g.parallelizable(by_name("k")));
+        assert!(!g.parallelizable(by_name("j")));
+    }
+
+    #[test]
+    fn unfused_cross_nest_flow_is_loop_independent() {
+        let (_, g) = graph("two_index_unfused");
+        // T written in nest 1 (S0), read in nest 2 (S1): sibling nests share
+        // no loops, the dependence is loop-independent at the top level.
+        let d = g
+            .deps
+            .iter()
+            .find(|d| {
+                d.kind == DepKind::Flow && d.array == Sym::new("T") && d.src.stmt != d.dst.stmt
+            })
+            .expect("cross-nest flow on T");
+        assert!(d.loops.is_empty());
+        assert!(d.loop_independent);
+    }
+
+    #[test]
+    fn fused_scalar_t_serializes_the_fused_loops() {
+        let (_, g) = graph("two_index_fused");
+        let by = |n: &str| -> Vec<LoopId> {
+            g.loops()
+                .iter()
+                .filter(|l| l.index.name() == n)
+                .map(|l| l.id)
+                .collect()
+        };
+        for i in by("i") {
+            assert!(!g.parallelizable(i), "scalar T serializes `i`");
+        }
+        for n in by("n") {
+            assert!(!g.parallelizable(n), "scalar T serializes `n`");
+        }
+        // The inner contraction loops only touch T at a fixed address per
+        // (i, n): they carry the accumulation dependence.
+        for m in by("j") {
+            assert!(!g.parallelizable(m));
+        }
+    }
+
+    #[test]
+    fn tiled_two_index_t_buffer_reuse_is_tracked_across_tiles() {
+        let (_, g) = graph("tiled_two_index");
+        // T[iI,nI] uses non-common intra indices between S1/S2/S3: the
+        // tile-local buffer aliases across (iT, nT) tiles, so those deps are
+        // conservative.
+        let d = g
+            .deps
+            .iter()
+            .find(|d| d.array == Sym::new("T") && d.src.stmt != d.dst.stmt)
+            .expect("cross-stmt T dependence");
+        assert!(!d.precise);
+    }
+
+    #[test]
+    fn fused_scalar_reuse_blocks_interchange() {
+        // Scalar T is written and read by every (i, n) iteration: its
+        // dependences have exact `*` directions over (i, n), so
+        // interchanging them reverses e.g. the (<, >) instance. The verdict
+        // is Illegal under the dependence-preservation contract (T would
+        // need privatization, which is outside the lattice).
+        let p = programs::two_index_fused();
+        let g = analyze(&p);
+        let seg = sdlo_ir::perfect_segment(&p, StmtId(0)).unwrap();
+        let names: Vec<&str> = seg.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["i", "n"]);
+        let order: Vec<Sym> = ["n", "i"].iter().map(Sym::new).collect();
+        assert_eq!(
+            g.permutation_legality(&p, StmtId(0), &order),
+            Ok(Legality::Illegal)
+        );
+    }
+
+    #[test]
+    fn illegal_permutation_is_detected() {
+        // for i, j, k:  Z[j] += W[k,i] * u   — Z's output/flow deps have
+        // directions (*, =, *); moving `i` innermost maps (<, =, >) to
+        // (=, >, <): reversed, and the dependence is precise → Illegal.
+        let mut p = Program::new("perm-illegal");
+        let z = p.declare("Z", vec![Expr::var("Nj")]);
+        let w = p.declare("W", vec![Expr::var("Nk"), Expr::var("Ni")]);
+        let u = p.declare("U", vec![Expr::one()]);
+        let stmt = Node::Stmt(Stmt {
+            id: StmtId(0),
+            label: "Z[j] += W[k,i] * U".into(),
+            refs: vec![
+                sdlo_ir::ArrayRef::write(z, vec![DimExpr::index("j")]),
+                sdlo_ir::ArrayRef::read(w, vec![DimExpr::index("k"), DimExpr::index("i")]),
+                sdlo_ir::ArrayRef::read(u, vec![DimExpr { parts: vec![] }]),
+            ],
+            kind: StmtKind::MulAddAssign,
+        });
+        p.root = vec![Node::loop_(
+            "i",
+            Expr::var("Ni"),
+            vec![Node::loop_(
+                "j",
+                Expr::var("Nj"),
+                vec![Node::loop_("k", Expr::var("Nk"), vec![stmt])],
+            )],
+        )];
+        p.validate().unwrap();
+        let g = analyze(&p);
+        let order: Vec<Sym> = ["j", "k", "i"].iter().map(Sym::new).collect();
+        assert_eq!(
+            g.permutation_legality(&p, StmtId(0), &order),
+            Ok(Legality::Illegal)
+        );
+        // Swapping only j and k keeps Z's `=` at j ordered: still fine.
+        let order: Vec<Sym> = ["i", "k", "j"].iter().map(Sym::new).collect();
+        assert_eq!(
+            g.permutation_legality(&p, StmtId(0), &order),
+            Ok(Legality::Proven)
+        );
+    }
+
+    #[test]
+    fn tiling_matmul_loops_is_proven() {
+        let (p, g) = graph("matmul");
+        for sub in [&["i"][..], &["j"][..], &["k"][..], &["i", "j", "k"][..]] {
+            let tiled: Vec<Sym> = sub.iter().map(Sym::new).collect();
+            assert_eq!(
+                g.tiling_legality(&p, StmtId(0), &tiled),
+                Ok(Legality::Proven),
+                "{sub:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirset_rendering() {
+        assert_eq!(DirSet::any().to_string(), "*");
+        assert_eq!(DirSet::eq().to_string(), "=");
+        assert_eq!(DirSet::le().to_string(), "<=");
+        assert_eq!(DirSet::any().reversed(), DirSet::any());
+        assert_eq!(DirSet::le().reversed(), DirSet::ge());
+        assert_eq!(DirSet::eq().tile_relaxed(), DirSet::eq());
+        assert_eq!(single(Dir::Lt).tile_relaxed(), DirSet::le());
+    }
+
+    #[test]
+    fn summary_counts_add_up() {
+        for name in programs::BUILTIN_NAMES {
+            let (_, g) = graph(name);
+            let s = g.summary();
+            assert_eq!(s.total, s.flow + s.anti + s.output, "{name}");
+            assert_eq!(s.total, g.deps.len());
+        }
+    }
+
+    #[test]
+    fn dot_renders_every_dependence() {
+        let (p, g) = graph("two_index_unfused");
+        let dot = g.to_dot(&p.name);
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches(" -> ").count(), g.deps.len());
+    }
+}

@@ -1,0 +1,481 @@
+//! Applying linter fix-its to the loop tree: loop permutation and tiling of
+//! a statement's **perfect segment**.
+//!
+//! The perfect segment of a statement is the maximal suffix `l_k .. l_n` of
+//! its enclosing loop chain in which every loop except the innermost has
+//! exactly one child (the next loop of the suffix). Every statement under
+//! `l_k` therefore sits under the whole segment, which makes the segment the
+//! largest band of loops that can be permuted — or strip-mined with the tile
+//! loops hoisted to the top of the band — by rewriting loop headers alone,
+//! without restructuring sibling statements.
+//!
+//! Neither function checks *dependence* legality; that is `sdlo-deps`'
+//! [`permutation_legality`](../sdlo_deps/struct.DepGraph.html) /
+//! [`tiling_legality`](../sdlo_deps/struct.DepGraph.html). These appliers
+//! enforce only structural validity and return a fresh, validated program.
+
+use crate::node::{DimExpr, Node};
+use crate::program::{Program, StmtId, ValidateError};
+use sdlo_symbolic::{Expr, Sym};
+use std::collections::BTreeSet;
+
+/// Error from [`apply_permute`] / [`apply_tile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// The statement does not exist.
+    NoSuchStmt(StmtId),
+    /// The requested order is not a permutation of the perfect segment.
+    NotAPermutation,
+    /// A loop named in a tiling request is not in the perfect segment.
+    NotInSegment(Sym),
+    /// A subscript using a tiled index has a non-unit stride (already
+    /// tiled); re-tiling is unsupported.
+    NonUnitStride(Sym),
+    /// A generated loop index (`xT` / `xI`) collides with an existing one.
+    NameClash(Sym),
+    /// The rewritten program failed validation (indicates a bug here).
+    Validate(ValidateError),
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::NoSuchStmt(s) => write!(f, "no statement S{}", s.0),
+            ApplyError::NotAPermutation => {
+                write!(f, "order is not a permutation of the perfect segment")
+            }
+            ApplyError::NotInSegment(s) => {
+                write!(f, "loop `{s}` is not in the statement's perfect segment")
+            }
+            ApplyError::NonUnitStride(s) => {
+                write!(f, "subscripts using `{s}` have non-unit stride")
+            }
+            ApplyError::NameClash(s) => {
+                write!(
+                    f,
+                    "generated loop index `{s}` collides with an existing name"
+                )
+            }
+            ApplyError::Validate(e) => write!(f, "rewritten program is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// Child-index path from `program.root` down to the statement node.
+fn path_to_stmt(program: &Program, stmt: StmtId) -> Option<Vec<usize>> {
+    fn rec(nodes: &[Node], stmt: StmtId, path: &mut Vec<usize>) -> bool {
+        for (i, n) in nodes.iter().enumerate() {
+            path.push(i);
+            match n {
+                Node::Stmt(s) if s.id == stmt => return true,
+                Node::Loop(l) => {
+                    if rec(&l.body, stmt, path) {
+                        return true;
+                    }
+                }
+                Node::Stmt(_) => {}
+            }
+            path.pop();
+        }
+        false
+    }
+    let mut path = Vec::new();
+    rec(&program.root, stmt, &mut path).then_some(path)
+}
+
+/// The perfect segment of `stmt`: index names of the maximal permutable
+/// loop band ending at the statement's innermost enclosing loop, outermost
+/// first. Empty when the statement sits outside any loop; `None` when the
+/// statement does not exist.
+pub fn perfect_segment(program: &Program, stmt: StmtId) -> Option<Vec<Sym>> {
+    let path = path_to_stmt(program, stmt)?;
+    let mut cur = &program.root;
+    let mut chain: Vec<(Sym, usize)> = Vec::new();
+    for p in &path[..path.len().saturating_sub(1)] {
+        let Node::Loop(l) = &cur[*p] else {
+            return None;
+        };
+        chain.push((l.index.clone(), l.body.len()));
+        cur = &l.body;
+    }
+    let n = chain.len();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let mut k = n - 1; // the innermost loop is always in its own segment
+    while k > 0 && chain[k - 1].1 == 1 {
+        k -= 1;
+    }
+    Some(chain[k..].iter().map(|(s, _)| s.clone()).collect())
+}
+
+/// Reorder the perfect segment around `stmt` to `order` (outermost first).
+/// Only loop headers move: bodies, statements and subscripts are untouched,
+/// which is exactly loop interchange over a perfect band.
+pub fn apply_permute(
+    program: &Program,
+    stmt: StmtId,
+    order: &[Sym],
+) -> Result<Program, ApplyError> {
+    let seg = perfect_segment(program, stmt).ok_or(ApplyError::NoSuchStmt(stmt))?;
+    if order.len() != seg.len()
+        || !seg.iter().all(|s| order.contains(s))
+        || !order.iter().all(|s| seg.contains(s))
+    {
+        return Err(ApplyError::NotAPermutation);
+    }
+    let path = path_to_stmt(program, stmt).ok_or(ApplyError::NoSuchStmt(stmt))?;
+    let chain_len = path.len() - 1;
+    let seg_start = chain_len - seg.len();
+
+    // Collect each segment loop's bound, keyed by index name.
+    let mut bounds: Vec<(Sym, Expr)> = Vec::new();
+    let mut cur = &program.root;
+    for (depth, p) in path[..chain_len].iter().enumerate() {
+        let Node::Loop(l) = &cur[*p] else {
+            unreachable!("path_to_stmt returns loop-only prefixes");
+        };
+        if depth >= seg_start {
+            bounds.push((l.index.clone(), l.bound.clone()));
+        }
+        cur = &l.body;
+    }
+
+    let mut out = program.clone();
+    let mut cur = &mut out.root;
+    for (depth, p) in path[..chain_len].iter().enumerate() {
+        let Node::Loop(l) = &mut cur[*p] else {
+            unreachable!("path_to_stmt returns loop-only prefixes");
+        };
+        if depth >= seg_start {
+            let s = &order[depth - seg_start];
+            let (_, bound) = bounds
+                .iter()
+                .find(|(idx, _)| idx == s)
+                .expect("order is a permutation of the segment");
+            l.index = s.clone();
+            l.bound = bound.clone();
+        }
+        cur = &mut l.body;
+    }
+    out.validate().map_err(ApplyError::Validate)?;
+    Ok(out)
+}
+
+/// Strip-mine the loops named in `tiles` (pairs of segment loop index →
+/// tile-size symbol), hoisting the new tile loops `xT` to the top of the
+/// perfect segment in segment order and shrinking each tiled loop to an
+/// intra-tile loop `xI` in place. Subscripts `(x, 1)` become
+/// `(xT, Tx), (xI, 1)` pairs and tiled array extents are padded to whole
+/// tiles — the imperfect-nest generalization of
+/// [`tile_perfect_nest`](crate::tile_perfect_nest).
+pub fn apply_tile(
+    program: &Program,
+    stmt: StmtId,
+    tiles: &[(Sym, Sym)],
+) -> Result<Program, ApplyError> {
+    let seg = perfect_segment(program, stmt).ok_or(ApplyError::NoSuchStmt(stmt))?;
+    for (x, _) in tiles {
+        if !seg.contains(x) {
+            return Err(ApplyError::NotInSegment(x.clone()));
+        }
+    }
+    let path = path_to_stmt(program, stmt).ok_or(ApplyError::NoSuchStmt(stmt))?;
+    let chain_len = path.len() - 1;
+    let seg_start = chain_len - seg.len();
+
+    // Generated names must be fresh among all loop indices and free symbols.
+    let mut taken: BTreeSet<Sym> = program.free_symbols();
+    fn indices(nodes: &[Node], out: &mut BTreeSet<Sym>) {
+        for n in nodes {
+            if let Node::Loop(l) = n {
+                out.insert(l.index.clone());
+                indices(&l.body, out);
+            }
+        }
+    }
+    indices(&program.root, &mut taken);
+    let tile_for = |x: &Sym| -> Option<&Sym> { tiles.iter().find(|(i, _)| i == x).map(|(_, t)| t) };
+    for (x, _) in tiles {
+        for gen in [format!("{x}T"), format!("{x}I")] {
+            let gen = Sym::new(gen);
+            if taken.contains(&gen) {
+                return Err(ApplyError::NameClash(gen));
+            }
+        }
+    }
+
+    let mut out = program.clone();
+
+    // Detach the segment's outermost loop, peel the segment chain off it,
+    // and rebuild: tile loops (segment order) outermost, then the original
+    // segment with tiled loops shrunk to their intra loops. Padding and
+    // subscript rewriting stay scoped to this subtree — sibling nests may
+    // legally reuse a tiled index name and must not be touched.
+    let mut cur = &mut out.root;
+    for p in &path[..seg_start] {
+        let Node::Loop(l) = &mut cur[*p] else {
+            unreachable!("path_to_stmt returns loop-only prefixes");
+        };
+        cur = &mut l.body;
+    }
+    let outer_pos = path[seg_start];
+    let placeholder = Node::loop_("__apply_tile_hole", Expr::one(), Vec::new());
+    let mut rest = std::mem::replace(&mut cur[outer_pos], placeholder);
+    let mut headers: Vec<(Sym, Expr)> = Vec::with_capacity(seg.len());
+    let mut inner_body = Vec::new();
+    for level in 0..seg.len() {
+        let Node::Loop(l) = rest else {
+            unreachable!("segment chain is loop-only");
+        };
+        headers.push((l.index, l.bound));
+        let mut body = l.body;
+        if level + 1 < seg.len() {
+            debug_assert_eq!(body.len(), 1, "segment loops have a single child");
+            rest = body.pop().expect("non-empty segment body");
+        } else {
+            inner_body = body;
+            rest = Node::loop_("__apply_tile_done", Expr::one(), Vec::new());
+        }
+    }
+    let _ = rest;
+
+    // Pad tiled array extents (once per array dimension and tile variable)
+    // and rewrite the subtree's subscripts.
+    let mut padded: BTreeSet<(usize, usize, Sym)> = BTreeSet::new();
+    fn scan(
+        nodes: &[Node],
+        tiles: &[(Sym, Sym)],
+        padded: &mut BTreeSet<(usize, usize, Sym)>,
+    ) -> Result<(), ApplyError> {
+        for n in nodes {
+            match n {
+                Node::Loop(l) => scan(&l.body, tiles, padded)?,
+                Node::Stmt(s) => {
+                    for r in &s.refs {
+                        for (d, dim) in r.dims.iter().enumerate() {
+                            for (idx, stride) in &dim.parts {
+                                if let Some((_, t)) = tiles.iter().find(|(i, _)| i == idx) {
+                                    if stride.as_const() != Some(1) {
+                                        return Err(ApplyError::NonUnitStride(idx.clone()));
+                                    }
+                                    padded.insert((r.array.0, d, t.clone()));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+    scan(&inner_body, tiles, &mut padded)?;
+    for (a, d, t) in &padded {
+        let orig = out.arrays[*a].dims[*d].clone();
+        out.arrays[*a].dims[*d] = orig.ceil_div(&Expr::var(t.name())) * Expr::var(t.name());
+    }
+    fn rewrite(nodes: &mut [Node], tiles: &[(Sym, Sym)]) {
+        for n in nodes {
+            match n {
+                Node::Loop(l) => rewrite(&mut l.body, tiles),
+                Node::Stmt(s) => {
+                    for r in &mut s.refs {
+                        for dim in &mut r.dims {
+                            let mut parts = Vec::new();
+                            for (idx, stride) in &dim.parts {
+                                match tiles.iter().find(|(i, _)| i == idx) {
+                                    Some((_, t)) => {
+                                        parts.push((
+                                            Sym::new(format!("{idx}T")),
+                                            Expr::var(t.name()),
+                                        ));
+                                        parts.push((Sym::new(format!("{idx}I")), Expr::one()));
+                                    }
+                                    None => parts.push((idx.clone(), stride.clone())),
+                                }
+                            }
+                            *dim = DimExpr { parts };
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut body = inner_body;
+    rewrite(&mut body, tiles);
+    for (idx, bound) in headers.iter().rev() {
+        let node = match tile_for(idx) {
+            Some(t) => Node::loop_(format!("{idx}I"), Expr::var(t.name()), body),
+            None => Node::loop_(idx.clone(), bound.clone(), body),
+        };
+        body = vec![node];
+    }
+    for (idx, bound) in headers.iter().rev() {
+        if let Some(t) = tile_for(idx) {
+            body = vec![Node::loop_(
+                format!("{idx}T"),
+                bound.ceil_div(&Expr::var(t.name())),
+                body,
+            )];
+        }
+    }
+    cur[outer_pos] = body.pop().expect("segment rebuild yields one root");
+    out.validate().map_err(ApplyError::Validate)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+    use crate::{execute, Bindings, CompiledProgram, Memory};
+
+    #[test]
+    fn segments_of_builtins() {
+        let seg = |p: &Program, s: usize| {
+            perfect_segment(p, StmtId(s))
+                .unwrap()
+                .iter()
+                .map(|x| x.name().to_string())
+                .collect::<Vec<_>>()
+        };
+        let p = programs::matmul();
+        assert_eq!(seg(&p, 0), ["i", "j", "k"]);
+        let p = programs::two_index_fused();
+        assert_eq!(seg(&p, 0), ["i", "n"]);
+        assert_eq!(seg(&p, 1), ["j"]);
+        assert_eq!(seg(&p, 2), ["m"]);
+        let p = programs::tiled_two_index();
+        assert_eq!(seg(&p, 3), ["mT", "iI", "nI", "mI"]);
+        assert!(perfect_segment(&p, StmtId(99)).is_none());
+    }
+
+    #[test]
+    fn permute_matmul_reorders_headers_only() {
+        let p = programs::matmul();
+        let order: Vec<Sym> = ["k", "i", "j"].iter().map(Sym::new).collect();
+        let q = apply_permute(&p, StmtId(0), &order).unwrap();
+        let text = q.render();
+        let pos = |needle: &str| text.find(needle).unwrap();
+        assert!(pos("for k") < pos("for i"), "{text}");
+        assert!(pos("for i") < pos("for j"), "{text}");
+        // Same trace multiset: execution produces identical results.
+        let b = Bindings::new().with("Ni", 5).with("Nj", 4).with("Nk", 3);
+        let cp = CompiledProgram::compile(&p, &b).unwrap();
+        let cq = CompiledProgram::compile(&q, &b).unwrap();
+        let mut mp = Memory::zeroed(&cp);
+        let mut mq = Memory::zeroed(&cq);
+        for (prog, m) in [(&p, &mut mp), (&q, &mut mq)] {
+            for name in ["A", "B"] {
+                let id = prog.array_by_name(name).unwrap().id;
+                m.fill_with(id, |i| ((i * 7 + 3) % 13) as f64);
+            }
+        }
+        execute(&cp, &mut mp).unwrap();
+        execute(&cq, &mut mq).unwrap();
+        assert_eq!(
+            mp.array(p.array_by_name("C").unwrap().id),
+            mq.array(q.array_by_name("C").unwrap().id)
+        );
+    }
+
+    #[test]
+    fn permute_rejects_non_permutations() {
+        let p = programs::matmul();
+        let order: Vec<Sym> = ["i", "j"].iter().map(Sym::new).collect();
+        assert_eq!(
+            apply_permute(&p, StmtId(0), &order),
+            Err(ApplyError::NotAPermutation)
+        );
+        let order: Vec<Sym> = ["i", "j", "z"].iter().map(Sym::new).collect();
+        assert_eq!(
+            apply_permute(&p, StmtId(0), &order),
+            Err(ApplyError::NotAPermutation)
+        );
+    }
+
+    #[test]
+    fn tile_matmul_matches_tile_perfect_nest() {
+        let p = programs::matmul();
+        let tiles: Vec<(Sym, Sym)> = [("i", "Ti"), ("j", "Tj"), ("k", "Tk")]
+            .iter()
+            .map(|(a, b)| (Sym::new(*a), Sym::new(*b)))
+            .collect();
+        let via_apply = apply_tile(&p, StmtId(0), &tiles).unwrap();
+        let via_nest =
+            crate::tile_perfect_nest(&p, &[("i", "Ti"), ("j", "Tj"), ("k", "Tk")]).unwrap();
+        assert_eq!(via_apply.root, via_nest.root);
+        assert_eq!(via_apply.arrays.len(), via_nest.arrays.len());
+        for (a, b) in via_apply.arrays.iter().zip(&via_nest.arrays) {
+            assert_eq!(a.dims, b.dims);
+        }
+    }
+
+    #[test]
+    fn tile_imperfect_segment_keeps_siblings() {
+        // two_index_fused S1's segment is just `j`; tiling it inserts jT
+        // directly around the shrunk j-intra loop without disturbing the
+        // sibling statements under `n`.
+        let p = programs::two_index_fused();
+        let tiles = vec![(Sym::new("j"), Sym::new("Tj"))];
+        let q = apply_tile(&p, StmtId(1), &tiles).unwrap();
+        q.validate().unwrap();
+        let text = q.render();
+        assert!(text.contains("for jT"), "{text}");
+        assert!(text.contains("for jI"), "{text}");
+        assert_eq!(q.stmt_count(), p.stmt_count());
+        // Execution equivalence when the tile divides the bound.
+        let b = Bindings::new()
+            .with("Ni", 3)
+            .with("Nn", 4)
+            .with("Nj", 6)
+            .with("Nm", 2)
+            .with("Tj", 3);
+        let cp = CompiledProgram::compile(&p, &b).unwrap();
+        let cq = CompiledProgram::compile(&q, &b).unwrap();
+        let mut mp = Memory::zeroed(&cp);
+        let mut mq = Memory::zeroed(&cq);
+        for (prog, m) in [(&p, &mut mp), (&q, &mut mq)] {
+            for a in &prog.arrays {
+                if a.name.name() != "T"
+                    && !prog.stmts().iter().any(|s| {
+                        s.refs
+                            .first()
+                            .is_some_and(|r| r.array == a.id && r.is_write)
+                    })
+                {
+                    m.fill_with(a.id, |i| ((i * 5 + 1) % 9) as f64);
+                }
+            }
+        }
+        execute(&cp, &mut mp).unwrap();
+        execute(&cq, &mut mq).unwrap();
+        for a in &p.arrays {
+            let qa = q.array_by_name(a.name.name()).unwrap();
+            assert_eq!(mp.array(a.id), mq.array(qa.id), "array {}", a.name);
+        }
+    }
+
+    #[test]
+    fn tile_rejects_out_of_segment_loops() {
+        let p = programs::two_index_fused();
+        let tiles = vec![(Sym::new("i"), Sym::new("Ti"))];
+        assert_eq!(
+            apply_tile(&p, StmtId(1), &tiles),
+            Err(ApplyError::NotInSegment(Sym::new("i")))
+        );
+    }
+
+    #[test]
+    fn tile_rejects_name_clashes() {
+        // tiled_two_index already has loops named iT/iI … tiling mI would
+        // generate mIT/mII (fresh), but tiling a synthetic loop named `i`
+        // when `iT` exists must fail. Build that case directly.
+        let p = programs::tiled_two_index();
+        let tiles = vec![(Sym::new("mI"), Sym::new("TmI"))];
+        let q = apply_tile(&p, StmtId(3), &tiles).unwrap();
+        assert!(q.render().contains("for mIT"), "{}", q.render());
+    }
+}

@@ -24,6 +24,7 @@
 //! dimension with different strides: `A[iT+iI]` becomes the dimension
 //! expression `(iT-1)*Ti + (iI-1) + 1`.
 
+mod apply;
 pub mod canon;
 mod exec;
 mod node;
@@ -32,6 +33,7 @@ pub mod programs;
 mod tile;
 pub mod trace;
 
+pub use apply::{apply_permute, apply_tile, perfect_segment, ApplyError};
 pub use canon::{canonical_hash, canonicalize, Canonical};
 pub use exec::{execute, ExecError, Memory};
 pub use node::{ArrayRef, DimExpr, LoopNode, Node, Stmt, StmtKind};

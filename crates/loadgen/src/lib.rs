@@ -248,6 +248,8 @@ struct ClientOutcome {
     latencies: Vec<u64>,
     per_op_sent: BTreeMap<&'static str, u64>,
     per_op_ok: BTreeMap<&'static str, u64>,
+    /// Latency of every successful request, keyed by op, microseconds.
+    per_op_latencies: BTreeMap<&'static str, Vec<u64>>,
     /// First few validation failures, verbatim, for the report.
     complaints: Vec<String>,
 }
@@ -269,11 +271,21 @@ pub struct LoadReport {
     pub client_p999: u64,
     pub client_max: u64,
     pub client_mean: f64,
-    pub per_op: BTreeMap<&'static str, (u64, u64)>,
+    pub per_op: BTreeMap<&'static str, OpStats>,
     pub complaints: Vec<String>,
     /// The server's view, parsed from its Prometheus exposition after the
     /// run (absent when the scrape failed).
     pub server: Option<ServerView>,
+}
+
+/// Per-op request counts and latency quantiles (µs) over successful
+/// requests of that op, client-side.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OpStats {
+    pub sent: u64,
+    pub ok: u64,
+    pub p50: u64,
+    pub p99: u64,
 }
 
 /// Exact quantile (µs) of a sorted latency vector: the smallest recorded
@@ -353,6 +365,10 @@ pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
                                 o.ok += 1;
                                 *o.per_op_ok.entry(op.name()).or_default() += 1;
                                 o.latencies.push(micros);
+                                o.per_op_latencies
+                                    .entry(op.name())
+                                    .or_default()
+                                    .push(micros);
                             }
                             Verdict::Overloaded => o.overloaded += 1,
                             Verdict::Protocol(why) => {
@@ -401,6 +417,7 @@ pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
         server: None,
     };
     let mut all_latencies: Vec<u64> = Vec::new();
+    let mut op_latencies: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
     for o in outcomes {
         report.requests += o.sent;
         report.ok += o.ok;
@@ -408,15 +425,24 @@ pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
         report.protocol_errors += o.protocol_errors;
         report.transport_errors += o.transport_errors;
         for (op, n) in o.per_op_sent {
-            report.per_op.entry(op).or_insert((0, 0)).0 += n;
+            report.per_op.entry(op).or_default().sent += n;
         }
         for (op, n) in o.per_op_ok {
-            report.per_op.entry(op).or_insert((0, 0)).1 += n;
+            report.per_op.entry(op).or_default().ok += n;
+        }
+        for (op, v) in o.per_op_latencies {
+            op_latencies.entry(op).or_default().extend(v);
         }
         if report.complaints.len() < 16 {
             report.complaints.extend(o.complaints);
         }
         all_latencies.extend(o.latencies);
+    }
+    for (op, v) in &mut op_latencies {
+        v.sort_unstable();
+        let stats = report.per_op.entry(op).or_default();
+        stats.p50 = quantile(v, 0.50);
+        stats.p99 = quantile(v, 0.99);
     }
     all_latencies.sort_unstable();
     report.client_p50 = quantile(&all_latencies, 0.50);
@@ -594,10 +620,15 @@ impl LoadReport {
         let per_op: Vec<(String, Value)> = self
             .per_op
             .iter()
-            .map(|(op, (sent, ok))| {
+            .map(|(op, s)| {
                 (
                     op.to_string(),
-                    Value::obj(vec![("sent", Value::from(*sent)), ("ok", Value::from(*ok))]),
+                    Value::obj(vec![
+                        ("sent", Value::from(s.sent)),
+                        ("ok", Value::from(s.ok)),
+                        ("p50", Value::from(s.p50)),
+                        ("p99", Value::from(s.p99)),
+                    ]),
                 )
             })
             .collect();
@@ -705,14 +736,15 @@ impl LoadReport {
             // `predict` never nests in batches here, so the server-side op
             // counter must match the client-side count exactly (rejected
             // predicts never reach the engine).
-            if let Some((sent, ok)) = self.per_op.get("predict") {
+            if let Some(s) = self.per_op.get("predict") {
                 let engine_seen = server.requests_per_op.get("predict").copied().unwrap_or(0);
-                if engine_seen != *ok + (self.protocol_errors.min(sent - ok)) {
+                if engine_seen != s.ok + (self.protocol_errors.min(s.sent - s.ok)) {
                     // ok + engine-side failures; with zero protocol errors
                     // this is just `ok`.
-                    if self.protocol_errors == 0 && engine_seen != *ok {
+                    if self.protocol_errors == 0 && engine_seen != s.ok {
                         fails.push(format!(
-                            "server served {engine_seen} predicts, clients got {ok} replies"
+                            "server served {engine_seen} predicts, clients got {} replies",
+                            s.ok
                         ));
                     }
                 }
@@ -765,6 +797,13 @@ impl LoadReport {
             "  client latency µs: p50 {}  p99 {}  p999 {}  max {}",
             self.client_p50, self.client_p99, self.client_p999, self.client_max
         );
+        for (op, s) in &self.per_op {
+            let _ = writeln!(
+                out,
+                "    {op:<8} {} sent, {} ok  µs: p50 {}  p99 {}",
+                s.sent, s.ok, s.p50, s.p99
+            );
+        }
         if let Some(s) = &self.server {
             let _ = writeln!(
                 out,
@@ -887,5 +926,51 @@ sdlo_connections_active 2
         assert_eq!(quantile(&sorted, 0.999), 999);
         assert_eq!(quantile(&[], 0.5), 0);
         assert_eq!(quantile(&[7], 0.999), 7);
+    }
+
+    #[test]
+    fn report_carries_per_op_quantiles_in_json_and_summary() {
+        let mut per_op = BTreeMap::new();
+        per_op.insert(
+            "predict",
+            OpStats {
+                sent: 10,
+                ok: 9,
+                p50: 120,
+                p99: 900,
+            },
+        );
+        let report = LoadReport {
+            config_summary: vec![
+                ("clients".to_string(), Value::from(1u64)),
+                ("seed".to_string(), Value::from(1u64)),
+                ("mix".to_string(), Value::from("predict=1")),
+            ],
+            requests: 10,
+            ok: 9,
+            overloaded: 1,
+            protocol_errors: 0,
+            transport_errors: 0,
+            wall_secs: 1.0,
+            throughput_rps: 9.0,
+            client_p50: 120,
+            client_p99: 900,
+            client_p999: 900,
+            client_max: 901,
+            client_mean: 200.0,
+            per_op,
+            complaints: Vec::new(),
+            server: None,
+        };
+        let json = report.to_json().render();
+        assert!(
+            json.contains(r#""predict":{"sent":10,"ok":9,"p50":120,"p99":900}"#),
+            "per_op JSON lost its quantiles: {json}"
+        );
+        let text = report.summary();
+        assert!(
+            text.contains("predict  10 sent, 9 ok  µs: p50 120  p99 900"),
+            "summary lost the per-op line:\n{text}"
+        );
     }
 }

@@ -448,6 +448,13 @@ impl Engine {
         };
         let diags = sdlo_analysis::lint(&program);
         let counts = sdlo_analysis::SeverityCounts::of(&diags);
+        // Dependence info is only meaningful for structurally valid trees;
+        // for the invalid inline programs `lint` deliberately accepts, the
+        // `deps` field is null.
+        let deps = match program.validate() {
+            Ok(()) => sdlo_wire::dep_summary_to_value(&sdlo_deps::analyze(&program).summary()),
+            Err(_) => Value::Null,
+        };
         self.metrics
             .lint_diag_errors
             .fetch_add(counts.errors as u64, Relaxed);
@@ -471,6 +478,7 @@ impl Engine {
                     ("info", Value::from(counts.infos)),
                 ]),
             ),
+            ("deps", deps),
         ])
     }
 

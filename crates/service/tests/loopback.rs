@@ -428,6 +428,80 @@ fn pipelined_requests_are_answered_in_order() {
     handle.shutdown();
 }
 
+/// Pipeline one slow request followed by fast ones on a single connection
+/// and return, for each reply, (id, µs since the batch was written).
+fn pipelined_slow_then_fast(workers: usize) -> Vec<(i64, u128)> {
+    let config = ServerConfig {
+        workers,
+        engine: EngineConfig {
+            enable_test_ops: true,
+            ..EngineConfig::default()
+        },
+        ..small_server()
+    };
+    let handle = start(config);
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut batch = String::from(r#"{"op":"sleep","id":0,"millis":600}"#);
+    batch.push('\n');
+    for i in 1..8 {
+        batch.push_str(&format!(r#"{{"op":"stats","id":{i}}}"#));
+        batch.push('\n');
+    }
+    writer.write_all(batch.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    let t0 = std::time::Instant::now();
+    let mut reader = BufReader::new(stream);
+    let replies = (0..8)
+        .map(|_| {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let resp = sdlo_wire::parse(line.trim_end()).expect("valid response json");
+            assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp:?}");
+            (
+                resp.get("id").unwrap().as_i64().unwrap(),
+                t0.elapsed().as_micros(),
+            )
+        })
+        .collect();
+    handle.shutdown();
+    replies
+}
+
+#[test]
+fn reorder_buffer_holds_fast_replies_behind_a_slow_head() {
+    // Four workers: the stats requests finish while the head-of-line sleep
+    // is still running, so the reorder buffer must hold their replies. The
+    // wire still delivers ids 0..8 in request order, and every held reply
+    // arrives in one burst right after the slow head (not 7 round-trips
+    // later).
+    let replies = pipelined_slow_then_fast(4);
+    let ids: Vec<i64> = replies.iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, (0..8).collect::<Vec<i64>>());
+    let head_at = replies[0].1;
+    assert!(
+        head_at >= 500_000,
+        "sleep reply came back after {head_at}µs, before its 600ms elapsed"
+    );
+    let last_at = replies[7].1;
+    assert!(
+        last_at - head_at < 400_000,
+        "buffered replies took {}µs after the head — they were not pre-completed",
+        last_at - head_at
+    );
+}
+
+#[test]
+fn single_worker_preserves_pipeline_order_without_reordering() {
+    // One worker degenerates to sequential execution: same observable
+    // contract, nothing for the reorder buffer to do.
+    let replies = pipelined_slow_then_fast(1);
+    let ids: Vec<i64> = replies.iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, (0..8).collect::<Vec<i64>>());
+    assert!(replies[0].1 >= 500_000);
+}
+
 #[test]
 fn many_concurrent_connections_all_get_served() {
     // Way more connections than worker threads: the event loop must keep

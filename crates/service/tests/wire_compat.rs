@@ -108,7 +108,27 @@ fn lint_stats_metrics_reply_keys_are_stable() {
     let lint = parse(&e.handle_line(r#"{"op":"lint","program":"matmul"}"#));
     assert_eq!(
         keys(&lint),
-        ["request_id", "v", "ok", "program", "diagnostics", "summary"]
+        [
+            "request_id",
+            "v",
+            "ok",
+            "program",
+            "diagnostics",
+            "summary",
+            "deps"
+        ]
+    );
+    assert_eq!(
+        keys(lint.get("deps").unwrap()),
+        [
+            "total",
+            "flow",
+            "anti",
+            "output",
+            "precise",
+            "carried",
+            "parallelizable"
+        ]
     );
 
     let stats = parse(&e.handle_line(r#"{"op":"stats"}"#));
@@ -135,6 +155,36 @@ fn lint_stats_metrics_reply_keys_are_stable() {
     );
     let text = metrics.get("text").unwrap().as_str().unwrap();
     assert!(text.contains("sdlo_searches_cancelled_total 0"));
+}
+
+#[test]
+fn lint_fixit_legality_is_byte_stable() {
+    // Protocol v1 contract for legality-vetted fix-its: the `fixit` object
+    // carries `legality` and (when machine-applicable) a `target` payload,
+    // and the reply's `deps` summary is byte-stable for a fixed program.
+    let e = engine();
+    let reply =
+        parse(&e.handle_line(r#"{"op":"lint","request_id":"golden-1","program":"matmul"}"#));
+    let fixit = reply
+        .get("diagnostics")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .find_map(|d| {
+            (d.get("rule").unwrap().as_str() == Some("untiled-reuse")
+                && d.path(&["span", "array"]).unwrap().as_str() == Some("B"))
+            .then(|| d.get("fixit").unwrap())
+        })
+        .expect("matmul carries an untiled-reuse fix-it on B");
+    assert_eq!(
+        fixit.render(),
+        r#"{"action":"tile-loop","detail":"tile loop `i` with fresh tile size `Ti` (split into `iT`/`iI`) so the reuse of `B` spans one tile instead of the full extent","legality":"proven","target":{"tile":{"stmt":0,"loops":[{"loop":"i","tile_sym":"Ti"}]}}}"#
+    );
+    assert_eq!(
+        reply.get("deps").unwrap().render(),
+        r#"{"total":3,"flow":1,"anti":1,"output":1,"precise":3,"carried":{"j":3},"parallelizable":["i","k"]}"#
+    );
 }
 
 #[test]

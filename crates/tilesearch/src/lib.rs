@@ -543,6 +543,99 @@ impl<'a> TileSearcher<'a> {
     }
 }
 
+/// Outcome of an order-aware search: the best *legal* loop order of one
+/// statement's perfect segment together with the tile search run on it.
+#[derive(Debug, Clone)]
+pub struct OrderSearchOutcome {
+    /// The winning loop order (outermost first).
+    pub best_order: Vec<Sym>,
+    /// The tile-search outcome for the winning order.
+    pub outcome: SearchOutcome,
+    /// Permutations enumerated (legal + illegal).
+    pub orders_considered: usize,
+    /// Permutations rejected up front by the dependence analysis — these
+    /// never cost a model build or a miss evaluation.
+    pub pruned_illegal: usize,
+}
+
+/// All permutations of `syms`, in lexicographic generation order.
+fn permutations(syms: &[Sym]) -> Vec<Vec<Sym>> {
+    if syms.len() <= 1 {
+        return vec![syms.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, head) in syms.iter().enumerate() {
+        let mut rest: Vec<Sym> = syms.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head.clone());
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// Search every **legal** loop order of `stmt`'s perfect segment: orders
+/// the dependence analysis proves illegal are rejected before any model is
+/// built (counted in the `search.pruned_illegal` trace attribute), each
+/// surviving order is applied with [`sdlo_ir::apply_permute`] and given a
+/// full pruned tile search, and the best (order, tiles) pair wins under the
+/// same preference as [`better`].
+///
+/// `base` must bind every free symbol of the program except the tile
+/// symbols; an empty `space.tile_syms` degenerates to comparing the orders
+/// themselves (one miss evaluation each).
+pub fn search_orders(
+    program: &sdlo_ir::Program,
+    stmt: sdlo_ir::StmtId,
+    base: &Bindings,
+    cache_size: u64,
+    space: &SearchSpace,
+    budget: &SearchBudget,
+) -> Result<OrderSearchOutcome, sdlo_ir::ApplyError> {
+    let span = sdlo_trace::span("tilesearch.orders");
+    span.attr("cache_size", cache_size);
+    let graph = sdlo_deps::analyze(program);
+    let segment =
+        sdlo_ir::perfect_segment(program, stmt).ok_or(sdlo_ir::ApplyError::NoSuchStmt(stmt))?;
+    let orders = permutations(&segment);
+    let orders_considered = orders.len();
+
+    let mut pruned_illegal = 0usize;
+    let mut legal = Vec::new();
+    for order in orders {
+        match graph.permutation_legality(program, stmt, &order) {
+            Ok(sdlo_deps::Legality::Illegal) => pruned_illegal += 1,
+            Ok(_) => legal.push(order),
+            Err(_) => pruned_illegal += 1,
+        }
+    }
+    span.add("orders", orders_considered as u64);
+    span.add("search.pruned_illegal", pruned_illegal as u64);
+
+    let mut best: Option<(Vec<Sym>, SearchOutcome)> = None;
+    for order in legal {
+        let permuted = sdlo_ir::apply_permute(program, stmt, &order)?;
+        let model = MissModel::build(&permuted);
+        let searcher = TileSearcher::new(&model, base.clone(), cache_size, space.clone());
+        let outcome = searcher.pruned_with(budget);
+        let wins = match &best {
+            None => true,
+            Some((_, incumbent)) => better(&outcome.best, &incumbent.best),
+        };
+        if wins {
+            best = Some((order, outcome));
+        }
+    }
+    let (best_order, outcome) = best.expect("the identity order is always legal");
+    Ok(OrderSearchOutcome {
+        best_order,
+        outcome,
+        orders_considered,
+        pruned_illegal,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -733,6 +826,81 @@ mod tests {
         check::<SearchBudget>();
         check::<CancelToken>();
         check::<SearchOutcome>();
+    }
+
+    #[test]
+    fn order_search_prunes_illegal_orders_up_front() {
+        // two_index_fused S0 runs under (i, n); interchanging to (n, i)
+        // reverses the scalar accumulator's flow dependence, so exactly one
+        // of the two orders is rejected before any model is built.
+        let p = programs::two_index_fused();
+        let base = Bindings::new()
+            .with("Ni", 32)
+            .with("Nj", 32)
+            .with("Nm", 32)
+            .with("Nn", 32);
+        let space = SearchSpace {
+            tile_syms: vec![],
+            max: vec![],
+            min: 1,
+        };
+        let out = super::search_orders(
+            &p,
+            sdlo_ir::StmtId(0),
+            &base,
+            4096,
+            &space,
+            &SearchBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(out.orders_considered, 2);
+        assert_eq!(out.pruned_illegal, 1);
+        assert_eq!(out.best_order, vec![Sym::new("i"), Sym::new("n")]);
+    }
+
+    #[test]
+    fn order_search_considers_all_matmul_orders() {
+        // matmul is fully permutable: all 3! orders are legal, none pruned,
+        // and the winner beats (or ties) the identity order.
+        let p = programs::matmul();
+        let base = Bindings::new().with("Ni", 64).with("Nj", 64).with("Nk", 64);
+        let space = SearchSpace {
+            tile_syms: vec![],
+            max: vec![],
+            min: 1,
+        };
+        let out = super::search_orders(
+            &p,
+            sdlo_ir::StmtId(0),
+            &base,
+            2048,
+            &space,
+            &SearchBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(out.orders_considered, 6);
+        assert_eq!(out.pruned_illegal, 0);
+        let identity = {
+            let model = MissModel::build(&p);
+            TileSearcher::new(&model, base, 2048, space).pruned().best
+        };
+        assert!(out.outcome.best.misses <= identity.misses);
+        // Deterministic across runs.
+        let again = super::search_orders(
+            &p,
+            sdlo_ir::StmtId(0),
+            &Bindings::new().with("Ni", 64).with("Nj", 64).with("Nk", 64),
+            2048,
+            &SearchSpace {
+                tile_syms: vec![],
+                max: vec![],
+                min: 1,
+            },
+            &SearchBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(again.best_order, out.best_order);
+        assert_eq!(again.outcome.best, out.outcome.best);
     }
 
     #[test]

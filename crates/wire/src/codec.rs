@@ -423,7 +423,10 @@ pub fn component_to_value(c: &Component, name_of: impl Fn(ArrayId) -> String) ->
 }
 
 /// Encode one lint diagnostic. Span coordinates are emitted only when the
-/// rule filled them in; the fix-it is an optional `{action, detail}` object.
+/// rule filled them in; the fix-it is an optional `{action, detail,
+/// legality, target?}` object, where `target` is the machine-applicable
+/// payload (`{permute: {stmt, order}}` or `{tile: {stmt, loops}}`) present
+/// exactly when the fix-it can be auto-applied.
 pub fn diagnostic_to_value(d: &sdlo_analysis::Diagnostic) -> Value {
     let mut span = Vec::new();
     if let Some(s) = d.span.stmt {
@@ -448,15 +451,82 @@ pub fn diagnostic_to_value(d: &sdlo_analysis::Diagnostic) -> Value {
         ("message", Value::from(d.message.as_str())),
     ];
     if let Some(fx) = &d.fixit {
-        fields.push((
-            "fixit",
-            Value::obj(vec![
-                ("action", Value::from(fx.action)),
-                ("detail", Value::from(fx.detail.as_str())),
-            ]),
-        ));
+        let mut fx_fields = vec![
+            ("action", Value::from(fx.action)),
+            ("detail", Value::from(fx.detail.as_str())),
+            ("legality", Value::from(fx.legality.name())),
+        ];
+        if let Some(t) = &fx.target {
+            fx_fields.push(("target", fix_target_to_value(t)));
+        }
+        fields.push(("fixit", Value::obj(fx_fields)));
     }
     Value::obj(fields)
+}
+
+fn fix_target_to_value(t: &sdlo_analysis::FixTarget) -> Value {
+    match t {
+        sdlo_analysis::FixTarget::Permute { stmt, order } => Value::obj(vec![(
+            "permute",
+            Value::obj(vec![
+                ("stmt", Value::from(stmt.0)),
+                (
+                    "order",
+                    Value::Array(order.iter().map(|s| Value::from(s.name())).collect()),
+                ),
+            ]),
+        )]),
+        sdlo_analysis::FixTarget::Tile { stmt, loops } => Value::obj(vec![(
+            "tile",
+            Value::obj(vec![
+                ("stmt", Value::from(stmt.0)),
+                (
+                    "loops",
+                    Value::Array(
+                        loops
+                            .iter()
+                            .map(|(l, t)| {
+                                Value::obj(vec![
+                                    ("loop", Value::from(l.name())),
+                                    ("tile_sym", Value::from(t.name())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        )]),
+    }
+}
+
+/// Encode a dependence summary: totals by kind, precision, per-loop carried
+/// counts, and the parallelizable loops.
+pub fn dep_summary_to_value(s: &sdlo_deps::DepSummary) -> Value {
+    Value::obj(vec![
+        ("total", Value::from(s.total)),
+        ("flow", Value::from(s.flow)),
+        ("anti", Value::from(s.anti)),
+        ("output", Value::from(s.output)),
+        ("precise", Value::from(s.precise)),
+        (
+            "carried",
+            Value::Object(
+                s.carried
+                    .iter()
+                    .map(|(l, n)| (l.clone(), Value::from(*n)))
+                    .collect(),
+            ),
+        ),
+        (
+            "parallelizable",
+            Value::Array(
+                s.parallelizable
+                    .iter()
+                    .map(|l| Value::from(l.as_str()))
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// `{"tiles": {"Ti": 8, …}, "misses": n}` with tiles named by the search
