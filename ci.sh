@@ -61,4 +61,88 @@ cargo run --release -q -p sdlo-loadgen --bin loadgen -- \
     --clients 256 --duration 3s --workers 2 --queue 64 \
     --seed 42 --min-throughput 300
 
+# Fleet smoke: two backends sharing one --cache-dir behind sdlo-router. One
+# backend is shut down in the middle of the load run; the router must absorb
+# it — loadgen gates on zero transport/protocol errors, and the per-backend
+# rollups land in results/router.json. Afterwards the warm-restart gate
+# restarts a backend on the same cache directory and asserts it serves a
+# previously-seen shape with zero model builds (sdlo_models_built_total 0).
+echo "==> router smoke (2 backends, kill one mid-run)"
+FLEET_CACHE=$(mktemp -d)
+B1_PORT=$((20000 + $$ % 10000))
+B2_PORT=$((B1_PORT + 1))
+RT_PORT=$((B1_PORT + 2))
+FLEET_PIDS=()
+cleanup_fleet() {
+    kill "${FLEET_PIDS[@]}" 2>/dev/null || true
+    rm -rf "$FLEET_CACHE"
+}
+trap cleanup_fleet EXIT
+
+# Bash-only TCP helpers (no nc dependency).
+wait_port() { # port
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then return 0; fi
+        sleep 0.1
+    done
+    echo "error: 127.0.0.1:$1 never started listening" >&2
+    return 1
+}
+send_op() { # port line -> first reply line on stdout
+    exec 3<>"/dev/tcp/127.0.0.1/$1"
+    printf '%s\n' "$2" >&3
+    local reply
+    IFS= read -r reply <&3 || true
+    exec 3>&- 3<&-
+    printf '%s\n' "$reply"
+}
+
+target/release/sdlo-service --addr "127.0.0.1:$B1_PORT" --cache-dir "$FLEET_CACHE" \
+    > /dev/null & FLEET_PIDS+=($!)
+target/release/sdlo-service --addr "127.0.0.1:$B2_PORT" --cache-dir "$FLEET_CACHE" \
+    > /dev/null & FLEET_PIDS+=($!)
+wait_port "$B1_PORT"
+wait_port "$B2_PORT"
+target/release/sdlo-router --addr "127.0.0.1:$RT_PORT" \
+    --backend "127.0.0.1:$B1_PORT" --backend "127.0.0.1:$B2_PORT" \
+    --health-interval-ms 100 > /dev/null & FLEET_PIDS+=($!)
+wait_port "$RT_PORT"
+
+target/release/loadgen --addr "127.0.0.1:$RT_PORT" --retry-overloaded \
+    --clients 64 --duration 6s --seed 42 --out results/router.json & LG_PID=$!
+sleep 2
+send_op "$B2_PORT" '{"op":"shutdown"}' > /dev/null   # kill one backend mid-run
+wait "$LG_PID"                                       # non-zero on any lost request
+grep -q '"router_backends"' results/router.json || {
+    echo "error: results/router.json lacks per-backend rollups" >&2
+    exit 1
+}
+
+echo "==> warm-restart gate (models served from disk, zero rebuilds)"
+send_op "$RT_PORT" '{"op":"shutdown"}' > /dev/null
+send_op "$B1_PORT" '{"op":"shutdown"}' > /dev/null
+sleep 0.5
+target/release/sdlo-service --addr "127.0.0.1:$B1_PORT" --cache-dir "$FLEET_CACHE" \
+    > /dev/null & FLEET_PIDS+=($!)
+wait_port "$B1_PORT"
+WARM_REPLY=$(send_op "$B1_PORT" '{"op":"predict","request_id":"warm","program":"matmul","bindings":{"Ni":64,"Nj":64,"Nk":64},"cache":512}')
+case "$WARM_REPLY" in
+    *'"ok":true'*) ;;
+    *) echo "error: warm predict failed: $WARM_REPLY" >&2; exit 1 ;;
+esac
+exec 3<>"/dev/tcp/127.0.0.1/$B1_PORT"
+printf '{"op":"metrics","raw":true}\n' >&3
+WARM_METRICS=$(cat <&3)
+exec 3>&- 3<&-
+grep -q '^sdlo_models_built_total 0$' <<< "$WARM_METRICS" || {
+    echo "error: warm-restarted backend rebuilt models:" >&2
+    grep 'sdlo_models_built_total\|sdlo_model_cache' <<< "$WARM_METRICS" >&2
+    exit 1
+}
+grep -q '^sdlo_model_cache_disk_hits_total [1-9]' <<< "$WARM_METRICS" || {
+    echo "error: warm restart did not hit the disk cache" >&2
+    exit 1
+}
+send_op "$B1_PORT" '{"op":"shutdown"}' > /dev/null
+
 echo "CI green."

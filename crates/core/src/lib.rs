@@ -20,6 +20,13 @@
 //! compares against conceptually, and a brute-force [`oracle`] used by the
 //! test suite to pin the symbolic engine to ground truth on small sizes.
 
+/// Revision of the model *semantics*: what the components of a
+/// [`MissModel`] mean and how they are derived. Bump whenever partitioning
+/// or stack-distance computation changes in a way that makes previously
+/// built models stale — persisted model-cache entries are stamped with this
+/// and silently rebuilt on mismatch.
+pub const MODEL_REVISION: u32 = 1;
+
 pub mod atree;
 pub mod baselines;
 pub mod extent;

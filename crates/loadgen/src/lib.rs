@@ -18,7 +18,7 @@
 //! report to `results/loadtest.json`, and exits non-zero when a throughput
 //! floor or the zero-error invariants are violated — CI-gateable.
 
-use sdlo_service::Client;
+use sdlo_service::{Client, RetryPolicy};
 use sdlo_wire::Value;
 use std::collections::BTreeMap;
 use std::io::{Read as _, Write as _};
@@ -234,6 +234,11 @@ pub struct LoadConfig {
     pub duration: Duration,
     pub mix: Mix,
     pub seed: u64,
+    /// When set, clients absorb `overloaded` rejections by resending the
+    /// same line (same `request_id`) under this policy before giving up —
+    /// the mode to use when driving a router, whose backends may shed load
+    /// transiently during failover.
+    pub retry_overloaded: Option<RetryPolicy>,
 }
 
 /// What one client observed.
@@ -242,6 +247,9 @@ struct ClientOutcome {
     sent: u64,
     ok: u64,
     overloaded: u64,
+    /// Overloaded replies absorbed by the retry policy (each one was
+    /// followed by a resend of the same line).
+    absorbed_overloads: u64,
     protocol_errors: u64,
     transport_errors: u64,
     /// Latency of every successful request, microseconds.
@@ -261,6 +269,9 @@ pub struct LoadReport {
     pub requests: u64,
     pub ok: u64,
     pub overloaded: u64,
+    /// Overloaded replies absorbed by retries (0 when retry is off). The
+    /// server-side rejection counter covers `overloaded + absorbed`.
+    pub absorbed_overloads: u64,
     pub protocol_errors: u64,
     pub transport_errors: u64,
     pub wall_secs: f64,
@@ -339,7 +350,14 @@ pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
                         o.sent += 1;
                         *o.per_op_sent.entry(op.name()).or_default() += 1;
                         let sent_at = Instant::now();
-                        let reply = match c.request_line(&line) {
+                        let attempt = send_line(
+                            &mut c,
+                            &line,
+                            config.retry_overloaded.as_ref(),
+                            &mut rng,
+                            &mut o.absorbed_overloads,
+                        );
+                        let reply = match attempt {
                             Ok(r) => r,
                             Err(e) => {
                                 o.transport_errors += 1;
@@ -399,10 +417,15 @@ pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
             ("duration_secs".to_string(), Value::from(wall_secs)),
             ("seed".to_string(), Value::from(config.seed)),
             ("mix".to_string(), Value::from(config.mix.spec())),
+            (
+                "retry_overloaded".to_string(),
+                Value::from(config.retry_overloaded.is_some()),
+            ),
         ],
         requests: 0,
         ok: 0,
         overloaded: 0,
+        absorbed_overloads: 0,
         protocol_errors: 0,
         transport_errors: 0,
         wall_secs,
@@ -422,6 +445,7 @@ pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
         report.requests += o.sent;
         report.ok += o.ok;
         report.overloaded += o.overloaded;
+        report.absorbed_overloads += o.absorbed_overloads;
         report.protocol_errors += o.protocol_errors;
         report.transport_errors += o.transport_errors;
         for (op, n) in o.per_op_sent {
@@ -460,6 +484,41 @@ pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
         .ok()
         .map(|text| ServerView::from_exposition(&text));
     Ok(report)
+}
+
+/// Issue `line` and read the reply; when `policy` is set, absorb
+/// `overloaded` rejections by resending the *same* line (same
+/// `request_id`, so the eventual reply still correlates) with jittered
+/// exponential backoff, bounded by the policy's retry count and budget.
+/// Each absorbed rejection bumps `absorbed` — the server still counted it,
+/// so the consistency cross-check adds it back in.
+fn send_line(
+    c: &mut Client,
+    line: &str,
+    policy: Option<&RetryPolicy>,
+    rng: &mut Rng,
+    absorbed: &mut u64,
+) -> std::io::Result<String> {
+    let mut reply = c.request_line(line)?;
+    let Some(policy) = policy else {
+        return Ok(reply);
+    };
+    let deadline = Instant::now() + Duration::from_millis(policy.budget_ms);
+    for retry in 1..=policy.max_retries {
+        let overloaded = sdlo_wire::parse(&reply)
+            .map(|v| sdlo_service::is_overloaded(&v))
+            .unwrap_or(false);
+        if !overloaded || Instant::now() >= deadline {
+            break;
+        }
+        *absorbed += 1;
+        let base = (policy.base_delay_ms << (retry - 1).min(16)).max(1);
+        let delay = (base / 2 + rng.next_u64() % base).min(policy.max_delay_ms);
+        let room = deadline.saturating_duration_since(Instant::now());
+        std::thread::sleep(Duration::from_millis(delay).min(room));
+        reply = c.request_line(line)?;
+    }
+    Ok(reply)
 }
 
 enum Verdict {
@@ -534,6 +593,25 @@ pub struct ServerView {
     pub rejected: u64,
     pub connections_total: u64,
     pub connections_active: u64,
+    /// Per-backend rollups, present only when the scrape target is an
+    /// `sdlo-router` (`sdlo_router_backend_*` series), keyed by backend
+    /// address.
+    pub router_backends: BTreeMap<String, BackendView>,
+    /// `sdlo_router_exhausted_requests_total` (router only).
+    pub router_exhausted: u64,
+}
+
+/// One backend as the router sees it, parsed from its
+/// `sdlo_router_backend_*{backend="addr"}` series.
+#[derive(Debug, Default, Clone)]
+pub struct BackendView {
+    pub up: bool,
+    pub requests: u64,
+    pub errors: u64,
+    pub transport_errors: u64,
+    pub retries: u64,
+    pub latency_micros_sum: u64,
+    pub latency_micros_count: u64,
 }
 
 impl ServerView {
@@ -544,6 +622,8 @@ impl ServerView {
         let mut rejected = 0;
         let mut connections_total = 0;
         let mut connections_active = 0;
+        let mut router_backends: BTreeMap<String, BackendView> = BTreeMap::new();
+        let mut router_exhausted = 0;
         for line in text.lines() {
             if let Some(rest) = line.strip_prefix("sdlo_request_latency_micros_bucket{op=\"") {
                 let Some((op, rest)) = rest.split_once("\",le=\"") else {
@@ -575,6 +655,31 @@ impl ServerView {
                         requests_per_op.insert(op.to_string(), n);
                     }
                 }
+            } else if let Some(rest) = line.strip_prefix("sdlo_router_backend_") {
+                // `<metric>{backend="addr"} value` — one series per metric
+                // per backend.
+                let Some((metric, rest)) = rest.split_once("{backend=\"") else {
+                    continue;
+                };
+                let Some((addr, value)) = rest.split_once("\"} ") else {
+                    continue;
+                };
+                let Ok(n) = value.trim().parse::<u64>() else {
+                    continue;
+                };
+                let b = router_backends.entry(addr.to_string()).or_default();
+                match metric {
+                    "up" => b.up = n != 0,
+                    "requests_total" => b.requests = n,
+                    "errors_total" => b.errors = n,
+                    "transport_errors_total" => b.transport_errors = n,
+                    "retries_total" => b.retries = n,
+                    "latency_micros_sum" => b.latency_micros_sum = n,
+                    "latency_micros_count" => b.latency_micros_count = n,
+                    _ => {}
+                }
+            } else if let Some(v) = line.strip_prefix("sdlo_router_exhausted_requests_total ") {
+                router_exhausted = v.trim().parse().unwrap_or(0);
             } else if let Some(v) = line.strip_prefix("sdlo_rejected_requests_total ") {
                 rejected = v.trim().parse().unwrap_or(0);
             } else if let Some(v) = line.strip_prefix("sdlo_connections_total ") {
@@ -608,6 +713,8 @@ impl ServerView {
             rejected,
             connections_total,
             connections_active,
+            router_backends,
+            router_exhausted,
         }
     }
 }
@@ -643,6 +750,7 @@ impl LoadReport {
                     ("requests", Value::from(self.requests)),
                     ("ok", Value::from(self.ok)),
                     ("overloaded", Value::from(self.overloaded)),
+                    ("absorbed_overloads", Value::from(self.absorbed_overloads)),
                     ("protocol_errors", Value::from(self.protocol_errors)),
                     ("transport_errors", Value::from(self.transport_errors)),
                 ]),
@@ -681,23 +789,51 @@ impl LoadReport {
             ("per_op".to_string(), Value::Object(per_op)),
         ];
         if let Some(s) = &self.server {
-            fields.push((
-                "server".to_string(),
-                Value::obj(vec![
-                    ("rejected", Value::from(s.rejected)),
-                    ("connections_total", Value::from(s.connections_total)),
-                    ("connections_active", Value::from(s.connections_active)),
-                    (
-                        "requests_per_op",
-                        Value::Object(
-                            s.requests_per_op
-                                .iter()
-                                .map(|(k, v)| (k.clone(), Value::from(*v)))
-                                .collect(),
-                        ),
+            let mut server = vec![
+                ("rejected", Value::from(s.rejected)),
+                ("connections_total", Value::from(s.connections_total)),
+                ("connections_active", Value::from(s.connections_active)),
+                (
+                    "requests_per_op",
+                    Value::Object(
+                        s.requests_per_op
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Value::from(*v)))
+                            .collect(),
                     ),
-                ]),
-            ));
+                ),
+            ];
+            if !s.router_backends.is_empty() {
+                server.push((
+                    "router_backends",
+                    Value::Object(
+                        s.router_backends
+                            .iter()
+                            .map(|(addr, b)| {
+                                (
+                                    addr.clone(),
+                                    Value::obj(vec![
+                                        ("up", Value::from(b.up)),
+                                        ("requests", Value::from(b.requests)),
+                                        ("errors", Value::from(b.errors)),
+                                        ("transport_errors", Value::from(b.transport_errors)),
+                                        ("retries", Value::from(b.retries)),
+                                        (
+                                            "latency_micros",
+                                            Value::obj(vec![
+                                                ("sum", Value::from(b.latency_micros_sum)),
+                                                ("count", Value::from(b.latency_micros_count)),
+                                            ]),
+                                        ),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ));
+                server.push(("router_exhausted", Value::from(s.router_exhausted)));
+            }
+            fields.push(("server".to_string(), Value::obj(server)));
         }
         if !self.complaints.is_empty() {
             fields.push((
@@ -726,11 +862,13 @@ impl LoadReport {
         };
         if fresh_server {
             // Every client-observed overload rejection is one transport
-            // rejection on the server, and vice versa.
-            if server.rejected != self.overloaded {
+            // rejection on the server, and vice versa. Rejections the retry
+            // policy absorbed were still counted server-side, so they add
+            // back in.
+            if server.rejected != self.overloaded + self.absorbed_overloads {
                 fails.push(format!(
-                    "server counted {} rejections, clients observed {}",
-                    server.rejected, self.overloaded
+                    "server counted {} rejections, clients observed {} (+{} absorbed by retries)",
+                    server.rejected, self.overloaded, self.absorbed_overloads
                 ));
             }
             // `predict` never nests in batches here, so the server-side op
@@ -791,6 +929,13 @@ impl LoadReport {
             "  {} requests: {} ok, {} overloaded, {} protocol errors, {} transport errors",
             self.requests, self.ok, self.overloaded, self.protocol_errors, self.transport_errors
         );
+        if self.absorbed_overloads > 0 {
+            let _ = writeln!(
+                out,
+                "  retries absorbed {} overloaded replies",
+                self.absorbed_overloads
+            );
+        }
         let _ = writeln!(out, "  throughput {:.0} req/s", self.throughput_rps);
         let _ = writeln!(
             out,
@@ -810,6 +955,21 @@ impl LoadReport {
                 "  server histogram µs (bucket bounds): p50 ≤{}  p99 ≤{}  p999 ≤{}  ({} observations, {} rejected)",
                 s.p50_le, s.p99_le, s.p999_le, s.histogram_count, s.rejected
             );
+            for (addr, b) in &s.router_backends {
+                let mean = b
+                    .latency_micros_sum
+                    .checked_div(b.latency_micros_count)
+                    .unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "    backend {addr} [{}]: {} requests, {} errors, {} transport errors, {} retries, mean {mean}µs",
+                    if b.up { "up" } else { "down" },
+                    b.requests,
+                    b.errors,
+                    b.transport_errors,
+                    b.retries,
+                );
+            }
         }
         out
     }
@@ -919,6 +1079,77 @@ sdlo_connections_active 2
     }
 
     #[test]
+    fn server_view_parses_router_backend_rollups() {
+        let text = "\
+sdlo_rejected_requests_total 0
+sdlo_router_backend_up{backend=\"127.0.0.1:9001\"} 1
+sdlo_router_backend_up{backend=\"127.0.0.1:9002\"} 0
+sdlo_router_backend_requests_total{backend=\"127.0.0.1:9001\"} 40
+sdlo_router_backend_requests_total{backend=\"127.0.0.1:9002\"} 25
+sdlo_router_backend_errors_total{backend=\"127.0.0.1:9001\"} 2
+sdlo_router_backend_transport_errors_total{backend=\"127.0.0.1:9002\"} 3
+sdlo_router_backend_retries_total{backend=\"127.0.0.1:9001\"} 5
+sdlo_router_backend_latency_micros_sum{backend=\"127.0.0.1:9001\"} 8000
+sdlo_router_backend_latency_micros_count{backend=\"127.0.0.1:9001\"} 40
+sdlo_router_exhausted_requests_total 1
+sdlo_router_ring_points 128
+";
+        let view = ServerView::from_exposition(text);
+        assert_eq!(view.router_backends.len(), 2);
+        let a = &view.router_backends["127.0.0.1:9001"];
+        assert!(a.up);
+        assert_eq!(a.requests, 40);
+        assert_eq!(a.errors, 2);
+        assert_eq!(a.retries, 5);
+        assert_eq!(a.latency_micros_sum, 8000);
+        assert_eq!(a.latency_micros_count, 40);
+        let b = &view.router_backends["127.0.0.1:9002"];
+        assert!(!b.up);
+        assert_eq!(b.requests, 25);
+        assert_eq!(b.transport_errors, 3);
+        assert_eq!(view.router_exhausted, 1);
+
+        // The rollups flow into the report JSON under server.router_backends.
+        let report = LoadReport {
+            config_summary: vec![
+                ("clients".to_string(), Value::from(1u64)),
+                ("seed".to_string(), Value::from(1u64)),
+                ("mix".to_string(), Value::from("stats=1")),
+            ],
+            requests: 1,
+            ok: 1,
+            overloaded: 0,
+            absorbed_overloads: 2,
+            protocol_errors: 0,
+            transport_errors: 0,
+            wall_secs: 1.0,
+            throughput_rps: 1.0,
+            client_p50: 1,
+            client_p99: 1,
+            client_p999: 1,
+            client_max: 1,
+            client_mean: 1.0,
+            per_op: BTreeMap::new(),
+            complaints: Vec::new(),
+            server: Some(view),
+        };
+        let json = report.to_json().render();
+        assert!(
+            json.contains(r#""router_backends":{"127.0.0.1:9001":{"up":true"#),
+            "router rollups missing from JSON: {json}"
+        );
+        assert!(json.contains(r#""absorbed_overloads":2"#), "{json}");
+        assert!(json.contains(r#""router_exhausted":1"#), "{json}");
+    }
+
+    #[test]
+    fn plain_server_exposition_yields_no_router_section() {
+        let view = ServerView::from_exposition("sdlo_rejected_requests_total 4\n");
+        assert!(view.router_backends.is_empty());
+        assert_eq!(view.router_exhausted, 0);
+    }
+
+    #[test]
     fn quantiles_pick_exact_ranks() {
         let sorted: Vec<u64> = (1..=1000).collect();
         assert_eq!(quantile(&sorted, 0.50), 500);
@@ -949,6 +1180,7 @@ sdlo_connections_active 2
             requests: 10,
             ok: 9,
             overloaded: 1,
+            absorbed_overloads: 0,
             protocol_errors: 0,
             transport_errors: 0,
             wall_secs: 1.0,

@@ -4,6 +4,7 @@
 //! loadgen [--clients N] [--duration 10s] [--addr HOST:PORT]
 //!         [--workers N] [--queue N] [--mix SPEC] [--seed N]
 //!         [--out PATH] [--min-throughput RPS] [--json]
+//!         [--retry-overloaded]
 //! ```
 //!
 //! Without `--addr` the harness spawns an in-process server (sized by
@@ -16,7 +17,7 @@
 //! `--min-throughput` is not met.
 
 use sdlo_loadgen::{run_load, LoadConfig, Mix};
-use sdlo_service::{serve, ServerConfig};
+use sdlo_service::{serve, RetryPolicy, ServerConfig};
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -25,10 +26,13 @@ fn usage() -> ! {
         "usage: loadgen [--clients N] [--duration 10s] [--addr HOST:PORT]\n\
          \x20              [--workers N] [--queue N] [--mix SPEC] [--seed N]\n\
          \x20              [--out PATH] [--min-throughput RPS] [--json]\n\
+         \x20              [--retry-overloaded]\n\
          \n\
          Workload generator + latency harness for the sdlo tile-advisor\n\
          service. Spawns an in-process server unless --addr names a running\n\
          daemon. SPEC is op=weight pairs, e.g. predict=8,advise=1.\n\
+         --retry-overloaded makes clients absorb `overloaded` rejections by\n\
+         resending (bounded, jittered) — the mode for driving sdlo-router.\n\
          Defaults: --clients 64 --duration 3s --workers 4 --queue 128\n\
          \x20         --seed 42 --mix {} --out <repo>/results/loadtest.json",
         Mix::default_mix().spec()
@@ -63,6 +67,7 @@ struct Args {
     out: std::path::PathBuf,
     min_throughput: Option<f64>,
     json: bool,
+    retry_overloaded: bool,
 }
 
 fn parse_args() -> Args {
@@ -80,6 +85,7 @@ fn parse_args() -> Args {
         out: default_out,
         min_throughput: None,
         json: false,
+        retry_overloaded: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -125,6 +131,7 @@ fn parse_args() -> Args {
                 _ => usage(),
             },
             "--json" => args.json = true,
+            "--retry-overloaded" => args.retry_overloaded = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag `{other}`\n");
@@ -172,6 +179,10 @@ fn main() {
         duration: args.duration,
         mix: args.mix.clone(),
         seed: args.seed,
+        retry_overloaded: args.retry_overloaded.then(|| RetryPolicy {
+            jitter_seed: args.seed,
+            ..RetryPolicy::default()
+        }),
     };
     let report = match run_load(&config) {
         Ok(r) => r,

@@ -1,0 +1,114 @@
+//! `sdlo-router` — consistent-hash fleet front for `sdlo-service` backends.
+//!
+//! ```text
+//! sdlo-router --backend HOST:PORT [--backend HOST:PORT ...]
+//!             [--addr HOST:PORT] [--vnodes N] [--max-retries N]
+//!             [--retry-base-ms N] [--retry-budget-ms N]
+//!             [--health-interval-ms N] [--fail-threshold N]
+//!             [--backend-timeout-ms N]
+//! ```
+//!
+//! Speaks the same newline-delimited JSON protocol as a backend; `stats`
+//! and `metrics` are answered by the router with aggregated per-backend
+//! rollups, everything else is sharded by canonical shape hash. Runs until
+//! it receives `{"op":"shutdown"}` (the backends keep running).
+
+use sdlo_router::{serve, RouterConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sdlo-router --backend HOST:PORT [--backend HOST:PORT ...]\n\
+         \x20                  [--addr HOST:PORT] [--vnodes N] [--max-retries N]\n\
+         \x20                  [--retry-base-ms N] [--retry-budget-ms N]\n\
+         \x20                  [--health-interval-ms N] [--fail-threshold N]\n\
+         \x20                  [--backend-timeout-ms N]\n\
+         \n\
+         Consistent-hash front: shards requests by canonical shape hash\n\
+         across the given sdlo-service backends, fails over on transport\n\
+         errors, retries `overloaded` replies with jittered backoff, and\n\
+         serves aggregated stats/metrics.\n\
+         Defaults: --addr 127.0.0.1:7465 --vnodes 64 --max-retries 3\n\
+         \x20         --retry-base-ms 5 --retry-budget-ms 2000\n\
+         \x20         --health-interval-ms 200 --fail-threshold 2\n\
+         \x20         --backend-timeout-ms 10000"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> RouterConfig {
+    let mut config = RouterConfig {
+        addr: "127.0.0.1:7465".to_string(),
+        ..RouterConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value_of = |flag: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("error: {flag} requires a value\n");
+                usage();
+            }
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value_of("--addr"),
+            "--backend" => config.backends.push(value_of("--backend")),
+            "--vnodes" => match value_of("--vnodes").parse() {
+                Ok(n) if n > 0 => config.vnodes = n,
+                _ => usage(),
+            },
+            "--max-retries" => match value_of("--max-retries").parse() {
+                Ok(n) => config.max_retries = n,
+                _ => usage(),
+            },
+            "--retry-base-ms" => match value_of("--retry-base-ms").parse() {
+                Ok(n) if n > 0 => config.retry_base_ms = n,
+                _ => usage(),
+            },
+            "--retry-budget-ms" => match value_of("--retry-budget-ms").parse() {
+                Ok(n) if n > 0 => config.retry_budget_ms = n,
+                _ => usage(),
+            },
+            "--health-interval-ms" => match value_of("--health-interval-ms").parse() {
+                Ok(n) => config.health_interval_ms = n,
+                _ => usage(),
+            },
+            "--fail-threshold" => match value_of("--fail-threshold").parse() {
+                Ok(n) if n > 0 => config.fail_threshold = n,
+                _ => usage(),
+            },
+            "--backend-timeout-ms" => match value_of("--backend-timeout-ms").parse() {
+                Ok(n) if n > 0 => config.backend_timeout_ms = n,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag `{other}`\n");
+                usage();
+            }
+        }
+    }
+    if config.backends.is_empty() {
+        eprintln!("error: at least one --backend is required\n");
+        usage();
+    }
+    config
+}
+
+fn main() {
+    let config = parse_args();
+    let backends = config.backends.join(", ");
+    match serve(config) {
+        Ok(handle) => {
+            println!(
+                "sdlo-router listening on {} (backends: {backends})",
+                handle.addr()
+            );
+            handle.run_until_shutdown();
+            println!("sdlo-router stopped");
+        }
+        Err(e) => {
+            eprintln!("error: failed to start: {e}");
+            std::process::exit(1);
+        }
+    }
+}

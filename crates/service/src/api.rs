@@ -459,6 +459,75 @@ pub fn grid_points(space: &SearchSpace) -> u64 {
     points
 }
 
+// -- routing -----------------------------------------------------------------
+
+/// Where a request may be served, as seen by a sharding front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingKey {
+    /// The request is about a specific program shape: route by its
+    /// canonical structural hash so every backend builds (and caches) a
+    /// disjoint slice of the shape space.
+    Shape(u64),
+    /// No program (or an undecodable one): any backend may serve it.
+    Any,
+}
+
+/// Extract the routing key from one request document without touching the
+/// engine: builtin names resolve through a precomputed canonical-hash
+/// table, inline programs are canonicalized here, and a `batch` routes by
+/// its first program-bearing sub-request (keeping whole batches on one
+/// backend, which preserves their single-reply shape).
+///
+/// This is deliberately lenient — a request the backend will reject
+/// (unknown builtin, malformed program) still gets a key (`Any`), because
+/// producing the error reply is the backend's job, not the router's.
+pub fn routing_key(request: &Value) -> RoutingKey {
+    if let Some(spec) = request.get("program") {
+        return program_routing_key(spec);
+    }
+    if let Some(items) = request.get("requests").and_then(Value::as_array) {
+        for item in items {
+            if let Some(spec) = item.get("program") {
+                if let RoutingKey::Shape(h) = program_routing_key(spec) {
+                    return RoutingKey::Shape(h);
+                }
+            }
+        }
+    }
+    RoutingKey::Any
+}
+
+fn program_routing_key(spec: &Value) -> RoutingKey {
+    if let Some(name) = spec.as_str() {
+        return match builtin_shape_hash(name) {
+            Some(h) => RoutingKey::Shape(h),
+            None => RoutingKey::Any,
+        };
+    }
+    // Unchecked decode on purpose: canonicalization only needs the tree
+    // shape, and a program that fails full validation must still route
+    // *somewhere* to receive its error reply.
+    match program_from_value_unchecked(spec) {
+        Ok(p) => RoutingKey::Shape(sdlo_ir::canon::canonicalize(&p).hash),
+        Err(_) => RoutingKey::Any,
+    }
+}
+
+/// Canonical hashes of the builtin programs, computed once per process.
+fn builtin_shape_hash(name: &str) -> Option<u64> {
+    static TABLE: std::sync::OnceLock<Vec<(&'static str, u64)>> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        sdlo_ir::programs::BUILTIN_NAMES
+            .iter()
+            .map(|n| {
+                let p = sdlo_ir::programs::builtin(n).expect("listed builtin exists");
+                (*n, sdlo_ir::canon::canonicalize(&p).hash)
+            })
+            .collect()
+    });
+    table.iter().find(|(n, _)| *n == name).map(|(_, h)| *h)
+}
+
 // -- reply builders ----------------------------------------------------------
 
 fn envelope_fields(id: Option<Value>, request_id: &str, ok: bool) -> Vec<(String, Value)> {
@@ -588,6 +657,47 @@ mod tests {
             err.render(),
             r#"{"request_id":"req-00000002","v":1,"ok":false,"error":{"kind":"limit","message":"too big"}}"#
         );
+    }
+
+    #[test]
+    fn routing_keys_are_canonical() {
+        // Builtin and the structurally identical inline program (renamed
+        // indices/arrays) must route to the same shape.
+        let builtin = routing_key(&parse(r#"{"op":"analyze","program":"matmul"}"#));
+        let renamed = routing_key(&parse(
+            r#"{"op":"predict","cache":512,
+            "program":{"name":"mm2",
+              "arrays":[{"name":"Z","dims":["Ni","Nk"]},
+                        {"name":"X","dims":["Ni","Nj"]},
+                        {"name":"Y","dims":["Nj","Nk"]}],
+              "nest":[{"for":{"index":"p","bound":"Ni","body":[
+                       {"for":{"index":"q","bound":"Nj","body":[
+                        {"for":{"index":"r","bound":"Nk","body":[
+                         {"stmt":{"kind":"mul_add_assign","refs":[
+                           {"array":"Z","write":true,"dims":[[{"index":"p"}],[{"index":"r"}]]},
+                           {"array":"X","dims":[[{"index":"p"}],[{"index":"q"}]]},
+                           {"array":"Y","dims":[[{"index":"q"}],[{"index":"r"}]]}]}}]}}]}}]}}]}}"#,
+        ));
+        assert!(matches!(builtin, RoutingKey::Shape(_)));
+        assert_eq!(builtin, renamed);
+        // Different shape → different key.
+        let other = routing_key(&parse(r#"{"op":"analyze","program":"tiled_matmul"}"#));
+        assert_ne!(builtin, other);
+        // No program / unknown builtin / malformed inline: Any, never panic.
+        assert_eq!(routing_key(&parse(r#"{"op":"stats"}"#)), RoutingKey::Any);
+        assert_eq!(
+            routing_key(&parse(r#"{"op":"analyze","program":"nope"}"#)),
+            RoutingKey::Any
+        );
+        assert_eq!(
+            routing_key(&parse(r#"{"op":"analyze","program":{"name":1}}"#)),
+            RoutingKey::Any
+        );
+        // Batch routes by its first program-bearing sub-request.
+        let batch = routing_key(&parse(
+            r#"{"op":"batch","requests":[{"op":"stats"},{"op":"analyze","program":"matmul"}]}"#,
+        ));
+        assert_eq!(batch, builtin);
     }
 
     #[test]

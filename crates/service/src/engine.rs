@@ -52,6 +52,7 @@ use crate::api::{
     ProgramSpec, Request, SearchMode, Sleep,
 };
 use crate::cache::ShardedCache;
+use crate::diskcache::{DiskCache, DiskOutcome};
 use crate::metrics::{Kind, Metrics};
 use rayon::prelude::*;
 use sdlo_core::model::MissModel;
@@ -82,6 +83,11 @@ pub struct EngineConfig {
     /// Enable test-only ops (`sleep`) used by the loopback tests to make
     /// backpressure deterministic. Off in production binaries.
     pub enable_test_ops: bool,
+    /// Disk-backed model-cache directory ([`crate::diskcache`]). When set,
+    /// in-memory misses first try the persisted tier before building, and
+    /// every freshly built model is persisted — so a restarted process
+    /// warm-starts without rebuilding any previously-seen shape.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +99,7 @@ impl Default for EngineConfig {
             max_search_points: 65_536,
             max_request_millis: 30_000,
             enable_test_ops: false,
+            cache_dir: None,
         }
     }
 }
@@ -119,6 +126,8 @@ pub struct Resolved {
 pub struct Engine {
     config: EngineConfig,
     cache: ShardedCache<CachedModel>,
+    /// Persistent tier behind the in-memory cache, when configured.
+    disk: Option<DiskCache>,
     metrics: Arc<Metrics>,
     /// Monotone source for server-generated request ids.
     req_seq: std::sync::atomic::AtomicU64,
@@ -133,9 +142,11 @@ fn fail(kind: ErrorKind, message: impl Into<String>) -> ApiError {
 impl Engine {
     pub fn new(config: EngineConfig) -> Self {
         let cache = ShardedCache::new(config.cache_shards, config.cache_capacity);
+        let disk = config.cache_dir.clone().map(DiskCache::new);
         Engine {
             config,
             cache,
+            disk,
             metrics: Arc::new(Metrics::default()),
             req_seq: std::sync::atomic::AtomicU64::new(1),
         }
@@ -240,7 +251,7 @@ impl Engine {
         let canonical = &resolved.canonical;
         let hash = canonical.hash;
         let (cached, hit) = self.cache.get_or_build(hash, &canonical.program, || {
-            let model = MissModel::build(&canonical.program);
+            let model = self.load_or_build(hash, canonical);
             CachedModel {
                 canonical: Arc::clone(canonical),
                 model,
@@ -253,6 +264,38 @@ impl Engine {
         };
         counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         (cached, hit)
+    }
+
+    /// In-memory miss path: consult the persisted tier first; only build —
+    /// and persist — when disk has no trustworthy entry. Disk failures are
+    /// strictly non-fatal: the worst case is a rebuild.
+    fn load_or_build(&self, hash: u64, canonical: &Canonical) -> MissModel {
+        use std::sync::atomic::Ordering::Relaxed;
+        if let Some(disk) = &self.disk {
+            match disk.load(hash, &canonical.program) {
+                DiskOutcome::Hit(model) => {
+                    self.metrics.disk_hits.fetch_add(1, Relaxed);
+                    return model;
+                }
+                DiskOutcome::Rejected(_) => {
+                    self.metrics.disk_errors.fetch_add(1, Relaxed);
+                }
+                DiskOutcome::Miss => {}
+            }
+        }
+        self.metrics.models_built.fetch_add(1, Relaxed);
+        let model = MissModel::build(&canonical.program);
+        if let Some(disk) = &self.disk {
+            match disk.store(hash, &canonical.program, &model) {
+                Ok(()) => {
+                    self.metrics.disk_writes.fetch_add(1, Relaxed);
+                }
+                Err(_) => {
+                    self.metrics.disk_errors.fetch_add(1, Relaxed);
+                }
+            }
+        }
+        model
     }
 
     /// Map a canonical `ArrayId` back to the requester's array name.

@@ -28,12 +28,14 @@
 pub mod api;
 pub mod cache;
 pub mod client;
+pub mod diskcache;
 pub mod engine;
 pub mod metrics;
 pub mod server;
 
-pub use api::{ApiError, ErrorKind, Request, PROTOCOL_VERSION};
-pub use client::Client;
+pub use api::{ApiError, ErrorKind, Request, RoutingKey, PROTOCOL_VERSION};
+pub use client::{is_overloaded, Client, RetryPolicy};
+pub use diskcache::{DiskCache, DiskOutcome};
 pub use engine::{Engine, EngineConfig};
 pub use metrics::{Kind, Metrics};
 pub use server::{serve, ServerConfig, ServerHandle};

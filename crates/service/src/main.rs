@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! sdlo-service [--addr HOST:PORT] [--workers N] [--queue N]
-//!              [--cache-capacity N] [--max-line BYTES]
+//!              [--cache-capacity N] [--max-line BYTES] [--cache-dir DIR]
 //! ```
 //!
 //! Speaks newline-delimited JSON; see the crate docs and the repository
@@ -14,11 +14,15 @@ fn usage() -> ! {
     eprintln!(
         "usage: sdlo-service [--addr HOST:PORT] [--workers N] [--queue N]\n\
          \x20                   [--cache-capacity N] [--max-line BYTES]\n\
+         \x20                   [--cache-dir DIR]\n\
          \n\
          Tile-advisor daemon: newline-delimited JSON over TCP.\n\
          Requests: analyze | predict | advise | batch | lint | stats |\n\
          \x20         metrics | shutdown ({{\"op\":\"metrics\",\"raw\":true}} for a\n\
          \x20         plain-text Prometheus scrape).\n\
+         --cache-dir enables the persistent model-cache tier: built models\n\
+         are stored there and reloaded after a restart (safe to share\n\
+         between backends).\n\
          Defaults: --addr 127.0.0.1:7464 --workers 4 --queue 64\n\
          \x20         --cache-capacity 256 --max-line 1048576"
     );
@@ -58,6 +62,9 @@ fn parse_args() -> ServerConfig {
                 Ok(n) if n > 0 => config.max_line_bytes = n,
                 _ => usage(),
             },
+            "--cache-dir" => {
+                config.engine.cache_dir = Some(value_of("--cache-dir").into());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag `{other}`\n");

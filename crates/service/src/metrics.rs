@@ -162,6 +162,18 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Model had to be built (partitioning + symbolic analysis ran).
     pub cache_misses: AtomicU64,
+    /// Models actually built from scratch. Differs from `cache_misses` when
+    /// a disk-cache tier is configured: an in-memory miss satisfied from
+    /// disk counts as a miss but not a build. A warm-restarted backend
+    /// serving only previously-seen shapes reports 0 here.
+    pub models_built: AtomicU64,
+    /// In-memory misses satisfied from the disk-cache tier.
+    pub disk_hits: AtomicU64,
+    /// Models persisted to the disk-cache tier.
+    pub disk_writes: AtomicU64,
+    /// Disk-cache entries rejected (corrupt/stale/unreadable) or failed
+    /// writes; every rejection is followed by a rebuild, never a crash.
+    pub disk_errors: AtomicU64,
     /// Lines that failed to parse as JSON.
     pub malformed: AtomicU64,
     /// Requests rejected by backpressure (queue full).
@@ -194,6 +206,10 @@ impl Default for Metrics {
             per_kind: Default::default(),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            models_built: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_writes: AtomicU64::new(0),
+            disk_errors: AtomicU64::new(0),
             malformed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             oversized: AtomicU64::new(0),
@@ -255,6 +271,10 @@ impl Metrics {
                 Value::obj(vec![
                     ("hits", load(&self.cache_hits)),
                     ("misses", load(&self.cache_misses)),
+                    ("built", load(&self.models_built)),
+                    ("disk_hits", load(&self.disk_hits)),
+                    ("disk_writes", load(&self.disk_writes)),
+                    ("disk_errors", load(&self.disk_errors)),
                 ]),
             ),
             (
@@ -351,7 +371,7 @@ impl Metrics {
                 h.sum_micros.load(Ordering::Relaxed)
             );
         }
-        let singles: [(&str, &str, u64); 10] = [
+        let singles: [(&str, &str, u64); 14] = [
             (
                 "sdlo_model_cache_hits_total",
                 "counter",
@@ -366,6 +386,26 @@ impl Metrics {
                 "sdlo_model_cache_misses_total",
                 "counter",
                 load(&self.cache_misses),
+            ),
+            (
+                "sdlo_models_built_total",
+                "counter",
+                load(&self.models_built),
+            ),
+            (
+                "sdlo_model_cache_disk_hits_total",
+                "counter",
+                load(&self.disk_hits),
+            ),
+            (
+                "sdlo_model_cache_disk_writes_total",
+                "counter",
+                load(&self.disk_writes),
+            ),
+            (
+                "sdlo_model_cache_disk_errors_total",
+                "counter",
+                load(&self.disk_errors),
             ),
             ("sdlo_cached_shapes", "gauge", cached_shapes),
             (

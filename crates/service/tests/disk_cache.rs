@@ -1,0 +1,230 @@
+//! Durability tests for the disk-backed model-cache tier, ending in a full
+//! warm-restart loopback: a server is stopped and a new one started on the
+//! same cache directory must serve predictions without building a single
+//! model (`stats.cache.built == 0`), while every tampered file is silently
+//! rebuilt, never trusted.
+
+use sdlo_core::MissModel;
+use sdlo_ir::{canonicalize, programs};
+use sdlo_service::{serve, Client, DiskCache, DiskOutcome, EngineConfig, ServerConfig};
+use sdlo_wire::Value;
+use std::io::{Read as _, Write as _};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sdlo-diskcache-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn server_on(dir: &std::path::Path) -> sdlo_service::ServerHandle {
+    serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig {
+            cache_dir: Some(dir.to_path_buf()),
+            ..EngineConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+fn req(client: &mut Client, line: &str) -> Value {
+    sdlo_wire::parse(&client.request_line(line).expect("request")).expect("valid response json")
+}
+
+fn cache_stat(client: &mut Client, field: &str) -> u64 {
+    let resp = req(client, r#"{"op":"stats"}"#);
+    resp.path(&["stats", "cache", field])
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("stats.cache.{field} missing: {resp:?}"))
+}
+
+fn scrape(addr: std::net::SocketAddr) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"{\"op\":\"metrics\",\"raw\":true}\n")
+        .unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    text
+}
+
+const PREDICT: &str = r#"{"op":"predict","program":"tiled_matmul","bindings":{"Ni":512,"Nj":512,"Nk":512,"Ti":64,"Tj":64,"Tk":64},"cache":8192}"#;
+const EXPECTED_MISSES: u64 = 6_291_456;
+
+// -- format golden ------------------------------------------------------------
+
+#[test]
+fn on_disk_format_is_pinned() {
+    let canon = canonicalize(&programs::matmul());
+    let model = MissModel::build(&canon.program);
+    let text = DiskCache::encode(canon.hash, &canon.program, &model).render();
+
+    // The envelope prefix is the compatibility contract: a change here must
+    // come with a `format`/revision bump, or old caches would be trusted.
+    let prefix = format!(
+        "{{\"magic\":\"sdlo-model-cache\",\"format\":1,\"model_rev\":1,\
+         \"protocol_rev\":1,\"canon_hash\":\"{:016x}\",\"crc\":\"",
+        canon.hash
+    );
+    assert!(
+        text.starts_with(&prefix),
+        "on-disk envelope drifted:\n  have {text}\n  want prefix {prefix}"
+    );
+    assert!(text.contains("\"payload\":{\"program\":{"));
+    assert!(text.contains("\"components\":["));
+
+    // `store` writes exactly this document (plus a trailing newline), and
+    // `decode` accepts it.
+    let dir = tmpdir("golden");
+    let cache = DiskCache::new(&dir);
+    cache.store(canon.hash, &canon.program, &model).unwrap();
+    let on_disk = std::fs::read_to_string(cache.path_for(canon.hash)).unwrap();
+    assert_eq!(on_disk, format!("{text}\n"));
+    assert!(DiskCache::decode(&text, canon.hash, &canon.program).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// -- tamper matrix ------------------------------------------------------------
+
+#[test]
+fn every_tamper_is_rejected_with_its_own_reason_then_rebuilt() {
+    let dir = tmpdir("tamper");
+    let cache = DiskCache::new(&dir);
+    let canon = canonicalize(&programs::tiled_matmul());
+    let model = MissModel::build(&canon.program);
+    cache.store(canon.hash, &canon.program, &model).unwrap();
+    let good = std::fs::read_to_string(cache.path_for(canon.hash)).unwrap();
+
+    let tampers: Vec<(&str, String)> = vec![
+        ("corrupt json", good[..good.len() / 2].to_string()),
+        ("corrupt json", "not json at all\n".to_string()),
+        (
+            "bad magic",
+            good.replace("sdlo-model-cache", "sdlo-model-cachX"),
+        ),
+        (
+            "format mismatch",
+            good.replace("\"format\":1", "\"format\":2"),
+        ),
+        (
+            "model revision mismatch",
+            good.replace("\"model_rev\":1", "\"model_rev\":99"),
+        ),
+        (
+            "protocol revision mismatch",
+            good.replace("\"protocol_rev\":1", "\"protocol_rev\":2"),
+        ),
+        // One flipped symbol inside the payload: the envelope still parses,
+        // the checksum catches the rot.
+        ("checksum mismatch", good.replacen("Ni", "Nq", 1)),
+    ];
+    for (expected, tampered) in tampers {
+        std::fs::write(cache.path_for(canon.hash), &tampered).unwrap();
+        match cache.load(canon.hash, &canon.program) {
+            DiskOutcome::Rejected(why) => assert_eq!(
+                why, expected,
+                "tamper expected `{expected}`, got `{why}`:\n{tampered}"
+            ),
+            _ => panic!("tampered file must be rejected ({expected})"),
+        }
+        // The rebuild path overwrites the bad entry and the cache recovers.
+        cache.store(canon.hash, &canon.program, &model).unwrap();
+        assert!(matches!(
+            cache.load(canon.hash, &canon.program),
+            DiskOutcome::Hit(_)
+        ));
+    }
+
+    // A correctly-keyed file holding a *different* program: crc and hash
+    // field verify, the program equality check still refuses it.
+    let other = canonicalize(&programs::matmul());
+    let forged = DiskCache::encode(
+        canon.hash,
+        &other.program,
+        &MissModel::build(&other.program),
+    );
+    std::fs::write(cache.path_for(canon.hash), format!("{}\n", forged.render())).unwrap();
+    assert!(matches!(
+        cache.load(canon.hash, &canon.program),
+        DiskOutcome::Rejected("program mismatch")
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// -- warm restart over the wire -----------------------------------------------
+
+#[test]
+fn restarted_server_warm_starts_from_disk() {
+    let dir = tmpdir("warm");
+    let canon = canonicalize(&programs::tiled_matmul());
+
+    // Cold run: the first predict builds the model and persists it.
+    let handle = server_on(&dir);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let resp = req(&mut c, PREDICT);
+    assert_eq!(resp.get("misses").unwrap().as_u64(), Some(EXPECTED_MISSES));
+    assert_eq!(cache_stat(&mut c, "built"), 1);
+    assert_eq!(cache_stat(&mut c, "disk_writes"), 1);
+    handle.shutdown();
+    assert!(DiskCache::new(&dir).path_for(canon.hash).exists());
+
+    // Warm restart: a brand-new process-equivalent (fresh engine, fresh
+    // in-memory cache) on the same directory must not build anything.
+    let handle = server_on(&dir);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let resp = req(&mut c, PREDICT);
+    assert_eq!(resp.get("misses").unwrap().as_u64(), Some(EXPECTED_MISSES));
+    assert_eq!(
+        cache_stat(&mut c, "built"),
+        0,
+        "warm restart must not rebuild models"
+    );
+    assert_eq!(cache_stat(&mut c, "disk_hits"), 1);
+    // The same gate CI uses, via the Prometheus scrape.
+    let text = scrape(handle.addr());
+    assert!(
+        text.contains("sdlo_models_built_total 0"),
+        "metrics must show zero builds after warm restart:\n{text}"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_file_is_rebuilt_over_the_wire() {
+    let dir = tmpdir("rebuild");
+    let canon = canonicalize(&programs::tiled_matmul());
+
+    let handle = server_on(&dir);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    req(&mut c, PREDICT);
+    handle.shutdown();
+
+    // Bit-rot the persisted entry, then restart on the same directory.
+    let cache = DiskCache::new(&dir);
+    std::fs::write(cache.path_for(canon.hash), "garbage\n").unwrap();
+
+    let handle = server_on(&dir);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let resp = req(&mut c, PREDICT);
+    // The client never sees the corruption: correct answer, rebuilt model,
+    // rejection surfaced only as a metric.
+    assert_eq!(resp.get("misses").unwrap().as_u64(), Some(EXPECTED_MISSES));
+    assert_eq!(cache_stat(&mut c, "built"), 1);
+    assert!(cache_stat(&mut c, "disk_errors") >= 1);
+    assert_eq!(cache_stat(&mut c, "disk_writes"), 1);
+    handle.shutdown();
+
+    // The rebuilt file is good again.
+    assert!(matches!(
+        cache.load(canon.hash, &canon.program),
+        DiskOutcome::Hit(_)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}

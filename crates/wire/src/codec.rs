@@ -422,6 +422,107 @@ pub fn component_to_value(c: &Component, name_of: impl Fn(ArrayId) -> String) ->
     ])
 }
 
+// ---------------------------------------------------------------------------
+// Persisted components (the disk model-cache tier)
+// ---------------------------------------------------------------------------
+
+/// Encode one reuse component for *persistence*: array ids are numeric
+/// (positions in the canonical program), expressions travel as strings, and
+/// [`stored_component_from_value`] is the exact inverse. This is distinct
+/// from [`component_to_value`], which renders components for human-facing
+/// replies under the caller's array names and has no decoder.
+pub fn stored_component_to_value(c: &Component) -> Value {
+    let kind = match &c.kind {
+        ComponentKind::Compulsory => Value::obj(vec![("kind", Value::from("compulsory"))]),
+        ComponentKind::Carried {
+            loop_index,
+            source_stmt,
+        } => Value::obj(vec![
+            ("kind", Value::from("carried")),
+            ("loop", Value::from(loop_index.name())),
+            ("source_stmt", Value::from(source_stmt.0)),
+        ]),
+        ComponentKind::CrossStmt { source_stmt } => Value::obj(vec![
+            ("kind", Value::from("cross_stmt")),
+            ("source_stmt", Value::from(source_stmt.0)),
+        ]),
+    };
+    let distance = match &c.distance {
+        StackDistance::Infinite => Value::from("inf"),
+        StackDistance::Constant(e) => Value::obj(vec![("const", Value::from(expr_to_string(e)))]),
+        StackDistance::Varying { lo, hi } => Value::obj(vec![
+            ("lo", Value::from(expr_to_string(lo))),
+            ("hi", Value::from(expr_to_string(hi))),
+        ]),
+    };
+    Value::obj(vec![
+        ("array", Value::from(c.array.0)),
+        ("stmt", Value::from(c.stmt.0)),
+        ("ref", Value::from(c.ref_idx)),
+        ("reuse", kind),
+        ("count", Value::from(expr_to_string(&c.count))),
+        ("distance", distance),
+    ])
+}
+
+/// Decode one persisted reuse component. The inverse of
+/// [`stored_component_to_value`]; every malformed field is a
+/// [`WireError::Schema`], never a panic — the disk cache treats any decode
+/// failure as a miss and rebuilds.
+pub fn stored_component_from_value(v: &Value) -> Result<Component, WireError> {
+    let idx_field = |key: &str| -> Result<usize, WireError> {
+        field(v, key, "component")?
+            .as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| schema(format!("component: `{key}` must be a non-negative integer")))
+    };
+    let reuse = field(v, "reuse", "component")?;
+    let kind = match str_field(reuse, "kind", "component reuse")? {
+        "compulsory" => ComponentKind::Compulsory,
+        "carried" => ComponentKind::Carried {
+            loop_index: Sym::new(str_field(reuse, "loop", "carried reuse")?),
+            source_stmt: StmtId(
+                field(reuse, "source_stmt", "carried reuse")?
+                    .as_u64()
+                    .ok_or_else(|| schema("carried reuse: `source_stmt` must be an integer"))?
+                    as usize,
+            ),
+        },
+        "cross_stmt" => ComponentKind::CrossStmt {
+            source_stmt: StmtId(
+                field(reuse, "source_stmt", "cross_stmt reuse")?
+                    .as_u64()
+                    .ok_or_else(|| schema("cross_stmt reuse: `source_stmt` must be an integer"))?
+                    as usize,
+            ),
+        },
+        other => return Err(schema(format!("unknown reuse kind `{other}`"))),
+    };
+    let dv = field(v, "distance", "component")?;
+    let distance = if dv.as_str() == Some("inf") {
+        StackDistance::Infinite
+    } else if let Some(c) = dv.get("const") {
+        StackDistance::Constant(expr_from_value(c, "constant distance")?)
+    } else if dv.get("lo").is_some() && dv.get("hi").is_some() {
+        StackDistance::Varying {
+            lo: expr_from_value(field(dv, "lo", "varying distance")?, "varying distance lo")?,
+            hi: expr_from_value(field(dv, "hi", "varying distance")?, "varying distance hi")?,
+        }
+    } else {
+        return Err(schema(
+            "component distance must be \"inf\", {const}, or {lo, hi}",
+        ));
+    };
+    Ok(Component {
+        array: ArrayId(idx_field("array")?),
+        stmt: StmtId(idx_field("stmt")?),
+        ref_idx: idx_field("ref")?,
+        kind,
+        count: expr_from_value(field(v, "count", "component")?, "component count")?,
+        distance,
+    })
+}
+
 /// Encode one lint diagnostic. Span coordinates are emitted only when the
 /// rule filled them in; the fix-it is an optional `{action, detail,
 /// legality, target?}` object, where `target` is the machine-applicable
@@ -593,6 +694,54 @@ mod tests {
             );
             assert_eq!(q.validate(), Ok(()));
             assert_eq!(q.name, p.name);
+        }
+    }
+
+    #[test]
+    fn stored_components_roundtrip() {
+        for p in [
+            programs::matmul(),
+            programs::tiled_matmul(),
+            programs::two_index_unfused(),
+            programs::two_index_fused(),
+            programs::tiled_two_index(),
+        ] {
+            let model = sdlo_core::MissModel::build(&p);
+            for c in model.components() {
+                let v = stored_component_to_value(c);
+                let text = v.render();
+                let back =
+                    stored_component_from_value(&crate::json::parse(&text).unwrap()).unwrap();
+                assert_eq!(back.array, c.array, "{}: {text}", p.name);
+                assert_eq!(back.stmt, c.stmt);
+                assert_eq!(back.ref_idx, c.ref_idx);
+                assert_eq!(back.kind, c.kind);
+                assert_eq!(back.count.to_string(), c.count.to_string());
+                assert_eq!(
+                    format!("{}", back.distance),
+                    format!("{}", c.distance),
+                    "{}: {text}",
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stored_component_decode_rejects_garbage() {
+        for bad in [
+            r#"{"stmt":0,"ref":0,"reuse":{"kind":"compulsory"},"count":"1","distance":"inf"}"#,
+            r#"{"array":0,"stmt":0,"ref":0,"reuse":{"kind":"warp"},"count":"1","distance":"inf"}"#,
+            r#"{"array":0,"stmt":0,"ref":0,"reuse":{"kind":"carried"},"count":"1","distance":"inf"}"#,
+            r#"{"array":0,"stmt":0,"ref":0,"reuse":{"kind":"compulsory"},"count":"N +","distance":"inf"}"#,
+            r#"{"array":0,"stmt":0,"ref":0,"reuse":{"kind":"compulsory"},"count":"1","distance":{"x":1}}"#,
+            r#"{"array":-1,"stmt":0,"ref":0,"reuse":{"kind":"compulsory"},"count":"1","distance":"inf"}"#,
+        ] {
+            let v = crate::json::parse(bad).unwrap();
+            assert!(
+                matches!(stored_component_from_value(&v), Err(WireError::Schema(_))),
+                "{bad}"
+            );
         }
     }
 
