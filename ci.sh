@@ -40,6 +40,12 @@ echo "==> tables profile --all-builtins"
 cargo run --release -q -p sdlo-bench --bin tables -- profile --all-builtins \
     --trace-out results/profile-trace.json --json --budget-ms 2000
 
+# Disabled-tracing overhead: a span in the hot path must cost nanoseconds
+# when no collector is installed (one relaxed atomic load). Exits 1 over the
+# gate; the measurement lands in results/trace-overhead.txt.
+echo "==> tables trace-overhead"
+cargo run --release -q -p sdlo-bench --bin tables -- trace-overhead --max-ns 150
+
 # Wire compatibility: the golden reply-shape tests for every op, including
 # the deadline gate — an advise with a 1 ms deadline over the largest
 # builtin's full tile grid must come back `completed:false` within budget.
@@ -97,16 +103,33 @@ send_op() { # port line -> first reply line on stdout
     printf '%s\n' "$reply"
 }
 
-target/release/sdlo-service --addr "127.0.0.1:$B1_PORT" --cache-dir "$FLEET_CACHE" \
+# SDLO_TRACE=1 installs each process's flight recorder as its trace
+# collector, so router-minted trace ids span all three span trees.
+SDLO_TRACE=1 target/release/sdlo-service --addr "127.0.0.1:$B1_PORT" --cache-dir "$FLEET_CACHE" \
     > /dev/null & FLEET_PIDS+=($!)
-target/release/sdlo-service --addr "127.0.0.1:$B2_PORT" --cache-dir "$FLEET_CACHE" \
+SDLO_TRACE=1 target/release/sdlo-service --addr "127.0.0.1:$B2_PORT" --cache-dir "$FLEET_CACHE" \
     > /dev/null & FLEET_PIDS+=($!)
 wait_port "$B1_PORT"
 wait_port "$B2_PORT"
-target/release/sdlo-router --addr "127.0.0.1:$RT_PORT" \
+SDLO_TRACE=1 target/release/sdlo-router --addr "127.0.0.1:$RT_PORT" \
     --backend "127.0.0.1:$B1_PORT" --backend "127.0.0.1:$B2_PORT" \
     --health-interval-ms 100 > /dev/null & FLEET_PIDS+=($!)
 wait_port "$RT_PORT"
+
+# Fleet trace gate: send a few distinct shapes through the router, dump
+# every process's flight recorder, and merge the Chrome traces into one
+# cross-process timeline. `--require-cross-process` exits 1 unless at
+# least one trace_id appears in more than one process's dump.
+echo "==> fleet trace smoke (trace_dump from router + both backends, trace-merge)"
+for n in 48 56 64; do
+    send_op "$RT_PORT" "{\"op\":\"predict\",\"request_id\":\"trace-$n\",\"program\":\"matmul\",\"bindings\":{\"Ni\":$n,\"Nj\":$n,\"Nk\":$n},\"cache\":1024}" > /dev/null
+done
+send_op "$B1_PORT" '{"op":"debug","what":"trace_dump"}' > results/trace-b1.json
+send_op "$B2_PORT" '{"op":"debug","what":"trace_dump"}' > results/trace-b2.json
+send_op "$RT_PORT" '{"op":"debug","what":"trace_dump"}' > results/trace-router.json
+cargo run --release -q -p sdlo-bench --bin tables -- trace-merge \
+    results/trace-router.json results/trace-b1.json results/trace-b2.json \
+    --out results/fleet-trace.json --json --require-cross-process
 
 target/release/loadgen --addr "127.0.0.1:$RT_PORT" --retry-overloaded \
     --clients 64 --duration 6s --seed 42 --out results/router.json & LG_PID=$!

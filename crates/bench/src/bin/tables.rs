@@ -6,6 +6,9 @@
 //! tables deps <program>... | --all-builtins [--dot] [--json]
 //! tables profile <program>... | --all-builtins [--trace-out PATH]
 //!                [--budget-ms N] [--cache N] [--json]
+//! tables trace-merge <input>... [--out PATH] [--json]
+//!                [--require-cross-process]
+//! tables trace-overhead [--max-ns N]
 //!
 //! experiments: table1 table2 table3 table4 fig10 fig11 ablations all
 //! ```
@@ -18,6 +21,12 @@
 //! *proven* fix-it to a fixpoint and re-lints the rewritten program; `deps`
 //! dumps each program's dependence graph as a table (or GraphViz DOT with
 //! `--dot`).
+//!
+//! `trace-merge` joins Chrome-trace exports from several processes (router +
+//! backends, each a raw trace document or a saved `debug`/`trace_dump` reply)
+//! into one cross-process timeline keyed by `trace_id`; `trace-overhead`
+//! measures the disabled-tracing span cost and gates it against a ns/call
+//! ceiling.
 
 use sdlo_bench::*;
 use sdlo_wire::Value;
@@ -55,7 +64,21 @@ fn usage(to_stderr: bool) {
          \x20         [--trace-out PATH]  Chrome trace JSON (Perfetto-loadable)\n\
          \x20         [--budget-ms N]     exit 1 if model.build exceeds N ms\n\
          \x20         [--cache N]         cache size in elements (default 8192)\n\
-         \x20         [--json]            also write results/profile.json";
+         \x20         [--json]            also write results/profile.json\n\
+         \n\
+         trace-merge joins per-process Chrome traces into one fleet\n\
+         timeline; inputs are raw trace documents or saved trace_dump\n\
+         replies (their epoch_unix_micros rebases timestamps).\n\
+         \x20 tables trace-merge <input>...\n\
+         \x20         [--out PATH]        merged trace (default\n\
+         \x20                             results/fleet-trace.json)\n\
+         \x20         [--json]            also write results/trace-merge.json\n\
+         \x20         [--require-cross-process]  exit 1 unless some trace_id\n\
+         \x20                             spans more than one process\n\
+         \n\
+         trace-overhead measures the disabled-tracing span fast path and\n\
+         writes results/trace-overhead.txt.\n\
+         \x20 tables trace-overhead [--max-ns N]   gate, ns/call (default 150)";
     if to_stderr {
         eprintln!("{text}");
     } else {
@@ -825,6 +848,285 @@ fn run_profile(args: &[String]) -> ! {
     std::process::exit(if over_budget { 1 } else { 0 });
 }
 
+// ---------------------------------------------------------------------------
+// `tables trace-merge` — one fleet timeline from per-process Chrome traces
+// ---------------------------------------------------------------------------
+
+/// One parsed input: its label (file stem), its trace events, and the unix
+/// epoch its timestamps are relative to (0 when the input did not carry one).
+struct TraceInput {
+    label: String,
+    events: Vec<Value>,
+    epoch_unix_micros: u64,
+}
+
+/// Accept either a raw Chrome trace document (`{"traceEvents":[…]}`) or a
+/// saved `debug`/`trace_dump` reply envelope, whose `chrome` field holds the
+/// document as a string and whose `epoch_unix_micros` anchors its clock.
+fn load_trace_input(path: &str) -> TraceInput {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read `{path}`: {e}")));
+    let doc = sdlo_wire::parse(text.trim())
+        .unwrap_or_else(|e| fail(&format!("`{path}` is not valid JSON: {e}")));
+    let (doc, epoch) = match doc.get("chrome").and_then(Value::as_str) {
+        Some(inner) => {
+            let epoch = doc
+                .get("epoch_unix_micros")
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            let inner = sdlo_wire::parse(inner)
+                .unwrap_or_else(|e| fail(&format!("`{path}`: chrome field is not JSON: {e}")));
+            (inner, epoch)
+        }
+        None => {
+            let epoch = doc
+                .get("epoch_unix_micros")
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            (doc, epoch)
+        }
+    };
+    let events = match doc.get("traceEvents") {
+        Some(Value::Array(events)) => events.clone(),
+        _ => fail(&format!("`{path}` has no traceEvents array")),
+    };
+    let label = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    TraceInput {
+        label,
+        events,
+        epoch_unix_micros: epoch,
+    }
+}
+
+fn event_ts(event: &Value) -> u64 {
+    match event.get("ts") {
+        Some(v) => v
+            .as_u64()
+            .or_else(|| v.as_f64().map(|f| f.max(0.0) as u64))
+            .unwrap_or(0),
+        None => 0,
+    }
+}
+
+/// The event with its `pid` replaced and its `ts` shifted onto the shared
+/// fleet clock; every other field passes through untouched.
+fn rebased_event(event: &Value, pid: u64, shift: u64) -> Value {
+    let Value::Object(fields) = event else {
+        return event.clone();
+    };
+    let mut out: Vec<(String, Value)> = Vec::with_capacity(fields.len() + 1);
+    let mut saw_pid = false;
+    for (k, v) in fields {
+        match k.as_str() {
+            "pid" => {
+                saw_pid = true;
+                out.push((k.clone(), Value::from(pid)));
+            }
+            "ts" => out.push((k.clone(), Value::from(event_ts(event) + shift))),
+            _ => out.push((k.clone(), v.clone())),
+        }
+    }
+    if !saw_pid {
+        out.push(("pid".to_string(), Value::from(pid)));
+    }
+    Value::Object(out)
+}
+
+/// Merge per-process Chrome traces into one timeline: each input becomes one
+/// pid (named after its file), timestamps are rebased onto the earliest
+/// input's epoch, and trace ids are joined across processes. Exits 1 under
+/// `--require-cross-process` when no trace_id spans more than one process —
+/// the fleet-smoke gate that proves router→backend propagation end to end.
+fn run_trace_merge(args: &[String]) -> ! {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut out_path = "results/fleet-trace.json".to_string();
+    let mut json = false;
+    let mut require_cross = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => fail("--out requires a path"),
+            },
+            "--json" => json = true,
+            "--require-cross-process" => require_cross = true,
+            "--help" | "-h" => {
+                usage(false);
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => fail(&format!("unknown flag `{flag}`")),
+            positional => inputs.push(positional.to_string()),
+        }
+    }
+    if inputs.is_empty() {
+        fail("trace-merge requires at least one input trace");
+    }
+
+    let inputs: Vec<TraceInput> = inputs.iter().map(|p| load_trace_input(p)).collect();
+    // Rebase onto the earliest anchored clock; inputs without an epoch stay
+    // unshifted (their spans were already relative to process start).
+    let min_epoch = inputs
+        .iter()
+        .map(|i| i.epoch_unix_micros)
+        .filter(|e| *e > 0)
+        .min()
+        .unwrap_or(0);
+    let mut merged: Vec<Value> = Vec::new();
+    for (i, input) in inputs.iter().enumerate() {
+        let pid = i as u64 + 1;
+        let shift = if input.epoch_unix_micros > 0 {
+            input.epoch_unix_micros - min_epoch
+        } else {
+            0
+        };
+        merged.push(Value::obj(vec![
+            ("name", Value::from("process_name")),
+            ("ph", Value::from("M")),
+            ("pid", Value::from(pid)),
+            ("tid", Value::from(0u64)),
+            (
+                "args",
+                Value::obj(vec![("name", Value::from(input.label.as_str()))]),
+            ),
+        ]));
+        for event in &input.events {
+            merged.push(rebased_event(event, pid, shift));
+        }
+    }
+    merged.sort_by_key(event_ts);
+
+    // Join: which processes saw each trace_id (span-begin args carry it).
+    let mut trace_pids: std::collections::BTreeMap<String, std::collections::BTreeSet<u64>> =
+        std::collections::BTreeMap::new();
+    for event in &merged {
+        if event.get("ph").and_then(Value::as_str) != Some("B") {
+            continue;
+        }
+        let Some(trace_id) = event.path(&["args", "trace_id"]).and_then(Value::as_str) else {
+            continue;
+        };
+        let pid = event.get("pid").and_then(Value::as_u64).unwrap_or(0);
+        trace_pids
+            .entry(trace_id.to_string())
+            .or_default()
+            .insert(pid);
+    }
+    let cross_process = trace_pids.values().filter(|pids| pids.len() > 1).count();
+
+    let doc = Value::obj(vec![
+        ("displayTimeUnit", Value::from("ms")),
+        ("traceEvents", Value::Array(merged)),
+    ]);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, doc.render() + "\n") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    let events: usize = inputs.iter().map(|i| i.events.len()).sum();
+    println!(
+        "trace-merge: {} process(es), {events} event(s), {} trace id(s), {cross_process} cross-process — wrote {out_path}",
+        inputs.len(),
+        trace_pids.len(),
+    );
+    if json {
+        write_json(
+            "trace-merge",
+            &Value::obj(vec![
+                ("processes", Value::from(inputs.len() as u64)),
+                ("events", Value::from(events as u64)),
+                ("trace_ids", Value::from(trace_pids.len() as u64)),
+                ("cross_process_traces", Value::from(cross_process as u64)),
+                ("out", Value::from(out_path.as_str())),
+            ]),
+        );
+    }
+    if require_cross && cross_process == 0 {
+        eprintln!("error: no trace_id spans more than one process");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+// ---------------------------------------------------------------------------
+// `tables trace-overhead` — disabled-tracing fast-path gate
+// ---------------------------------------------------------------------------
+
+/// Measure what a span costs when no collector is installed — the price
+/// every request pays for always-compiled tracing — and gate it against a
+/// ns/call ceiling. Writes `results/trace-overhead.txt`.
+fn run_trace_overhead(args: &[String]) -> ! {
+    let mut max_ns: f64 = 150.0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-ns" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(n)) if n > 0.0 => max_ns = n,
+                _ => fail("--max-ns requires a positive number"),
+            },
+            "--help" | "-h" => {
+                usage(false);
+                std::process::exit(0);
+            }
+            flag => fail(&format!("unknown argument `{flag}`")),
+        }
+    }
+    assert!(
+        !sdlo_trace::enabled(),
+        "trace-overhead must run without a collector installed"
+    );
+    const ITERS: u64 = 4_000_000;
+    // Baseline: the identical loop minus the span, so the subtraction
+    // isolates span creation + drop on the disabled path. One warm-up round
+    // keeps the first measurement off cold caches.
+    let time_loop = |with_span: bool| {
+        let start = std::time::Instant::now();
+        for i in 0..ITERS {
+            if with_span {
+                let span = sdlo_trace::span("bench.overhead");
+                std::hint::black_box(i);
+                drop(span);
+            } else {
+                std::hint::black_box(i);
+            }
+        }
+        start.elapsed()
+    };
+    let _ = time_loop(true);
+    let baseline = time_loop(false);
+    let spans = time_loop(true);
+    let per_call_ns = spans.saturating_sub(baseline).as_nanos() as f64 / ITERS as f64;
+    let report = format!(
+        "disabled-tracing span overhead: {per_call_ns:.2} ns/call \
+         (span loop {:.1} ms, baseline {:.1} ms, {ITERS} iterations, gate {max_ns:.0} ns)\n",
+        spans.as_secs_f64() * 1e3,
+        baseline.as_secs_f64() * 1e3,
+    );
+    print!("{report}");
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("trace-overhead.txt");
+    if let Err(e) = std::fs::write(&path, &report) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", path.display());
+    if per_call_ns > max_ns {
+        eprintln!(
+            "error: disabled-span overhead {per_call_ns:.2} ns/call exceeds gate {max_ns:.0} ns"
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("lint") {
@@ -835,6 +1137,12 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("profile") {
         run_profile(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace-merge") {
+        run_trace_merge(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace-overhead") {
+        run_trace_overhead(&args[1..]);
     }
     let opts = parse_args(&args);
     let Options {

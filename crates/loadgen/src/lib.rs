@@ -599,6 +599,18 @@ pub struct ServerView {
     pub router_backends: BTreeMap<String, BackendView>,
     /// `sdlo_router_exhausted_requests_total` (router only).
     pub router_exhausted: u64,
+    /// Per-phase request breakdown (`sdlo_request_{queue,exec,write}_micros`
+    /// histograms), keyed `queue`/`exec`/`write`. Empty when the scrape
+    /// target predates the phase histograms (e.g. a router front).
+    pub phases: BTreeMap<String, PhaseView>,
+}
+
+/// One per-phase histogram, reduced to its observation count and p99 upper
+/// bucket bound.
+#[derive(Debug, Default, Clone)]
+pub struct PhaseView {
+    pub count: u64,
+    pub p99_le: u64,
 }
 
 /// One backend as the router sees it, parsed from its
@@ -624,6 +636,21 @@ impl ServerView {
         let mut connections_active = 0;
         let mut router_backends: BTreeMap<String, BackendView> = BTreeMap::new();
         let mut router_exhausted = 0;
+        // Cumulative `le → count` per phase, as printed.
+        let mut phase_cum: BTreeMap<&'static str, BTreeMap<u64, u64>> = BTreeMap::new();
+        let mut phase_bucket = |phase: &'static str, rest: &str| {
+            let Some((le, value)) = rest.split_once("\"} ") else {
+                return;
+            };
+            let le = if le == "+Inf" {
+                u64::MAX
+            } else {
+                le.parse().unwrap_or(u64::MAX)
+            };
+            if let Ok(cum) = value.trim().parse::<u64>() {
+                phase_cum.entry(phase).or_default().insert(le, cum);
+            }
+        };
         for line in text.lines() {
             if let Some(rest) = line.strip_prefix("sdlo_request_latency_micros_bucket{op=\"") {
                 let Some((op, rest)) = rest.split_once("\",le=\"") else {
@@ -649,6 +676,12 @@ impl ServerView {
                 if own > 0 {
                     *buckets.entry(le).or_insert(0) += own;
                 }
+            } else if let Some(rest) = line.strip_prefix("sdlo_request_queue_micros_bucket{le=\"") {
+                phase_bucket("queue", rest);
+            } else if let Some(rest) = line.strip_prefix("sdlo_request_exec_micros_bucket{le=\"") {
+                phase_bucket("exec", rest);
+            } else if let Some(rest) = line.strip_prefix("sdlo_request_write_micros_bucket{le=\"") {
+                phase_bucket("write", rest);
             } else if let Some(rest) = line.strip_prefix("sdlo_requests_total{op=\"") {
                 if let Some((op, value)) = rest.split_once("\"} ") {
                     if let Ok(n) = value.trim().parse() {
@@ -688,6 +721,24 @@ impl ServerView {
                 connections_active = v.trim().parse().unwrap_or(0);
             }
         }
+        let phases: BTreeMap<String, PhaseView> = phase_cum
+            .into_iter()
+            .map(|(name, cum)| {
+                // Cumulative buckets: the largest value is the total count,
+                // the p99 is the first bound covering 99% of it.
+                let count = cum.values().copied().max().unwrap_or(0);
+                let target = ((count as f64) * 0.99).ceil().max(1.0) as u64;
+                let p99_le = if count == 0 {
+                    0
+                } else {
+                    cum.iter()
+                        .find(|(_, c)| **c >= target)
+                        .map(|(le, _)| *le)
+                        .unwrap_or(u64::MAX)
+                };
+                (name.to_string(), PhaseView { count, p99_le })
+            })
+            .collect();
         let histogram_count = buckets.values().sum();
         let q = |q: f64| -> u64 {
             if histogram_count == 0 {
@@ -715,6 +766,7 @@ impl ServerView {
             connections_active,
             router_backends,
             router_exhausted,
+            phases,
         }
     }
 }
@@ -803,6 +855,25 @@ impl LoadReport {
                     ),
                 ),
             ];
+            if !s.phases.is_empty() {
+                server.push((
+                    "phases",
+                    Value::Object(
+                        s.phases
+                            .iter()
+                            .map(|(name, p)| {
+                                (
+                                    name.clone(),
+                                    Value::obj(vec![
+                                        ("count", Value::from(p.count)),
+                                        ("p99_le", Value::from(p.p99_le)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
             if !s.router_backends.is_empty() {
                 server.push((
                     "router_backends",
@@ -897,6 +968,19 @@ impl LoadReport {
                 server.histogram_count, self.ok
             ));
         }
+        // Queue time is one slice of the end-to-end latency the clients
+        // measured, so its p99 cannot exceed theirs. The server reports a
+        // log₂ upper bucket bound (≤ 2× the true value), hence the factor,
+        // plus fixed slack for sub-millisecond runs where one bucket is the
+        // whole distribution.
+        if let Some(queue) = server.phases.get("queue") {
+            if queue.count > 0 && queue.p99_le > 2 * self.client_p99 + 1024 {
+                fails.push(format!(
+                    "server queue p99 ≤{}µs exceeds client total p99 {}µs beyond bucket slack",
+                    queue.p99_le, self.client_p99
+                ));
+            }
+        }
         fails
     }
 
@@ -955,6 +1039,16 @@ impl LoadReport {
                 "  server histogram µs (bucket bounds): p50 ≤{}  p99 ≤{}  p999 ≤{}  ({} observations, {} rejected)",
                 s.p50_le, s.p99_le, s.p999_le, s.histogram_count, s.rejected
             );
+            if !s.phases.is_empty() {
+                let p99 = |name: &str| s.phases.get(name).map(|p| p.p99_le).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  server phases µs (p99 bucket bounds): queue ≤{}  exec ≤{}  write ≤{}",
+                    p99("queue"),
+                    p99("exec"),
+                    p99("write")
+                );
+            }
             for (addr, b) in &s.router_backends {
                 let mean = b
                     .latency_micros_sum
@@ -1076,6 +1170,29 @@ sdlo_connections_active 2
         assert_eq!(view.connections_total, 12);
         assert_eq!(view.connections_active, 2);
         assert_eq!(view.requests_per_op.get("predict"), Some(&100));
+        assert!(view.phases.is_empty());
+    }
+
+    #[test]
+    fn server_view_parses_phase_histograms() {
+        let text = "\
+# TYPE sdlo_request_queue_micros histogram
+sdlo_request_queue_micros_bucket{le=\"8\"} 95
+sdlo_request_queue_micros_bucket{le=\"64\"} 99
+sdlo_request_queue_micros_bucket{le=\"+Inf\"} 100
+sdlo_request_exec_micros_bucket{le=\"512\"} 100
+sdlo_request_exec_micros_bucket{le=\"+Inf\"} 100
+sdlo_request_write_micros_bucket{le=\"+Inf\"} 0
+";
+        let view = ServerView::from_exposition(text);
+        let queue = view.phases.get("queue").unwrap();
+        assert_eq!(queue.count, 100);
+        // 99% of 100 observations are within the le=64 bucket.
+        assert_eq!(queue.p99_le, 64);
+        assert_eq!(view.phases.get("exec").unwrap().p99_le, 512);
+        // An empty histogram parses to a zeroed view, not a crash.
+        let write = view.phases.get("write").unwrap();
+        assert_eq!((write.count, write.p99_le), (0, 0));
     }
 
     #[test]

@@ -40,7 +40,10 @@ use ring::Ring;
 use sdlo_service::api::{self, ApiError, ErrorKind, RoutingKey};
 use sdlo_service::client::Client;
 use sdlo_service::metrics::{Kind, Metrics};
+use sdlo_trace::flight::{FlightRecord, FlightRecorder};
+use sdlo_trace::AttrValue;
 use sdlo_wire::Value;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -73,6 +76,11 @@ pub struct RouterConfig {
     pub fail_threshold: u32,
     /// Read timeout on backend connections.
     pub backend_timeout_ms: u64,
+    /// Flight-recorder ring size (last N proxied requests).
+    pub flight_capacity: usize,
+    /// Requests slower than this (end-to-end, router-side) trigger a
+    /// span-tree capture in the flight recorder. 0 disables captures.
+    pub slow_threshold_micros: u64,
 }
 
 impl Default for RouterConfig {
@@ -87,6 +95,8 @@ impl Default for RouterConfig {
             health_interval_ms: 200,
             fail_threshold: 2,
             backend_timeout_ms: 10_000,
+            flight_capacity: 256,
+            slow_threshold_micros: 100_000,
         }
     }
 }
@@ -136,6 +146,12 @@ struct Shared {
     req_seq: AtomicU64,
     /// Our own bound address, used to poke the accept loop on shutdown.
     self_addr: std::sync::OnceLock<SocketAddr>,
+    /// Always-on ring of the last N proxied requests plus slow captures —
+    /// the router-side half of `debug`/`trace_dump`.
+    flight: Arc<FlightRecorder>,
+    /// Guards the final drain-summary log record (emitted exactly once,
+    /// whether shutdown arrives over the wire or via the handle).
+    summary: std::sync::Once,
 }
 
 impl Shared {
@@ -155,15 +171,58 @@ impl Shared {
     fn note_success(&self, idx: usize) {
         let b = &self.backends[idx];
         b.consecutive_failures.store(0, Ordering::Relaxed);
-        b.up.store(true, Ordering::Relaxed);
+        if !b.up.swap(true, Ordering::Relaxed) {
+            sdlo_trace::log::info(
+                "router",
+                "backend.readmitted",
+                &[("backend", AttrValue::Str(b.addr.clone()))],
+            );
+        }
     }
 
     fn note_failure(&self, idx: usize) {
         let b = &self.backends[idx];
         let n = b.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
-        if n >= u64::from(self.config.fail_threshold) {
-            b.up.store(false, Ordering::Relaxed);
+        if n >= u64::from(self.config.fail_threshold) && b.up.swap(false, Ordering::Relaxed) {
+            sdlo_trace::log::warn(
+                "router",
+                "backend.evicted",
+                &[
+                    ("backend", AttrValue::Str(b.addr.clone())),
+                    ("consecutive_failures", AttrValue::UInt(n)),
+                ],
+            );
         }
+    }
+
+    /// The final summary record, logged exactly once at drain regardless of
+    /// how many shutdown paths race.
+    fn drain_summary(&self) {
+        self.summary.call_once(|| {
+            let up = self.backends.iter().filter(|b| b.is_up()).count();
+            let transport_errors: u64 = self
+                .backends
+                .iter()
+                .map(|b| b.transport_errors.load(Ordering::Relaxed))
+                .sum();
+            sdlo_trace::log::info(
+                "router",
+                "drain.summary",
+                &[
+                    ("requests_recorded", AttrValue::UInt(self.flight.pushed())),
+                    (
+                        "exhausted",
+                        AttrValue::UInt(self.exhausted.load(Ordering::Relaxed)),
+                    ),
+                    ("transport_errors", AttrValue::UInt(transport_errors)),
+                    ("backends_up", AttrValue::UInt(up as u64)),
+                    (
+                        "slow_captures",
+                        AttrValue::UInt(self.flight.slow().len() as u64),
+                    ),
+                ],
+            );
+        });
     }
 
     /// Candidate sequence for one request: ring order for shaped keys,
@@ -262,6 +321,25 @@ impl Shared {
             })
             .collect();
         snap.push((
+            "slowest".to_string(),
+            Value::Object(
+                self.flight
+                    .slowest_per_op()
+                    .into_iter()
+                    .map(|(op, r)| {
+                        (
+                            op,
+                            Value::obj(vec![
+                                ("total_micros", Value::from(r.total_micros)),
+                                ("request_id", Value::from(r.request_id.as_str())),
+                                ("trace_id", Value::from(r.trace_id.as_str())),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+        snap.push((
             "router".to_string(),
             Value::obj(vec![
                 ("backends", Value::Array(backends)),
@@ -300,6 +378,12 @@ impl RouterHandle {
         Arc::clone(&self.shared.metrics)
     }
 
+    /// The router's flight recorder — install it as the process trace
+    /// collector to feed slow captures and `trace_dump` span trees.
+    pub fn flight(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.shared.flight)
+    }
+
     /// Whether backend `idx` is currently admitted to ring walks.
     pub fn backend_up(&self, idx: usize) -> bool {
         self.shared.backends[idx].is_up()
@@ -322,6 +406,7 @@ impl RouterHandle {
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.join();
+        self.shared.drain_summary();
     }
 
     /// Block until a `{"op":"shutdown"}` request arrives.
@@ -330,6 +415,7 @@ impl RouterHandle {
             std::thread::sleep(Duration::from_millis(20));
         }
         self.join();
+        self.shared.drain_summary();
     }
 }
 
@@ -364,8 +450,24 @@ pub fn serve(config: RouterConfig) -> std::io::Result<RouterHandle> {
         jitter: AtomicU64::new(0x243f_6a88_85a3_08d3),
         req_seq: AtomicU64::new(1),
         self_addr: std::sync::OnceLock::new(),
+        flight: Arc::new(FlightRecorder::new(
+            config.flight_capacity,
+            config.slow_threshold_micros,
+        )),
+        summary: std::sync::Once::new(),
         config,
     });
+    sdlo_trace::log::info(
+        "router",
+        "router.started",
+        &[
+            ("addr", AttrValue::Str(addr.to_string())),
+            (
+                "backends",
+                AttrValue::UInt(shared.config.backends.len() as u64),
+            ),
+        ],
+    );
     let _ = shared.self_addr.set(addr);
 
     let accept = {
@@ -466,8 +568,23 @@ fn handle_client(shared: &Shared, stream: TcpStream) {
             .and_then(Value::as_str)
             .unwrap_or("");
         let kind = Kind::from_op(op);
-        let span = sdlo_trace::span("router.request");
+        // Adopt the client's trace context when it sent one; otherwise the
+        // router is the trace root and mints the fleet-wide id itself (only
+        // when a collector is installed — untraced routers stay silent).
+        let incoming = parsed.as_ref().and_then(api::request_trace);
+        let span = sdlo_trace::span_with_parent(
+            "router.request",
+            incoming.as_ref().and_then(|t| t.parent_span),
+        );
         span.attr("op", op);
+        let trace_id = match (&incoming, span.id()) {
+            (Some(t), _) => t.trace_id.clone(),
+            (None, Some(_)) => format!("{:016x}", shared.next_jitter()),
+            (None, None) => String::new(),
+        };
+        if !trace_id.is_empty() {
+            span.attr("trace_id", trace_id.as_str());
+        }
 
         // Raw Prometheus scrape: plain text, then EOF — same transport
         // behavior as a backend.
@@ -506,7 +623,9 @@ fn handle_client(shared: &Shared, stream: TcpStream) {
         }
 
         // Aggregated observability is answered by the router; everything
-        // else forwards.
+        // else forwards (with the router's trace context spliced in when a
+        // collector is recording, so backend spans parent under our root).
+        let mut fwd = ForwardInfo::default();
         let (reply, ok) = match op {
             "stats" => local_reply(shared, parsed.as_ref(), shared.stats_body()),
             "metrics" => local_reply(
@@ -517,12 +636,64 @@ fn handle_client(shared: &Shared, stream: TcpStream) {
                     ("text", Value::from(shared.prometheus())),
                 ],
             ),
-            _ => forward(shared, parsed.as_ref(), &line, &mut pool, started),
+            "debug" => local_debug(shared, parsed.as_ref()),
+            _ => {
+                let wire_line = traced_line(&line, &trace_id, span.id());
+                forward(
+                    shared,
+                    parsed.as_ref(),
+                    &wire_line,
+                    &mut pool,
+                    started,
+                    &mut fwd,
+                )
+            }
         };
-        shared
-            .metrics
-            .record(kind, started.elapsed().as_micros() as u64, ok);
+        if let Some(idx) = fwd.backend {
+            span.attr("backend", shared.backends[idx].addr.as_str());
+        }
+        span.attr("failovers", u64::from(fwd.failovers));
+        span.attr("retries", u64::from(fwd.retries));
+        let total_micros = started.elapsed().as_micros() as u64;
+        shared.metrics.record(kind, total_micros, ok);
+        let root_span = span.id();
         drop(span);
+        let status = if ok {
+            "ok".to_string()
+        } else {
+            sdlo_wire::parse(&reply)
+                .ok()
+                .and_then(|r| {
+                    r.path(&["error", "kind"])
+                        .and_then(Value::as_str)
+                        .map(str::to_string)
+                })
+                .unwrap_or_else(|| "error".to_string())
+        };
+        let canon_hash = match parsed.as_ref().map(api::routing_key) {
+            Some(RoutingKey::Shape(h)) => h,
+            _ => 0,
+        };
+        shared.flight.push(
+            FlightRecord {
+                op: op.to_string(),
+                canon_hash,
+                status,
+                exec_micros: total_micros,
+                total_micros,
+                retries: u64::from(fwd.retries),
+                failovers: u64::from(fwd.failovers),
+                request_id: parsed
+                    .as_ref()
+                    .and_then(|r| r.get("request_id"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                trace_id,
+                ..FlightRecord::default()
+            },
+            root_span,
+        );
         if writer.write_all(reply.as_bytes()).is_err()
             || writer.write_all(b"\n").is_err()
             || writer.flush().is_err()
@@ -533,6 +704,62 @@ fn handle_client(shared: &Shared, stream: TcpStream) {
             break;
         }
     }
+}
+
+/// What one forwarded request cost in retries/failovers and where it
+/// finally landed — feeds the root span's attrs and the flight record.
+#[derive(Debug, Default)]
+struct ForwardInfo {
+    /// Overload retries spent.
+    retries: u32,
+    /// Transport-error failovers (each one moved the request to the ring
+    /// successor).
+    failovers: u32,
+    /// The backend that produced the final reply, if any did.
+    backend: Option<usize>,
+}
+
+/// Splice the router's trace context into a forwarded line. Association
+/// lists keep duplicate keys and `get()` returns the *first* match, so a
+/// front-spliced `trace` wins on the backend (re-parenting its spans under
+/// the router's root) while the rest of the line stays byte-for-byte
+/// untouched. With no recording root span the line passes through verbatim —
+/// untraced routers add zero protocol surface.
+fn traced_line<'a>(line: &'a str, trace_id: &str, parent_span: Option<u64>) -> Cow<'a, str> {
+    let (Some(parent), Some(brace)) = (parent_span, line.find('{')) else {
+        return Cow::Borrowed(line);
+    };
+    let rest = &line[brace + 1..];
+    let mut out = String::with_capacity(line.len() + 64);
+    out.push_str(&line[..=brace]);
+    out.push_str("\"trace\":{\"trace_id\":");
+    out.push_str(&Value::from(trace_id).render());
+    out.push_str(",\"parent_span\":");
+    out.push_str(&parent.to_string());
+    out.push('}');
+    if !rest.trim_start().starts_with('}') {
+        out.push(',');
+    }
+    out.push_str(rest);
+    Cow::Owned(out)
+}
+
+/// The router answers `debug` itself: `trace_dump` exposes the router-side
+/// flight recorder (each backend serves its own over the same op).
+fn local_debug(shared: &Shared, request: Option<&Value>) -> (String, bool) {
+    let what = request
+        .and_then(|v| v.get("what"))
+        .and_then(Value::as_str)
+        .unwrap_or("trace_dump");
+    if what == "trace_dump" {
+        return local_reply(shared, request, api::flight_dump_body(&shared.flight));
+    }
+    let (id, request_id) = correlation(shared, request);
+    let err = ApiError::new(
+        ErrorKind::Schema,
+        format!("unknown debug query `{what}` (expected `trace_dump`)"),
+    );
+    (api::error_reply(id, &request_id, &err).render(), false)
 }
 
 /// A success reply built by the router itself (stats/metrics), with the
@@ -566,6 +793,7 @@ fn forward(
     line: &str,
     pool: &mut HashMap<usize, Client>,
     started: Instant,
+    info: &mut ForwardInfo,
 ) -> (String, bool) {
     let key = request.map(api::routing_key).unwrap_or(RoutingKey::Any);
     let order = shared.candidates(key);
@@ -597,6 +825,7 @@ fn forward(
         match try_backend(shared, idx, line, pool) {
             Ok(text) => {
                 shared.note_success(idx);
+                info.backend = Some(idx);
                 backend.requests.fetch_add(1, Ordering::Relaxed);
                 backend
                     .latency_sum_micros
@@ -626,17 +855,28 @@ fn forward(
                     break;
                 }
                 overload_retries += 1;
+                info.retries = overload_retries;
                 backend.retries.fetch_add(1, Ordering::Relaxed);
                 // Capped exponential backoff with ±50% jitter.
                 let base = shared.config.retry_base_ms << (overload_retries - 1).min(6);
                 let jitter = shared.next_jitter() % base.max(1);
                 std::thread::sleep(Duration::from_millis((base / 2 + jitter).min(200)));
             }
-            Err(_) => {
+            Err(e) => {
                 backend.transport_errors.fetch_add(1, Ordering::Relaxed);
                 shared.note_failure(idx);
+                info.failovers += 1;
                 // Fail over immediately: the next candidate gets the
                 // request, the client never sees the dead backend.
+                sdlo_trace::log::warn(
+                    "router",
+                    "backend.failover",
+                    &[
+                        ("backend", AttrValue::Str(backend.addr.clone())),
+                        ("attempt", AttrValue::UInt(u64::from(attempt) + 1)),
+                        ("error", AttrValue::Str(e.to_string())),
+                    ],
+                );
             }
         }
     }

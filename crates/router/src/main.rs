@@ -5,13 +5,17 @@
 //!             [--addr HOST:PORT] [--vnodes N] [--max-retries N]
 //!             [--retry-base-ms N] [--retry-budget-ms N]
 //!             [--health-interval-ms N] [--fail-threshold N]
-//!             [--backend-timeout-ms N]
+//!             [--backend-timeout-ms N] [--slow-micros N]
 //! ```
 //!
-//! Speaks the same newline-delimited JSON protocol as a backend; `stats`
-//! and `metrics` are answered by the router with aggregated per-backend
-//! rollups, everything else is sharded by canonical shape hash. Runs until
-//! it receives `{"op":"shutdown"}` (the backends keep running).
+//! Speaks the same newline-delimited JSON protocol as a backend; `stats`,
+//! `metrics`, and `debug` are answered by the router with aggregated
+//! per-backend rollups, everything else is sharded by canonical shape hash.
+//! Runs until it receives `{"op":"shutdown"}` (the backends keep running).
+//!
+//! Setting `SDLO_TRACE=1` installs the router's flight recorder as the
+//! process trace collector and stamps a `trace` context onto every
+//! forwarded request, so backend spans parent under the router's root span.
 
 use sdlo_router::{serve, RouterConfig};
 
@@ -21,16 +25,19 @@ fn usage() -> ! {
          \x20                  [--addr HOST:PORT] [--vnodes N] [--max-retries N]\n\
          \x20                  [--retry-base-ms N] [--retry-budget-ms N]\n\
          \x20                  [--health-interval-ms N] [--fail-threshold N]\n\
-         \x20                  [--backend-timeout-ms N]\n\
+         \x20                  [--backend-timeout-ms N] [--slow-micros N]\n\
          \n\
          Consistent-hash front: shards requests by canonical shape hash\n\
          across the given sdlo-service backends, fails over on transport\n\
          errors, retries `overloaded` replies with jittered backoff, and\n\
-         serves aggregated stats/metrics.\n\
+         serves aggregated stats/metrics plus its own debug/trace_dump.\n\
+         SDLO_TRACE=1 enables span recording and trace-context propagation\n\
+         to backends; SDLO_LOG=error|warn|info|debug sets the structured-\n\
+         log level (default info).\n\
          Defaults: --addr 127.0.0.1:7465 --vnodes 64 --max-retries 3\n\
          \x20         --retry-base-ms 5 --retry-budget-ms 2000\n\
          \x20         --health-interval-ms 200 --fail-threshold 2\n\
-         \x20         --backend-timeout-ms 10000"
+         \x20         --backend-timeout-ms 10000 --slow-micros 100000"
     );
     std::process::exit(2);
 }
@@ -80,6 +87,10 @@ fn parse_args() -> RouterConfig {
                 Ok(n) if n > 0 => config.backend_timeout_ms = n,
                 _ => usage(),
             },
+            "--slow-micros" => match value_of("--slow-micros").parse() {
+                Ok(n) => config.slow_threshold_micros = n,
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag `{other}`\n");
@@ -99,6 +110,12 @@ fn main() {
     let backends = config.backends.join(", ");
     match serve(config) {
         Ok(handle) => {
+            if std::env::var("SDLO_TRACE")
+                .map(|v| v == "1")
+                .unwrap_or(false)
+            {
+                sdlo_trace::install(handle.flight());
+            }
             println!(
                 "sdlo-router listening on {} (backends: {backends})",
                 handle.addr()

@@ -1,0 +1,160 @@
+//! Cross-process trace propagation, end to end over real sockets: one
+//! trace_id spans the router and the backend, the backend's
+//! `service.request` span parents under the router's root span, and the
+//! per-phase spans hang under the backend root.
+//!
+//! The trace collector is process-global, so the router and backend here
+//! share one [`MemoryCollector`] — exactly why these assertions can see
+//! both halves of the tree at once. Tests that install a collector
+//! serialize on a gate mutex.
+
+use sdlo_router::{serve as serve_router, RouterConfig};
+use sdlo_service::{serve as serve_backend, Client, ServerConfig};
+use sdlo_trace::{AttrValue, MemoryCollector, Record};
+use sdlo_wire::Value;
+use std::sync::Mutex;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+/// The first span named `span_name` whose `op` attr is `op_value` — the
+/// filter keeps the router's background health probes (their own
+/// `service.request`/`router.request` spans) out of the assertions.
+fn span_begin(records: &[Record], span_name: &str, op_value: &str) -> Option<(u64, Option<u64>)> {
+    records.iter().find_map(|r| match r {
+        Record::Begin {
+            id, parent, name, ..
+        } if name == span_name => {
+            (attr_str(records, *id, "op").as_deref() == Some(op_value)).then_some((*id, *parent))
+        }
+        _ => None,
+    })
+}
+
+/// The first span named `span_name` with the given parent (phase spans
+/// carry no `op` attr; their identity is their place in the tree).
+fn child_span(records: &[Record], span_name: &str, parent_id: u64) -> Option<u64> {
+    records.iter().find_map(|r| match r {
+        Record::Begin {
+            id, parent, name, ..
+        } if name == span_name && *parent == Some(parent_id) => Some(*id),
+        _ => None,
+    })
+}
+
+fn attr_str(records: &[Record], span: u64, attr_key: &str) -> Option<String> {
+    records.iter().find_map(|r| match r {
+        Record::Attr { id, key, value } if *id == span && key == attr_key => match value {
+            AttrValue::Str(s) => Some(s.clone()),
+            other => Some(format!("{other:?}")),
+        },
+        _ => None,
+    })
+}
+
+#[test]
+fn one_trace_id_spans_router_and_backend() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let collector = MemoryCollector::new();
+    sdlo_trace::install(collector.clone());
+
+    let backend = serve_backend(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })
+    .expect("bind backend");
+    let router = serve_router(RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        backends: vec![backend.addr().to_string()],
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+
+    // The client supplies its own fleet-wide trace_id; the router must
+    // adopt it rather than minting a fresh one.
+    let mut c = Client::connect(router.addr()).unwrap();
+    let reply = c
+        .request_line(
+            r#"{"op":"predict","request_id":"tp-1","trace":{"trace_id":"fleet0001fleet00"},"program":"matmul","bindings":{"Ni":32,"Nj":32,"Nk":32},"cache":1024}"#,
+        )
+        .expect("request");
+    let reply = sdlo_wire::parse(&reply).expect("valid reply");
+    assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(true));
+
+    router.shutdown();
+    backend.shutdown();
+    sdlo_trace::uninstall();
+    let records = collector.records();
+
+    let (router_span, _) =
+        span_begin(&records, "router.request", "predict").expect("router root span recorded");
+    let (backend_span, backend_parent) =
+        span_begin(&records, "service.request", "predict").expect("backend span recorded");
+    // Correct parenting: the backend's request span hangs under the
+    // router's root span, across the process boundary (here: across two
+    // server stacks sharing one collector).
+    assert_eq!(
+        backend_parent,
+        Some(router_span),
+        "service.request must parent under router.request"
+    );
+    // One trace_id on both halves — the client's, not a minted one.
+    assert_eq!(
+        attr_str(&records, router_span, "trace_id").as_deref(),
+        Some("fleet0001fleet00")
+    );
+    assert_eq!(
+        attr_str(&records, backend_span, "trace_id").as_deref(),
+        Some("fleet0001fleet00")
+    );
+    // The reply-side phase spans parent under the backend root.
+    for phase in ["request.queue", "request.exec", "request.write"] {
+        assert!(
+            child_span(&records, phase, backend_span).is_some(),
+            "{phase} span missing under service.request"
+        );
+    }
+}
+
+#[test]
+fn router_mints_trace_id_when_client_sends_none() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let collector = MemoryCollector::new();
+    sdlo_trace::install(collector.clone());
+
+    let backend = serve_backend(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })
+    .expect("bind backend");
+    let router = serve_router(RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        backends: vec![backend.addr().to_string()],
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+
+    let mut c = Client::connect(router.addr()).unwrap();
+    let reply = c
+        .request_line(
+            r#"{"op":"predict","request_id":"tp-2","program":"matmul","bindings":{"Ni":32,"Nj":32,"Nk":32},"cache":1024}"#,
+        )
+        .expect("request");
+    let reply = sdlo_wire::parse(&reply).expect("valid reply");
+    assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(true));
+
+    router.shutdown();
+    backend.shutdown();
+    sdlo_trace::uninstall();
+    let records = collector.records();
+
+    let (router_span, _) =
+        span_begin(&records, "router.request", "predict").expect("router root span");
+    let (backend_span, backend_parent) =
+        span_begin(&records, "service.request", "predict").expect("backend span");
+    assert_eq!(backend_parent, Some(router_span));
+    // A recording router mints a 16-hex trace id and both sides carry it.
+    let minted = attr_str(&records, router_span, "trace_id").expect("minted trace_id");
+    assert_eq!(minted.len(), 16);
+    assert!(minted.chars().all(|c| c.is_ascii_hexdigit()));
+    assert_eq!(attr_str(&records, backend_span, "trace_id"), Some(minted));
+}

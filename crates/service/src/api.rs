@@ -32,7 +32,7 @@ pub const PROTOCOL_VERSION: u64 = 1;
 /// Ops served to clients, advertised by `stats`. Test-only ops (`sleep`)
 /// are deliberately absent.
 pub const OPS: &[&str] = &[
-    "analyze", "predict", "advise", "batch", "lint", "stats", "metrics",
+    "analyze", "predict", "advise", "batch", "lint", "stats", "metrics", "debug",
 ];
 
 /// Every error kind the service can put in an error envelope, transport
@@ -111,6 +111,18 @@ impl From<WireError> for ApiError {
     }
 }
 
+/// Cross-process trace context carried by a request's optional `trace`
+/// field: `{"trace":{"trace_id":"…","parent_span":N}}`. The router stamps
+/// this onto forwarded requests so backend spans parent under its root span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Fleet-wide correlation id (any non-empty string; the router mints
+    /// 16-hex ids when the client supplies none).
+    pub trace_id: String,
+    /// Span id in the *sender's* process to parent under, if any.
+    pub parent_span: Option<u64>,
+}
+
 /// The fields every request shares, extracted even when the body fails to
 /// parse so error replies can still echo `id` and `request_id`.
 #[derive(Debug)]
@@ -123,6 +135,14 @@ pub struct Envelope {
     pub request_id: Option<String>,
     /// The raw op string (empty when absent), for metrics and spans.
     pub op: String,
+    /// Cross-process trace context, if the request carried a usable one.
+    /// Parsing is deliberately lenient — a malformed `trace` field becomes
+    /// `None` rather than an error, because observability must never fail a
+    /// request that would otherwise succeed.
+    pub trace: Option<TraceContext>,
+    /// Whether the client asked for the opt-in `timing` reply section
+    /// (`"server_timing":true`).
+    pub server_timing: bool,
 }
 
 /// A program reference: a builtin name (resolved against the engine's
@@ -204,6 +224,13 @@ pub struct Sleep {
     pub millis: u64,
 }
 
+/// The `debug` op: introspection queries against the process's flight
+/// recorder. `what` defaults to `trace_dump`.
+#[derive(Debug)]
+pub struct DebugQuery {
+    pub what: String,
+}
+
 /// One fully parsed request, ready to dispatch.
 #[derive(Debug)]
 pub enum Request {
@@ -214,6 +241,7 @@ pub enum Request {
     Lint(Lint),
     Stats,
     Metrics,
+    Debug(DebugQuery),
     Sleep(Sleep),
 }
 
@@ -236,6 +264,11 @@ pub fn parse_request(request: &Value) -> (Envelope, Result<Request, ApiError>) {
             .and_then(Value::as_str)
             .unwrap_or("")
             .to_string(),
+        trace: request_trace(request),
+        server_timing: request
+            .get("server_timing")
+            .and_then(Value::as_bool)
+            .unwrap_or(false),
     };
     let body = parse_body(&envelope, request);
     (envelope, body)
@@ -304,6 +337,13 @@ fn parse_body(envelope: &Envelope, request: &Value) -> Result<Request, ApiError>
         }
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
+        "debug" => Ok(Request::Debug(DebugQuery {
+            what: request
+                .get("what")
+                .and_then(Value::as_str)
+                .unwrap_or("trace_dump")
+                .to_string(),
+        })),
         "sleep" => Ok(Request::Sleep(Sleep {
             millis: request.get("millis").and_then(Value::as_u64).unwrap_or(10),
         })),
@@ -313,6 +353,25 @@ fn parse_body(envelope: &Envelope, request: &Value) -> Result<Request, ApiError>
             format!("unknown op `{op}`"),
         )),
     }
+}
+
+/// Extract a request's [`TraceContext`], if it carries a usable one. Shared
+/// with the router, which reads the context off raw forwarded lines.
+pub fn request_trace(request: &Value) -> Option<TraceContext> {
+    request.get("trace").and_then(trace_context)
+}
+
+/// Lenient decode of a `trace` context: a non-empty `trace_id` string is
+/// required; anything malformed yields `None` instead of an error.
+fn trace_context(v: &Value) -> Option<TraceContext> {
+    let trace_id = v.get("trace_id")?.as_str()?;
+    if trace_id.is_empty() {
+        return None;
+    }
+    Some(TraceContext {
+        trace_id: trace_id.to_string(),
+        parent_span: v.get("parent_span").and_then(Value::as_u64),
+    })
 }
 
 fn program_spec(request: &Value) -> Result<ProgramSpec, ApiError> {
@@ -564,12 +623,116 @@ pub fn error_reply(id: Option<Value>, request_id: &str, error: &ApiError) -> Val
     Value::Object(fields)
 }
 
+/// Encode one flight-recorder record for `debug` / `stats` replies. Key
+/// order is part of the wire format.
+pub fn flight_record_to_value(r: &sdlo_trace::flight::FlightRecord) -> Value {
+    Value::obj(vec![
+        ("seq", Value::from(r.seq)),
+        ("op", Value::from(r.op.as_str())),
+        ("canon_hash", Value::from(format!("{:016x}", r.canon_hash))),
+        ("status", Value::from(r.status.as_str())),
+        ("queue_micros", Value::from(r.queue_micros)),
+        ("exec_micros", Value::from(r.exec_micros)),
+        ("write_micros", Value::from(r.write_micros)),
+        ("total_micros", Value::from(r.total_micros)),
+        ("retries", Value::from(r.retries)),
+        ("failovers", Value::from(r.failovers)),
+        ("request_id", Value::from(r.request_id.as_str())),
+        ("trace_id", Value::from(r.trace_id.as_str())),
+        ("end_unix_micros", Value::from(r.end_unix_micros)),
+    ])
+}
+
+/// The `debug`/`trace_dump` reply body, shared by the service engine and
+/// the router (both answer the op against their own flight recorder, with
+/// the same shape).
+pub fn flight_dump_body(flight: &sdlo_trace::flight::FlightRecorder) -> Vec<(&'static str, Value)> {
+    let records: Vec<Value> = flight
+        .records()
+        .iter()
+        .map(flight_record_to_value)
+        .collect();
+    let slow: Vec<Value> = flight
+        .slow()
+        .iter()
+        .map(|s| {
+            Value::obj(vec![
+                ("record", flight_record_to_value(&s.record)),
+                ("chrome", Value::from(sdlo_trace::chrome::render(&s.spans))),
+            ])
+        })
+        .collect();
+    vec![
+        ("what", Value::from("trace_dump")),
+        (
+            "epoch_unix_micros",
+            Value::from(sdlo_trace::epoch_unix_micros()),
+        ),
+        (
+            "slow_threshold_micros",
+            Value::from(flight.slow_threshold_micros()),
+        ),
+        ("records", Value::Array(records)),
+        ("slow", Value::Array(slow)),
+        ("chrome", Value::from(flight.chrome_trace())),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn parse(s: &str) -> Value {
         sdlo_wire::parse(s).unwrap()
+    }
+
+    #[test]
+    fn trace_context_parses_leniently() {
+        let (env, body) = parse_request(&parse(
+            r#"{"op":"stats","trace":{"trace_id":"abcd1234abcd1234","parent_span":7}}"#,
+        ));
+        assert!(body.is_ok());
+        let trace = env.trace.unwrap();
+        assert_eq!(trace.trace_id, "abcd1234abcd1234");
+        assert_eq!(trace.parent_span, Some(7));
+
+        // parent_span optional.
+        let (env, _) = parse_request(&parse(r#"{"op":"stats","trace":{"trace_id":"t1"}}"#));
+        assert_eq!(env.trace.unwrap().parent_span, None);
+
+        // Malformed trace never fails the request — it just disappears.
+        for bad in [
+            r#"{"op":"stats","trace":17}"#,
+            r#"{"op":"stats","trace":{}}"#,
+            r#"{"op":"stats","trace":{"trace_id":""}}"#,
+            r#"{"op":"stats","trace":{"trace_id":42}}"#,
+        ] {
+            let (env, body) = parse_request(&parse(bad));
+            assert!(env.trace.is_none(), "{bad}");
+            assert!(body.is_ok(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn server_timing_flag_defaults_off() {
+        let (env, _) = parse_request(&parse(r#"{"op":"stats"}"#));
+        assert!(!env.server_timing);
+        let (env, _) = parse_request(&parse(r#"{"op":"stats","server_timing":true}"#));
+        assert!(env.server_timing);
+        let (env, _) = parse_request(&parse(r#"{"op":"stats","server_timing":"yes"}"#));
+        assert!(!env.server_timing);
+    }
+
+    #[test]
+    fn debug_op_parses_with_default_what() {
+        let (_, body) = parse_request(&parse(r#"{"op":"debug"}"#));
+        let Ok(Request::Debug(d)) = body else {
+            panic!("expected debug")
+        };
+        assert_eq!(d.what, "trace_dump");
+        let (_, body) = parse_request(&parse(r#"{"op":"debug","what":"trace_dump"}"#));
+        assert!(matches!(body, Ok(Request::Debug(_))));
+        assert!(OPS.contains(&"debug"));
     }
 
     #[test]

@@ -48,8 +48,8 @@
 //! present on error replies too.
 
 use crate::api::{
-    self, Advise, AdviseTarget, Analyze, ApiError, Batch, ErrorKind, Lint, LintSpec, Predict,
-    ProgramSpec, Request, SearchMode, Sleep,
+    self, Advise, AdviseTarget, Analyze, ApiError, Batch, DebugQuery, ErrorKind, Lint, LintSpec,
+    Predict, ProgramSpec, Request, RoutingKey, SearchMode, Sleep,
 };
 use crate::cache::ShardedCache;
 use crate::diskcache::{DiskCache, DiskOutcome};
@@ -61,6 +61,8 @@ use sdlo_ir::programs::{builtin, BUILTIN_NAMES as BUILTINS};
 use sdlo_ir::Program;
 use sdlo_symbolic::{Bindings, Sym};
 use sdlo_tilesearch::{SearchBudget, SearchSpace, TileSearcher};
+use sdlo_trace::flight::{FlightRecord, FlightRecorder};
+use sdlo_trace::AttrValue;
 use sdlo_wire::{component_to_value, diagnostic_to_value, outcome_to_value, Value};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -88,6 +90,11 @@ pub struct EngineConfig {
     /// every freshly built model is persisted — so a restarted process
     /// warm-starts without rebuilding any previously-seen shape.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Request slots in the always-on flight recorder (`debug` op).
+    pub flight_capacity: usize,
+    /// Requests slower than this total (µs) get their span tree captured by
+    /// the flight recorder. 0 disables slow captures.
+    pub slow_threshold_micros: u64,
 }
 
 impl Default for EngineConfig {
@@ -100,6 +107,8 @@ impl Default for EngineConfig {
             max_request_millis: 30_000,
             enable_test_ops: false,
             cache_dir: None,
+            flight_capacity: 256,
+            slow_threshold_micros: 100_000,
         }
     }
 }
@@ -129,8 +138,21 @@ pub struct Engine {
     /// Persistent tier behind the in-memory cache, when configured.
     disk: Option<DiskCache>,
     metrics: Arc<Metrics>,
+    /// Always-on ring of recent requests + slow-request span captures.
+    flight: Arc<FlightRecorder>,
     /// Monotone source for server-generated request ids.
     req_seq: std::sync::atomic::AtomicU64,
+}
+
+/// Per-request facts the transport needs *after* the reply text exists: the
+/// flight-recorder ticket (to amend the write phase in), the request's root
+/// span (to parent fabricated phase spans under) and whether the reply
+/// carries an opt-in `timing` object the reactor should complete.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestMeta {
+    pub flight_ticket: u64,
+    pub root_span: Option<u64>,
+    pub server_timing: bool,
 }
 
 type OpResult = Result<Vec<(&'static str, Value)>, ApiError>;
@@ -143,17 +165,26 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Self {
         let cache = ShardedCache::new(config.cache_shards, config.cache_capacity);
         let disk = config.cache_dir.clone().map(DiskCache::new);
+        let flight = Arc::new(FlightRecorder::new(
+            config.flight_capacity,
+            config.slow_threshold_micros,
+        ));
         Engine {
             config,
             cache,
             disk,
             metrics: Arc::new(Metrics::default()),
+            flight,
             req_seq: std::sync::atomic::AtomicU64::new(1),
         }
     }
 
     pub fn metrics(&self) -> Arc<Metrics> {
         Arc::clone(&self.metrics)
+    }
+
+    pub fn flight(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.flight)
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -163,6 +194,18 @@ impl Engine {
     /// Handle one newline-delimited request line; always returns exactly one
     /// single-line JSON response.
     pub fn handle_line(&self, line: &str) -> String {
+        self.handle_line_timed(line, 0).0
+    }
+
+    /// Like [`Engine::handle_line`], but the transport reports how long the
+    /// line sat in the worker queue so the per-phase histograms, the opt-in
+    /// `timing` reply section and the flight record can attribute it. The
+    /// meta is `None` only for lines that failed to parse as JSON.
+    pub fn handle_line_timed(
+        &self,
+        line: &str,
+        queue_micros: u64,
+    ) -> (String, Option<RequestMeta>) {
         let v = match sdlo_wire::parse(line) {
             Ok(v) => v,
             Err(e) => {
@@ -170,10 +213,14 @@ impl Engine {
                     .malformed
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let err = fail(ErrorKind::Malformed, e.to_string());
-                return api::error_reply(None, &self.next_request_id(), &err).render();
+                return (
+                    api::error_reply(None, &self.next_request_id(), &err).render(),
+                    None,
+                );
             }
         };
-        self.handle(&v).render()
+        let (reply, meta) = self.handle_timed(&v, queue_micros);
+        (reply.render(), Some(meta))
     }
 
     /// Next server-generated request id.
@@ -186,6 +233,14 @@ impl Engine {
 
     /// Handle one parsed request document: parse → dispatch → encode.
     pub fn handle(&self, request: &Value) -> Value {
+        self.handle_timed(request, 0).0
+    }
+
+    /// Handle one parsed request document, attributing `queue_micros` of
+    /// pre-pickup wait to it. Every request — success or failure — lands in
+    /// the flight recorder; the returned [`RequestMeta`] lets the transport
+    /// amend the write phase in once the reply is actually flushed.
+    pub fn handle_timed(&self, request: &Value, queue_micros: u64) -> (Value, RequestMeta) {
         let started = Instant::now();
         let (envelope, parsed) = api::parse_request(request);
         let kind = Kind::from_op(&envelope.op);
@@ -193,20 +248,76 @@ impl Engine {
             .request_id
             .clone()
             .unwrap_or_else(|| self.next_request_id());
-        let span = sdlo_trace::span("service.request");
+        let remote_parent = envelope.trace.as_ref().and_then(|t| t.parent_span);
+        let span = sdlo_trace::span_with_parent("service.request", remote_parent);
         span.attr("op", envelope.op.as_str());
         span.attr("request_id", request_id.as_str());
+        if let Some(trace) = &envelope.trace {
+            span.attr("trace_id", trace.trace_id.as_str());
+        }
+        let root_span = span.id();
         let in_flight = &self.metrics.kind(kind).in_flight;
         in_flight.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let outcome = parsed.and_then(|req| self.dispatch(req, started));
         in_flight.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
         let micros = started.elapsed().as_micros() as u64;
         self.metrics.record(kind, micros, outcome.is_ok());
+        self.metrics.exec.observe_micros(micros);
         drop(span);
-        match outcome {
-            Ok(body) => api::reply(envelope.id, &request_id, body),
+        let status = match &outcome {
+            Ok(_) => "ok".to_string(),
+            Err(e) => e.kind.as_str().to_string(),
+        };
+        // `timing` is strictly opt-in, and only success replies carry it —
+        // the error envelope's shape is pinned by the golden wire tests.
+        let server_timing = envelope.server_timing && outcome.is_ok();
+        let reply = match outcome {
+            Ok(mut body) => {
+                if server_timing {
+                    // Appended last so the reactor can splice the
+                    // write-phase micros in at flush time.
+                    body.push((
+                        "timing",
+                        Value::obj(vec![
+                            ("queue_micros", Value::from(queue_micros)),
+                            ("exec_micros", Value::from(micros)),
+                        ]),
+                    ));
+                }
+                api::reply(envelope.id, &request_id, body)
+            }
             Err(e) => api::error_reply(envelope.id, &request_id, &e),
-        }
+        };
+        let canon_hash = match api::routing_key(request) {
+            RoutingKey::Shape(h) => h,
+            RoutingKey::Any => 0,
+        };
+        let flight_ticket = self.flight.push(
+            FlightRecord {
+                op: envelope.op.clone(),
+                canon_hash,
+                status,
+                queue_micros,
+                exec_micros: micros,
+                total_micros: queue_micros + micros,
+                request_id,
+                trace_id: envelope
+                    .trace
+                    .as_ref()
+                    .map(|t| t.trace_id.clone())
+                    .unwrap_or_default(),
+                ..FlightRecord::default()
+            },
+            root_span,
+        );
+        (
+            reply,
+            RequestMeta {
+                flight_ticket,
+                root_span,
+                server_timing,
+            },
+        )
     }
 
     fn dispatch(&self, request: Request, started: Instant) -> OpResult {
@@ -218,6 +329,7 @@ impl Engine {
             Request::Lint(r) => self.op_lint(r),
             Request::Stats => self.op_stats(),
             Request::Metrics => self.op_metrics(),
+            Request::Debug(r) => self.op_debug(r),
             Request::Sleep(r) => self.op_sleep(r),
         }
     }
@@ -277,8 +389,16 @@ impl Engine {
                     self.metrics.disk_hits.fetch_add(1, Relaxed);
                     return model;
                 }
-                DiskOutcome::Rejected(_) => {
+                DiskOutcome::Rejected(reason) => {
                     self.metrics.disk_errors.fetch_add(1, Relaxed);
+                    sdlo_trace::log::warn(
+                        "service",
+                        "disk_cache.rejected",
+                        &[
+                            ("canon_hash", AttrValue::Str(format!("{hash:016x}"))),
+                            ("reason", AttrValue::Str(reason.to_string())),
+                        ],
+                    );
                 }
                 DiskOutcome::Miss => {}
             }
@@ -290,8 +410,16 @@ impl Engine {
                 Ok(()) => {
                     self.metrics.disk_writes.fetch_add(1, Relaxed);
                 }
-                Err(_) => {
+                Err(e) => {
                     self.metrics.disk_errors.fetch_add(1, Relaxed);
+                    sdlo_trace::log::warn(
+                        "service",
+                        "disk_cache.write_failed",
+                        &[
+                            ("canon_hash", AttrValue::Str(format!("{hash:016x}"))),
+                            ("error", AttrValue::Str(e.to_string())),
+                        ],
+                    );
                 }
             }
         }
@@ -530,6 +658,25 @@ impl Engine {
             Value::Object(fields) => fields,
             _ => unreachable!("snapshot is an object"),
         };
+        snap.push((
+            "slowest".to_string(),
+            Value::Object(
+                self.flight
+                    .slowest_per_op()
+                    .into_iter()
+                    .map(|(op, r)| {
+                        (
+                            op,
+                            Value::obj(vec![
+                                ("total_micros", Value::from(r.total_micros)),
+                                ("request_id", Value::from(r.request_id.as_str())),
+                                ("trace_id", Value::from(r.trace_id.as_str())),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
         snap.push(("cached_shapes".to_string(), Value::from(self.cache.len())));
         snap.push((
             "protocol_version".to_string(),
@@ -540,6 +687,21 @@ impl Engine {
             Value::Array(api::OPS.iter().map(|o| Value::from(*o)).collect()),
         ));
         Ok(vec![("stats", Value::Object(snap))])
+    }
+
+    /// The `debug` op: dump the flight recorder. The reply carries the raw
+    /// request ring, the retained slow captures (each with its span subtree
+    /// rendered as its own Chrome document) and the whole span ring as one
+    /// Chrome document, plus the process's unix epoch anchor so
+    /// `tables trace-merge` can align dumps from different processes.
+    fn op_debug(&self, query: DebugQuery) -> OpResult {
+        if query.what != "trace_dump" {
+            return Err(fail(
+                ErrorKind::Schema,
+                format!("unknown debug query `{}` (expected trace_dump)", query.what),
+            ));
+        }
+        Ok(api::flight_dump_body(&self.flight))
     }
 
     fn op_metrics(&self) -> OpResult {

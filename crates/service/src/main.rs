@@ -3,10 +3,16 @@
 //! ```text
 //! sdlo-service [--addr HOST:PORT] [--workers N] [--queue N]
 //!              [--cache-capacity N] [--max-line BYTES] [--cache-dir DIR]
+//!              [--slow-micros N]
 //! ```
 //!
 //! Speaks newline-delimited JSON; see the crate docs and the repository
 //! README for the wire protocol. Runs until it receives `{"op":"shutdown"}`.
+//!
+//! Setting `SDLO_TRACE=1` installs the engine's flight recorder as the
+//! process trace collector: request spans stream into its bounded span
+//! ring, `{"op":"debug"}` dumps them, and requests slower than
+//! `--slow-micros` capture their full span tree.
 
 use sdlo_service::{serve, EngineConfig, ServerConfig};
 
@@ -14,17 +20,22 @@ fn usage() -> ! {
     eprintln!(
         "usage: sdlo-service [--addr HOST:PORT] [--workers N] [--queue N]\n\
          \x20                   [--cache-capacity N] [--max-line BYTES]\n\
-         \x20                   [--cache-dir DIR]\n\
+         \x20                   [--cache-dir DIR] [--slow-micros N]\n\
          \n\
          Tile-advisor daemon: newline-delimited JSON over TCP.\n\
          Requests: analyze | predict | advise | batch | lint | stats |\n\
-         \x20         metrics | shutdown ({{\"op\":\"metrics\",\"raw\":true}} for a\n\
-         \x20         plain-text Prometheus scrape).\n\
+         \x20         metrics | debug | shutdown ({{\"op\":\"metrics\",\"raw\":true}}\n\
+         \x20         for a plain-text Prometheus scrape).\n\
          --cache-dir enables the persistent model-cache tier: built models\n\
          are stored there and reloaded after a restart (safe to share\n\
          between backends).\n\
+         --slow-micros sets the flight recorder's slow-request capture\n\
+         threshold (0 disables captures). SDLO_TRACE=1 enables span\n\
+         recording into the flight recorder; SDLO_LOG=error|warn|info|debug\n\
+         sets the structured-log level (default info).\n\
          Defaults: --addr 127.0.0.1:7464 --workers 4 --queue 64\n\
-         \x20         --cache-capacity 256 --max-line 1048576"
+         \x20         --cache-capacity 256 --max-line 1048576\n\
+         \x20         --slow-micros 100000"
     );
     std::process::exit(2);
 }
@@ -65,6 +76,10 @@ fn parse_args() -> ServerConfig {
             "--cache-dir" => {
                 config.engine.cache_dir = Some(value_of("--cache-dir").into());
             }
+            "--slow-micros" => match value_of("--slow-micros").parse() {
+                Ok(n) => config.engine.slow_threshold_micros = n,
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag `{other}`\n");
@@ -79,6 +94,12 @@ fn main() {
     let config = parse_args();
     match serve(config) {
         Ok(handle) => {
+            if std::env::var("SDLO_TRACE")
+                .map(|v| v == "1")
+                .unwrap_or(false)
+            {
+                sdlo_trace::install(handle.engine().flight());
+            }
             println!("sdlo-service listening on {}", handle.addr());
             handle.run_until_shutdown();
             println!("sdlo-service stopped");

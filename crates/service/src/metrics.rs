@@ -22,12 +22,13 @@ pub enum Kind {
     Lint,
     Stats,
     Metrics,
+    Debug,
     Sleep,
     Other,
 }
 
 impl Kind {
-    pub const ALL: [Kind; 9] = [
+    pub const ALL: [Kind; 10] = [
         Kind::Analyze,
         Kind::Predict,
         Kind::Advise,
@@ -35,6 +36,7 @@ impl Kind {
         Kind::Lint,
         Kind::Stats,
         Kind::Metrics,
+        Kind::Debug,
         Kind::Sleep,
         Kind::Other,
     ];
@@ -48,6 +50,7 @@ impl Kind {
             Kind::Lint => "lint",
             Kind::Stats => "stats",
             Kind::Metrics => "metrics",
+            Kind::Debug => "debug",
             Kind::Sleep => "sleep",
             Kind::Other => "other",
         }
@@ -62,6 +65,7 @@ impl Kind {
             "lint" => Kind::Lint,
             "stats" => Kind::Stats,
             "metrics" => Kind::Metrics,
+            "debug" => Kind::Debug,
             "sleep" => Kind::Sleep,
             _ => Kind::Other,
         }
@@ -196,6 +200,14 @@ pub struct Metrics {
     pub lint_diag_warnings: AtomicU64,
     /// `info`-severity diagnostics returned by `lint` requests.
     pub lint_diag_infos: AtomicU64,
+    /// Per-phase attribution, all ops pooled: microseconds a request spent
+    /// queued before a worker picked it up.
+    pub queue_wait: Histogram,
+    /// Microseconds executing in the engine (parse → dispatch → encode).
+    pub exec: Histogram,
+    /// Microseconds between engine completion and the reply flush (reorder
+    /// wait + socket write).
+    pub write: Histogram,
     /// Process start, for `uptime_seconds`.
     started: Instant,
 }
@@ -220,6 +232,9 @@ impl Default for Metrics {
             lint_diag_errors: AtomicU64::new(0),
             lint_diag_warnings: AtomicU64::new(0),
             lint_diag_infos: AtomicU64::new(0),
+            queue_wait: Histogram::default(),
+            exec: Histogram::default(),
+            write: Histogram::default(),
             started: Instant::now(),
         }
     }
@@ -287,6 +302,14 @@ impl Metrics {
                         ("info", load(&self.lint_diag_infos)),
                     ]),
                 )]),
+            ),
+            (
+                "phases",
+                Value::obj(vec![
+                    ("queue", self.queue_wait.snapshot()),
+                    ("exec", self.exec.snapshot()),
+                    ("write", self.write.snapshot()),
+                ]),
             ),
             ("searches_cancelled", load(&self.searches_cancelled)),
             ("malformed", load(&self.malformed)),
@@ -370,6 +393,28 @@ impl Metrics {
                 k.name(),
                 h.sum_micros.load(Ordering::Relaxed)
             );
+        }
+        for (name, h) in [
+            ("sdlo_request_queue_micros", &self.queue_wait),
+            ("sdlo_request_exec_micros", &self.exec),
+            ("sdlo_request_write_micros", &self.write),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let counts = h.counts();
+            let mut cum = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                cum += c;
+                if *c > 0 || i + 1 == BUCKETS {
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{le=\"{}\"}} {cum}",
+                        1u64 << (i + 1).min(63)
+                    );
+                }
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+            let _ = writeln!(out, "{name}_count {cum}");
+            let _ = writeln!(out, "{name}_sum {}", h.sum_micros.load(Ordering::Relaxed));
         }
         let singles: [(&str, &str, u64); 14] = [
             (
@@ -534,6 +579,36 @@ mod tests {
         assert!(text.contains("sdlo_request_latency_micros_bucket{op=\"predict\",le=\"+Inf\"} 2"));
         assert!(text.contains("sdlo_request_latency_micros_count{op=\"predict\"} 2"));
         assert!(text.contains("sdlo_request_latency_micros_sum{op=\"predict\"} 30"));
+    }
+
+    #[test]
+    fn phase_histograms_expose_unlabeled_series() {
+        let m = Metrics::default();
+        m.queue_wait.observe_micros(3); // bucket bound 4
+        m.queue_wait.observe_micros(1000); // bucket bound 1024
+        m.exec.observe_micros(100); // bucket bound 128
+        let text = m.prometheus(0);
+        assert!(text.contains("# TYPE sdlo_request_queue_micros histogram"));
+        assert!(text.contains("sdlo_request_queue_micros_bucket{le=\"4\"} 1"));
+        assert!(text.contains("sdlo_request_queue_micros_bucket{le=\"1024\"} 2"));
+        assert!(text.contains("sdlo_request_queue_micros_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("sdlo_request_queue_micros_count 2"));
+        assert!(text.contains("sdlo_request_queue_micros_sum 1003"));
+        assert!(text.contains("sdlo_request_exec_micros_bucket{le=\"128\"} 1"));
+        assert!(text.contains("sdlo_request_write_micros_count 0"));
+        // The queue-depth gauge rides along for the loadgen cross-check.
+        assert!(text.contains("# TYPE sdlo_queue_depth gauge"));
+        let snap = m.snapshot();
+        let phases = snap.get("phases").unwrap();
+        assert_eq!(
+            phases
+                .get("queue")
+                .unwrap()
+                .get("p99_le_micros")
+                .unwrap()
+                .as_u64(),
+            Some(1024)
+        );
     }
 
     #[test]

@@ -53,8 +53,9 @@
 //! scrape.
 
 use crate::api::{self, ApiError, ErrorKind};
-use crate::engine::{Engine, EngineConfig};
+use crate::engine::{Engine, EngineConfig, RequestMeta};
 use crate::metrics::Metrics;
+use sdlo_trace::AttrValue;
 use sdlo_wire::Value;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -108,6 +109,9 @@ struct Job {
     generation: u64,
     seq: u64,
     line: String,
+    /// Trace-clock timestamp when the reactor queued the job; the worker's
+    /// pickup minus this is the queue phase.
+    submitted_micros: u64,
 }
 
 /// One finished response on its way back to the reactor.
@@ -119,6 +123,14 @@ struct Completion {
     /// Plain-text payload (raw Prometheus scrape): written without JSON
     /// framing and the connection closes once flushed.
     raw: bool,
+    /// Engine-side facts for the write-phase accounting; `None` for
+    /// transport-side completions (rejections, shutdown acks, raw scrapes).
+    meta: Option<RequestMeta>,
+    /// Phase boundaries on the trace clock: queued, picked up by a worker,
+    /// engine finished. The reactor adds the flush time when it writes.
+    submitted_micros: u64,
+    picked_micros: u64,
+    done_micros: u64,
 }
 
 /// Handle to a running server; dropping it does *not* stop the server —
@@ -200,7 +212,10 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
                     Ok(j) => j,
                     Err(_) => break,
                 };
-                let text = engine.handle_line(&job.line);
+                let picked_micros = sdlo_trace::now_micros();
+                let queue_micros = picked_micros.saturating_sub(job.submitted_micros);
+                metrics.queue_wait.observe_micros(queue_micros);
+                let (text, meta) = engine.handle_line_timed(&job.line, queue_micros);
                 metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
                 let _ = done_tx.send(Completion {
                     slot: job.slot,
@@ -208,6 +223,10 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
                     seq: job.seq,
                     text,
                     raw: false,
+                    meta,
+                    submitted_micros: job.submitted_micros,
+                    picked_micros,
+                    done_micros: sdlo_trace::now_micros(),
                 });
             })
         })
@@ -224,6 +243,15 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         }))
     };
 
+    sdlo_trace::log::info(
+        "service",
+        "server.started",
+        &[
+            ("addr", AttrValue::Str(addr.to_string())),
+            ("workers", AttrValue::UInt(config.workers.max(1) as u64)),
+            ("queue", AttrValue::UInt(config.queue.max(1) as u64)),
+        ],
+    );
     Ok(ServerHandle {
         addr,
         engine,
@@ -394,8 +422,10 @@ impl Reactor {
                 let expired =
                     since.elapsed() >= Duration::from_millis(self.config.drain_timeout_ms);
                 if idle || expired {
-                    // Connections drop here: clients see EOF after their
-                    // last response.
+                    // Flight-recorder flush + final summary: the last thing
+                    // the process says before connections drop and clients
+                    // see EOF after their last response.
+                    self.drain_summary(since, expired);
                     return;
                 }
             }
@@ -404,6 +434,59 @@ impl Reactor {
                 std::thread::sleep(Duration::from_millis(1));
             }
         }
+    }
+
+    /// Flush the flight recorder and emit the final `drain.summary` record:
+    /// requests served, overloads, cache hit ratio. Slow captures still
+    /// retained at drain time get one record each — they would otherwise
+    /// die with the process.
+    fn drain_summary(&self, draining_since: Instant, expired: bool) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let served: u64 = crate::metrics::Kind::ALL
+            .iter()
+            .map(|k| self.metrics.kind(*k).requests.load(Relaxed))
+            .sum();
+        let hits = self.metrics.cache_hits.load(Relaxed);
+        let misses = self.metrics.cache_misses.load(Relaxed);
+        let hit_ratio = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        let flight = self.engine.flight();
+        for capture in flight.slow() {
+            sdlo_trace::log::info(
+                "service",
+                "drain.slow_request",
+                &[
+                    ("op", AttrValue::Str(capture.record.op.clone())),
+                    (
+                        "request_id",
+                        AttrValue::Str(capture.record.request_id.clone()),
+                    ),
+                    ("total_micros", AttrValue::UInt(capture.record.total_micros)),
+                ],
+            );
+        }
+        sdlo_trace::log::info(
+            "service",
+            "drain.summary",
+            &[
+                ("requests_served", AttrValue::UInt(served)),
+                (
+                    "overloads",
+                    AttrValue::UInt(self.metrics.rejected.load(Relaxed)),
+                ),
+                ("cache_hit_ratio", AttrValue::Float(hit_ratio)),
+                ("flight_recorded", AttrValue::UInt(flight.pushed())),
+                ("slow_captures", AttrValue::UInt(flight.slow().len() as u64)),
+                (
+                    "drain_millis",
+                    AttrValue::UInt(draining_since.elapsed().as_millis() as u64),
+                ),
+                ("timed_out", AttrValue::Bool(expired)),
+            ],
+        );
     }
 
     /// Accept every connection the listener has ready.
@@ -464,8 +547,11 @@ impl Reactor {
         let mut progress = false;
 
         // Responses whose turn has come move into the write buffer.
-        while let Some(completion) = conn.reorder.remove(&conn.next_write) {
+        while let Some(mut completion) = conn.reorder.remove(&conn.next_write) {
             conn.next_write += 1;
+            if let Some(meta) = completion.meta {
+                self.account_write_phase(&mut completion, meta);
+            }
             if completion.raw {
                 conn.out.extend_from_slice(completion.text.as_bytes());
                 conn.close_after_flush = true;
@@ -489,6 +575,46 @@ impl Reactor {
             progress |= self.read_ready(slot, conn);
         }
         progress
+    }
+
+    /// The write phase ends here: the reply's turn in the response order
+    /// has come and its bytes enter the write buffer. Observe the phase
+    /// histogram, amend the flight record, complete the opt-in `timing`
+    /// object in the reply text, and — when tracing — fabricate the
+    /// queue/exec/write phase spans under the request's root span.
+    fn account_write_phase(&self, completion: &mut Completion, meta: RequestMeta) {
+        let now = sdlo_trace::now_micros();
+        let write_micros = now.saturating_sub(completion.done_micros);
+        self.metrics.write.observe_micros(write_micros);
+        self.engine
+            .flight()
+            .amend_write(meta.flight_ticket, write_micros);
+        if meta.server_timing {
+            // The engine appended `timing` as the *last* body field, so the
+            // reply ends `…,"timing":{…}}` — splice the write phase in just
+            // before the two closing braces.
+            if completion.text.rfind("\"timing\":{").is_some() && completion.text.ends_with("}}") {
+                let at = completion.text.len() - 2;
+                completion
+                    .text
+                    .insert_str(at, &format!(",\"write_micros\":{write_micros}"));
+            }
+        }
+        if let Some(root) = meta.root_span {
+            sdlo_trace::record_span_at(
+                "request.queue",
+                Some(root),
+                completion.submitted_micros,
+                completion.picked_micros,
+            );
+            sdlo_trace::record_span_at(
+                "request.exec",
+                Some(root),
+                completion.picked_micros,
+                completion.done_micros,
+            );
+            sdlo_trace::record_span_at("request.write", Some(root), completion.done_micros, now);
+        }
     }
 
     /// Write as much of the pending output as the socket accepts.
@@ -659,6 +785,7 @@ impl Reactor {
             generation: conn.generation,
             seq,
             line,
+            submitted_micros: sdlo_trace::now_micros(),
         }) {
             Ok(()) => {}
             Err(TrySendError::Full(job)) => {
@@ -682,6 +809,10 @@ impl Reactor {
                         seq,
                         text,
                         raw: false,
+                        meta: None,
+                        submitted_micros: 0,
+                        picked_micros: 0,
+                        done_micros: 0,
                     },
                 );
             }
@@ -703,6 +834,10 @@ impl Reactor {
             seq,
             text,
             raw,
+            meta: None,
+            submitted_micros: 0,
+            picked_micros: 0,
+            done_micros: 0,
         });
     }
 

@@ -1,0 +1,101 @@
+//! Structured-logging contract: every line the service emits is one JSON
+//! object carrying the four required keys (`ts`, `level`, `component`,
+//! `event`), machine-parseable by the project's own wire parser.
+
+use sdlo_service::{serve, Client, ServerConfig};
+use sdlo_trace::log::{self, Level};
+use sdlo_trace::AttrValue;
+use sdlo_wire::Value;
+use std::sync::{Arc, Mutex};
+
+#[test]
+fn every_emitted_line_parses_with_required_keys() {
+    let captured: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let captured = captured.clone();
+        log::set_sink(Some(Box::new(move |line| {
+            captured.lock().unwrap().push(line.to_string());
+        })));
+    }
+    log::set_level(Level::Debug);
+
+    // A full server lifecycle: start (server.started), serve one request,
+    // graceful drain (drain.summary). Plus direct emissions at every level
+    // with the field types the call sites use.
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let reply = c
+        .request_line(
+            r#"{"op":"predict","program":"matmul","bindings":{"Ni":32,"Nj":32,"Nk":32},"cache":1024}"#,
+        )
+        .unwrap();
+    assert!(sdlo_wire::parse(&reply).is_ok());
+    handle.shutdown();
+    log::error("test", "synthetic.error", &[("code", AttrValue::Int(-3))]);
+    log::warn(
+        "test",
+        "synthetic.warn",
+        &[("reason", AttrValue::Str("quote \" and \n newline".into()))],
+    );
+    log::info(
+        "test",
+        "synthetic.info",
+        &[("ratio", AttrValue::Float(0.5))],
+    );
+    log::debug(
+        "test",
+        "synthetic.debug",
+        &[("flag", AttrValue::Bool(true))],
+    );
+
+    log::set_sink(None);
+    log::set_level(Level::Info);
+
+    let lines = captured.lock().unwrap();
+    assert!(!lines.is_empty(), "lifecycle emitted no log lines");
+    for line in lines.iter() {
+        assert!(!line.contains('\n'), "multi-line record: {line}");
+        let v = sdlo_wire::parse(line)
+            .unwrap_or_else(|e| panic!("log line is not valid JSON ({e}): {line}"));
+        assert!(
+            v.get("ts").and_then(Value::as_u64).is_some_and(|t| t > 0),
+            "bad ts: {line}"
+        );
+        let level = v.get("level").and_then(Value::as_str).unwrap_or("");
+        assert!(
+            ["error", "warn", "info", "debug"].contains(&level),
+            "bad level: {line}"
+        );
+        assert!(
+            v.get("component")
+                .and_then(Value::as_str)
+                .is_some_and(|s| !s.is_empty()),
+            "bad component: {line}"
+        );
+        assert!(
+            v.get("event")
+                .and_then(Value::as_str)
+                .is_some_and(|s| !s.is_empty()),
+            "bad event: {line}"
+        );
+    }
+    let events: Vec<String> = lines
+        .iter()
+        .filter_map(|l| sdlo_wire::parse(l).ok())
+        .filter_map(|v| {
+            v.get("event")
+                .and_then(Value::as_str)
+                .map(|s| s.to_string())
+        })
+        .collect();
+    for expected in ["server.started", "drain.summary", "synthetic.debug"] {
+        assert!(
+            events.iter().any(|e| e == expected),
+            "expected event `{expected}` among {events:?}"
+        );
+    }
+}

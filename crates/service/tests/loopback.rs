@@ -333,8 +333,16 @@ fn overloaded_rejection_echoes_client_request_id() {
 #[test]
 fn graceful_drain_completes_queued_requests_before_closing() {
     // A shutdown issued while K requests are queued must complete all K
-    // replies before the listener closes: drain, not abort.
+    // replies before the listener closes: drain, not abort. The drain must
+    // also flush the flight recorder into one final summary log record.
     const K: usize = 4;
+    let captured = std::sync::Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
+    {
+        let captured = captured.clone();
+        sdlo_trace::log::set_sink(Some(Box::new(move |line| {
+            captured.lock().unwrap().push(line.to_string());
+        })));
+    }
     let config = ServerConfig {
         workers: 1,
         queue: K,
@@ -382,6 +390,30 @@ fn graceful_drain_completes_queued_requests_before_closing() {
     }
 
     handle.shutdown();
+    sdlo_trace::log::set_sink(None);
+    // The drain emitted exactly one final summary record covering the work
+    // this server did (the sink is process-global, so match on the event
+    // and the served count rather than on position).
+    let lines = captured.lock().unwrap();
+    let summary = lines
+        .iter()
+        .filter_map(|l| sdlo_wire::parse(l).ok())
+        .find(|v| {
+            v.get("event").and_then(sdlo_wire::Value::as_str) == Some("drain.summary")
+                && v.get("requests_served")
+                    .and_then(sdlo_wire::Value::as_u64)
+                    .is_some_and(|n| n >= K as u64)
+        })
+        .expect("drain must log a drain.summary record");
+    for key in ["ts", "level", "component", "overloads", "cache_hit_ratio"] {
+        assert!(
+            summary.get(key).is_some(),
+            "drain.summary missing `{key}`: {summary:?}"
+        );
+    }
+    assert_eq!(summary.get("component").unwrap().as_str(), Some("service"));
+    drop(lines);
+
     // The drain has finished: the listener is closed, so new connections
     // are refused (or die before answering).
     match Client::connect(addr) {

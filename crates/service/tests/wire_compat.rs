@@ -145,7 +145,7 @@ fn lint_stats_metrics_reply_keys_are_stable() {
         .collect();
     assert_eq!(
         ops,
-        ["analyze", "predict", "advise", "batch", "lint", "stats", "metrics"]
+        ["analyze", "predict", "advise", "batch", "lint", "stats", "metrics", "debug"]
     );
 
     let metrics = parse(&e.handle_line(r#"{"op":"metrics"}"#));
@@ -205,6 +205,116 @@ fn batch_replies_carry_the_envelope() {
     assert_eq!(
         rs[1].path(&["error", "kind"]).unwrap().as_str(),
         Some("unsupported")
+    );
+}
+
+// -- trace context is strictly opt-in -----------------------------------------
+
+/// The acceptance-criterion golden: a request *without* the `trace` field
+/// produces a byte-identical reply to the pre-trace protocol — and adding
+/// `trace` changes nothing about the reply bytes either (context propagates
+/// to spans, never to the wire).
+#[test]
+fn requests_without_trace_are_byte_identical() {
+    let e = engine();
+    let golden = format!(
+        r#"{{"id":7,"request_id":"cli-1","v":1,"ok":true,"misses":6291456,"cache_hit":false,"shape":"{}"}}"#,
+        shape_hash("tiled_matmul")
+    );
+    let plain = e.handle_line(
+        r#"{"op":"predict","id":7,"request_id":"cli-1","program":"tiled_matmul","v":1,"bindings":{"Ni":512,"Nj":512,"Nk":512,"Ti":64,"Tj":64,"Tk":64},"cache":8192}"#,
+    );
+    assert_eq!(plain, golden);
+    // Same request with a trace context: cache_hit flips (same engine), so
+    // compare against a fresh engine to prove byte-for-byte equality.
+    let e2 = engine();
+    let traced = e2.handle_line(
+        r#"{"op":"predict","id":7,"request_id":"cli-1","program":"tiled_matmul","v":1,"trace":{"trace_id":"abcd1234abcd1234","parent_span":42},"bindings":{"Ni":512,"Nj":512,"Nk":512,"Ti":64,"Tj":64,"Tk":64},"cache":8192}"#,
+    );
+    assert_eq!(traced, golden);
+}
+
+#[test]
+fn server_timing_is_opt_in_and_appended_last() {
+    let e = engine();
+    let reply = parse(&e.handle_line(
+        r#"{"op":"predict","id":7,"server_timing":true,"program":"tiled_matmul","bindings":{"Ni":512,"Nj":512,"Nk":512,"Ti":64,"Tj":64,"Tk":64},"cache":8192}"#,
+    ));
+    let k = keys(&reply);
+    assert_eq!(k.last(), Some(&"timing"));
+    let timing = reply.get("timing").unwrap();
+    assert_eq!(keys(timing), ["queue_micros", "exec_micros"]);
+    assert_eq!(timing.get("queue_micros").unwrap().as_u64(), Some(0));
+    assert!(timing.get("exec_micros").unwrap().as_u64().is_some());
+    // Error replies never carry timing — their envelope is pinned.
+    let err = e.handle_line(r#"{"op":"nope","request_id":"cli-9","server_timing":true}"#);
+    assert_eq!(
+        err,
+        r#"{"request_id":"cli-9","v":1,"ok":false,"error":{"kind":"unsupported","message":"unknown op `nope`"}}"#
+    );
+}
+
+#[test]
+fn debug_trace_dump_reply_keys_are_stable() {
+    let e = engine();
+    e.handle_line(
+        r#"{"op":"predict","request_id":"dbg-1","program":"matmul","bindings":{"Ni":16,"Nj":16,"Nk":16},"cache":64}"#,
+    );
+    let reply = parse(&e.handle_line(r#"{"op":"debug"}"#));
+    assert_eq!(
+        keys(&reply),
+        [
+            "request_id",
+            "v",
+            "ok",
+            "what",
+            "epoch_unix_micros",
+            "slow_threshold_micros",
+            "records",
+            "slow",
+            "chrome"
+        ]
+    );
+    let records = reply.get("records").unwrap().as_array().unwrap();
+    let predict = records
+        .iter()
+        .find(|r| r.get("op").unwrap().as_str() == Some("predict"))
+        .expect("predict request recorded");
+    assert_eq!(
+        keys(predict),
+        [
+            "seq",
+            "op",
+            "canon_hash",
+            "status",
+            "queue_micros",
+            "exec_micros",
+            "write_micros",
+            "total_micros",
+            "retries",
+            "failovers",
+            "request_id",
+            "trace_id",
+            "end_unix_micros"
+        ]
+    );
+    assert_eq!(predict.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(predict.get("request_id").unwrap().as_str(), Some("dbg-1"));
+    assert_eq!(
+        predict.get("canon_hash").unwrap().as_str(),
+        Some(shape_hash("matmul").as_str())
+    );
+    // stats gains the per-op slowest table.
+    let stats = parse(&e.handle_line(r#"{"op":"stats"}"#));
+    let slowest = stats.path(&["stats", "slowest"]).unwrap();
+    let p = slowest.get("predict").unwrap();
+    assert_eq!(keys(p), ["total_micros", "request_id", "trace_id"]);
+    assert_eq!(p.get("request_id").unwrap().as_str(), Some("dbg-1"));
+    // Unknown debug queries fail with a schema error.
+    let bad = parse(&e.handle_line(r#"{"op":"debug","what":"core_dump"}"#));
+    assert_eq!(
+        bad.path(&["error", "kind"]).unwrap().as_str(),
+        Some("schema")
     );
 }
 

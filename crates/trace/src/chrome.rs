@@ -11,7 +11,7 @@ use crate::{AttrValue, Record};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {

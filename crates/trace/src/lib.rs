@@ -36,6 +36,8 @@
 //! so every layer of the workspace can be instrumented without coupling.
 
 pub mod chrome;
+pub mod flight;
+pub mod log;
 
 use std::borrow::Cow;
 use std::cell::RefCell;
@@ -174,14 +176,28 @@ thread_local! {
     static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
 
-fn epoch() -> Instant {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    *EPOCH.get_or_init(Instant::now)
+fn epoch() -> (Instant, u64) {
+    static EPOCH: OnceLock<(Instant, u64)> = OnceLock::new();
+    *EPOCH.get_or_init(|| {
+        let unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        (Instant::now(), unix)
+    })
 }
 
 /// Microseconds since the process trace epoch (monotonic).
 pub fn now_micros() -> u64 {
-    epoch().elapsed().as_micros() as u64
+    epoch().0.elapsed().as_micros() as u64
+}
+
+/// The wall-clock (unix) microsecond timestamp the process trace epoch was
+/// anchored at. Adding this to any span `ts_micros` yields an approximate
+/// unix timestamp, which is how `tables trace-merge` aligns traces exported
+/// by different processes onto one timeline.
+pub fn epoch_unix_micros() -> u64 {
+    epoch().1
 }
 
 /// Install a collector and enable tracing process-wide.
@@ -222,6 +238,15 @@ pub struct Span {
 /// Open a span. Returns an inert guard (no allocation, no lock) when
 /// tracing is off.
 pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
+    span_with_parent(name, None)
+}
+
+/// Open a span whose parent may live in *another process*: when the calling
+/// thread has an open span that local parent wins (normal nesting), otherwise
+/// `remote_parent` — a span id received over the wire in a request's `trace`
+/// context — is recorded as the parent. This is how a backend's
+/// `service.request` span attaches under the router's root span.
+pub fn span_with_parent(name: impl Into<Cow<'static, str>>, remote_parent: Option<u64>) -> Span {
     if !enabled() {
         return Span { inner: None };
     }
@@ -231,7 +256,7 @@ pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
     let name = name.into();
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let tid = TID.with(|t| *t);
-    let parent = STACK.with(|s| s.borrow().last().copied());
+    let parent = STACK.with(|s| s.borrow().last().copied()).or(remote_parent);
     collector.record(Record::Begin {
         id,
         parent,
@@ -250,10 +275,49 @@ pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
     }
 }
 
+/// Record an already-finished span with explicit timestamps, parented under
+/// `parent`. Used by the transport to attribute phases (queue/exec/write)
+/// whose boundaries were measured outside any live span guard. Returns the
+/// fabricated span's id, or `None` when tracing is off.
+pub fn record_span_at(
+    name: impl Into<Cow<'static, str>>,
+    parent: Option<u64>,
+    begin_micros: u64,
+    end_micros: u64,
+) -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    let collector = COLLECTOR.lock().unwrap().clone()?;
+    let name = name.into();
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let tid = TID.with(|t| *t);
+    collector.record(Record::Begin {
+        id,
+        parent,
+        name: name.clone(),
+        ts_micros: begin_micros,
+        tid,
+    });
+    collector.record(Record::End {
+        id,
+        name,
+        ts_micros: end_micros.max(begin_micros),
+        tid,
+    });
+    Some(id)
+}
+
 impl Span {
     /// Whether this span actually records (false under the no-op default).
     pub fn is_recording(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The span's id, usable as a `parent_span` in an outgoing trace
+    /// context. `None` when tracing is off.
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.id)
     }
 
     /// Attach a typed attribute.
@@ -445,6 +509,72 @@ mod tests {
         let phases = c.summary();
         assert_eq!(phases[0].calls, 3);
         assert_eq!(phases[0].counters["n"], 3); // 0 + 1 + 2
+    }
+
+    #[test]
+    fn remote_parent_applies_only_without_local_stack() {
+        let _g = lock();
+        let c = MemoryCollector::new();
+        install(c.clone());
+        let root_id;
+        {
+            let root = span_with_parent("router.request", Some(777));
+            root_id = root.id().unwrap();
+            let _child = span_with_parent("service.request", Some(12345));
+        }
+        uninstall();
+        let records = c.records();
+        let parent_of = |n: &str| {
+            records.iter().find_map(|r| match r {
+                Record::Begin { name, parent, .. } if name == n => Some(*parent),
+                _ => None,
+            })
+        };
+        // No local span open: the remote parent wins.
+        assert_eq!(parent_of("router.request"), Some(Some(777)));
+        // Local stack present: local nesting wins over the remote parent.
+        assert_eq!(parent_of("service.request"), Some(Some(root_id)));
+    }
+
+    #[test]
+    fn record_span_at_emits_balanced_pair_with_explicit_times() {
+        let _g = lock();
+        let c = MemoryCollector::new();
+        install(c.clone());
+        let id = record_span_at("request.queue", Some(42), 100, 250).unwrap();
+        uninstall();
+        let records = c.records();
+        assert_eq!(records.len(), 2);
+        match &records[0] {
+            Record::Begin {
+                id: rid,
+                parent,
+                name,
+                ts_micros,
+                ..
+            } => {
+                assert_eq!(*rid, id);
+                assert_eq!(*parent, Some(42));
+                assert_eq!(name, "request.queue");
+                assert_eq!(*ts_micros, 100);
+            }
+            r => panic!("expected Begin, got {r:?}"),
+        }
+        match &records[1] {
+            Record::End { ts_micros, .. } => assert_eq!(*ts_micros, 250),
+            r => panic!("expected End, got {r:?}"),
+        }
+        // Disabled: returns None, records nothing.
+        assert_eq!(record_span_at("x", None, 0, 1), None);
+    }
+
+    #[test]
+    fn epoch_unix_micros_is_anchored_once() {
+        let a = epoch_unix_micros();
+        let b = epoch_unix_micros();
+        assert_eq!(a, b);
+        // Sanity: after 2020-01-01 in microseconds.
+        assert!(a > 1_577_836_800_000_000);
     }
 
     #[test]

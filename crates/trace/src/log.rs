@@ -1,0 +1,241 @@
+//! Leveled structured JSON logging for operational events.
+//!
+//! One JSON object per line on stderr, always carrying the four required
+//! keys `ts` (unix microseconds), `level`, `component`, `event`, followed by
+//! event-specific fields:
+//!
+//! ```text
+//! {"ts":1754650000123456,"level":"warn","component":"router","event":"backend.failover","backend":"127.0.0.1:9001","failovers":1}
+//! ```
+//!
+//! The level comes from `SDLO_LOG=error|warn|info|debug` (default `info`);
+//! an unparseable value falls back to the default rather than failing — the
+//! logger must never take the process down. Tests can divert output with
+//! [`set_sink`] and force a level with [`set_level`].
+
+use crate::{chrome::push_json_str, AttrValue};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Log severity, ordered: `Error < Warn < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            3 => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+}
+
+/// Sentinel meaning "not initialized yet — read SDLO_LOG on first use".
+const UNSET: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+type Sink = Box<dyn Fn(&str) + Send + Sync>;
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+/// The active level: `SDLO_LOG` on first call, `info` when unset or
+/// unparseable, unless overridden by [`set_level`].
+pub fn level() -> Level {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v != UNSET {
+        return Level::from_u8(v);
+    }
+    let initial = std::env::var("SDLO_LOG")
+        .ok()
+        .and_then(|s| Level::parse(&s))
+        .unwrap_or(Level::Info);
+    // Racing first calls may both read the env; they agree on the value.
+    LEVEL.store(initial as u8, Ordering::Relaxed);
+    initial
+}
+
+/// Override the active level (wins over `SDLO_LOG`).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a record at `level` would currently be emitted.
+pub fn enabled(level: Level) -> bool {
+    level <= self::level()
+}
+
+/// Divert log lines to `sink` instead of stderr (for tests). Pass `None` to
+/// restore stderr.
+pub fn set_sink(sink: Option<Sink>) {
+    *SINK.lock().unwrap() = sink;
+}
+
+/// Render one log line (no trailing newline). Public so tests can pin the
+/// format without capturing stderr.
+pub fn render_line(
+    level: Level,
+    component: &str,
+    event: &str,
+    fields: &[(&str, AttrValue)],
+) -> String {
+    let ts = crate::epoch_unix_micros() + crate::now_micros();
+    let mut out = String::with_capacity(96);
+    let _ = write!(out, "{{\"ts\":{ts},\"level\":\"{}\",", level.as_str());
+    out.push_str("\"component\":");
+    push_json_str(&mut out, component);
+    out.push_str(",\"event\":");
+    push_json_str(&mut out, event);
+    for (key, value) in fields {
+        out.push(',');
+        push_json_str(&mut out, key);
+        out.push(':');
+        match value {
+            AttrValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            AttrValue::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            AttrValue::Float(f) if f.is_finite() => {
+                let _ = write!(out, "{f}");
+            }
+            AttrValue::Float(_) => out.push_str("null"),
+            AttrValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            AttrValue::Str(s) => push_json_str(&mut out, s),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Emit one structured record if `level` passes the active filter.
+pub fn log(level: Level, component: &str, event: &str, fields: &[(&str, AttrValue)]) {
+    if !enabled(level) {
+        return;
+    }
+    let line = render_line(level, component, event, fields);
+    let sink = SINK.lock().unwrap();
+    match sink.as_ref() {
+        Some(f) => f(&line),
+        None => eprintln!("{line}"),
+    }
+}
+
+pub fn error(component: &str, event: &str, fields: &[(&str, AttrValue)]) {
+    log(Level::Error, component, event, fields);
+}
+
+pub fn warn(component: &str, event: &str, fields: &[(&str, AttrValue)]) {
+    log(Level::Warn, component, event, fields);
+}
+
+pub fn info(component: &str, event: &str, fields: &[(&str, AttrValue)]) {
+    log(Level::Info, component, event, fields);
+}
+
+pub fn debug(component: &str, event: &str, fields: &[(&str, AttrValue)]) {
+    log(Level::Debug, component, event, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// The sink and level are process-global; serialize tests that touch them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn render_line_is_one_json_object_with_required_keys() {
+        let _g = lock();
+        let line = render_line(
+            Level::Warn,
+            "router",
+            "backend.failover",
+            &[
+                ("backend", AttrValue::Str("127.0.0.1:9001".to_string())),
+                ("failovers", AttrValue::UInt(2)),
+                ("healthy", AttrValue::Bool(false)),
+            ],
+        );
+        assert!(line.starts_with("{\"ts\":"));
+        assert!(line.contains("\"level\":\"warn\""));
+        assert!(line.contains("\"component\":\"router\""));
+        assert!(line.contains("\"event\":\"backend.failover\""));
+        assert!(line.contains("\"backend\":\"127.0.0.1:9001\""));
+        assert!(line.contains("\"failovers\":2"));
+        assert!(line.contains("\"healthy\":false"));
+        assert!(line.ends_with('}'));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let _g = lock();
+        let line = render_line(
+            Level::Error,
+            "service",
+            "disk.reject",
+            &[("reason", AttrValue::Str("bad \"crc\"\nline".to_string()))],
+        );
+        assert!(line.contains("\"reason\":\"bad \\\"crc\\\"\\nline\""));
+    }
+
+    #[test]
+    fn level_filter_suppresses_below_threshold() {
+        let _g = lock();
+        let captured: Arc<StdMutex<Vec<String>>> = Arc::new(StdMutex::new(Vec::new()));
+        let captured2 = captured.clone();
+        set_sink(Some(Box::new(move |line| {
+            captured2.lock().unwrap().push(line.to_string());
+        })));
+        set_level(Level::Warn);
+        info("service", "ignored", &[]);
+        warn("service", "kept", &[]);
+        error("service", "kept_too", &[]);
+        set_level(Level::Info);
+        set_sink(None);
+        let lines = captured.lock().unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"kept\""));
+        assert!(lines[1].contains("\"event\":\"kept_too\""));
+    }
+
+    #[test]
+    fn level_parse_accepts_known_names_only() {
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse(" warn "), Some(Level::Warn));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+}
