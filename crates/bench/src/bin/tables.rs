@@ -62,7 +62,8 @@ fn usage(to_stderr: bool) {
          tile-search speedup line for the tiled builtins.\n\
          \x20 tables profile <program>... | --all-builtins\n\
          \x20         [--trace-out PATH]  Chrome trace JSON (Perfetto-loadable)\n\
-         \x20         [--budget-ms N]     exit 1 if model.build exceeds N ms\n\
+         \x20         [--budget-ms N]     exit 1 if model.build, tilesearch.pruned\n\
+         \x20                             or cachesim.replay exceeds N ms\n\
          \x20         [--cache N]         cache size in elements (default 8192)\n\
          \x20         [--json]            also write results/profile.json\n\
          \n\
@@ -678,6 +679,10 @@ fn run_deps(args: &[String]) -> ! {
 /// wall-time/counter table; `--trace-out` additionally writes a Chrome
 /// trace-event JSON loadable in Perfetto. Exits 1 if `--budget-ms` is set
 /// and any builtin's `model.build` span exceeds it.
+/// Pipeline phases gated by `--budget-ms`: each must individually stay
+/// inside the budget for every profiled builtin.
+const GATED_PHASES: [&str; 3] = ["model.build", "tilesearch.pruned", "cachesim.replay"];
+
 fn run_profile(args: &[String]) -> ! {
     use sdlo_bench::profile::{chrome_trace, profile_builtin, resolve_name, ProfileOptions};
     use sdlo_ir::programs::BUILTIN_NAMES;
@@ -757,18 +762,24 @@ fn run_profile(args: &[String]) -> ! {
         }
         println!();
         if let Some(budget) = budget_ms {
-            let build_micros: u64 = report
-                .phases
-                .iter()
-                .filter(|p| p.name == "model.build")
-                .map(|p| p.total_micros)
-                .sum();
-            if build_micros > budget * 1000 {
-                eprintln!(
-                    "error: {}: model.build took {build_micros} µs, budget is {budget} ms",
-                    report.program
-                );
-                over_budget = true;
+            // Every pipeline stage is gated, not just the model build: a
+            // search or replay regression must fail CI the same way. A
+            // stage a builtin never runs (untiled builtins have no tile
+            // search) sums to zero and trivially passes.
+            for phase in GATED_PHASES {
+                let micros: u64 = report
+                    .phases
+                    .iter()
+                    .filter(|p| p.name == phase)
+                    .map(|p| p.total_micros)
+                    .sum();
+                if micros > budget * 1000 {
+                    eprintln!(
+                        "error: {}: {phase} took {micros} µs, budget is {budget} ms",
+                        report.program
+                    );
+                    over_budget = true;
+                }
             }
         }
         reports.push(report);
@@ -834,6 +845,47 @@ fn run_profile(args: &[String]) -> ! {
                                             ("parallel_micros", Value::from(s.parallel_micros)),
                                             ("speedup", Value::from(s.speedup())),
                                             ("identical_best", Value::from(s.identical)),
+                                        ])
+                                    })
+                                    .unwrap_or(Value::Null),
+                            ),
+                            (
+                                "budgets",
+                                budget_ms
+                                    .map(|budget| {
+                                        Value::obj(vec![
+                                            ("budget_ms", Value::from(budget)),
+                                            (
+                                                "phases",
+                                                Value::Object(
+                                                    GATED_PHASES
+                                                        .iter()
+                                                        .map(|phase| {
+                                                            let micros: u64 = r
+                                                                .phases
+                                                                .iter()
+                                                                .filter(|p| p.name == *phase)
+                                                                .map(|p| p.total_micros)
+                                                                .sum();
+                                                            (
+                                                                phase.to_string(),
+                                                                Value::obj(vec![
+                                                                    (
+                                                                        "total_micros",
+                                                                        Value::from(micros),
+                                                                    ),
+                                                                    (
+                                                                        "within_budget",
+                                                                        Value::from(
+                                                                            micros <= budget * 1000,
+                                                                        ),
+                                                                    ),
+                                                                ]),
+                                                            )
+                                                        })
+                                                        .collect(),
+                                                ),
+                                            ),
                                         ])
                                     })
                                     .unwrap_or(Value::Null),

@@ -29,12 +29,14 @@ pub const MODEL_REVISION: u32 = 1;
 
 pub mod atree;
 pub mod baselines;
+pub mod dag;
 pub mod extent;
 pub mod model;
 pub mod oracle;
 pub mod partition;
 
 pub use atree::{ANode, ATree};
+pub use dag::{DagDelta, DagStats, ModelDag, ReviseOutcome};
 pub use extent::{seq_costs, subtree_costs, CostMap};
 pub use model::{ComponentPrediction, MissModel, ModelError};
 pub use partition::{all_components, components_for, Component, ComponentKind, StackDistance};

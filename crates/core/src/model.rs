@@ -41,6 +41,60 @@ pub struct ComponentPrediction {
     pub misses: u64,
 }
 
+/// A component's stack distance with its endpoint expressions already
+/// evaluated — the input layer of the §5 miss formula once all symbolic
+/// work is done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceValues {
+    /// No incoming dependence — always a miss.
+    Infinite,
+    /// The same distance for every instance.
+    Constant(i64),
+    /// Distance varies linearly between two (unordered) endpoints.
+    Varying { lo: i64, hi: i64 },
+}
+
+/// The §5 miss formula on already-evaluated inputs. [`MissModel::predict_component`]
+/// and the reactive DAG ([`crate::dag::ModelDag`]) both funnel through this
+/// one function, so the incremental path agrees with a cold rebuild
+/// bit-for-bit by construction.
+pub fn predict_from_values(
+    count_i: i64,
+    distance: DistanceValues,
+    cache_size: u64,
+) -> Result<ComponentPrediction, ModelError> {
+    if count_i < 0 {
+        return Err(ModelError::NegativeCount(count_i));
+    }
+    let count = count_i as u64;
+    let misses = match distance {
+        DistanceValues::Infinite => count,
+        DistanceValues::Constant(d) => {
+            if d as u64 >= cache_size {
+                count
+            } else {
+                0
+            }
+        }
+        DistanceValues::Varying { lo, hi } => {
+            let (lo_v, hi_v) = (lo.min(hi), lo.max(hi));
+            let cs = cache_size as i64;
+            if lo_v >= cs {
+                count
+            } else if hi_v < cs {
+                0
+            } else {
+                // Linear interpolation across the component — the
+                // paper's partial-miss formula (§5).
+                let span = (hi_v - lo_v) as u128 + 1;
+                let missing = (hi_v - cs) as u128 + 1;
+                ((count as u128 * missing) / span) as u64
+            }
+        }
+    };
+    Ok(ComponentPrediction { count, misses })
+}
+
 /// Compile-time cache-miss model of a program: the full set of reuse
 /// components with symbolic counts and stack distances.
 ///
@@ -107,38 +161,15 @@ impl MissModel {
         cache_size: u64,
     ) -> Result<ComponentPrediction, ModelError> {
         let count_i = component.count.eval(bindings)?;
-        if count_i < 0 {
-            return Err(ModelError::NegativeCount(count_i));
-        }
-        let count = count_i as u64;
-        let misses = match &component.distance {
-            StackDistance::Infinite => count,
-            StackDistance::Constant(e) => {
-                if e.eval(bindings)? as u64 >= cache_size {
-                    count
-                } else {
-                    0
-                }
-            }
-            StackDistance::Varying { lo, hi } => {
-                let a = lo.eval(bindings)?;
-                let b = hi.eval(bindings)?;
-                let (lo_v, hi_v) = (a.min(b), a.max(b));
-                let cs = cache_size as i64;
-                if lo_v >= cs {
-                    count
-                } else if hi_v < cs {
-                    0
-                } else {
-                    // Linear interpolation across the component — the
-                    // paper's partial-miss formula (§5).
-                    let span = (hi_v - lo_v) as u128 + 1;
-                    let missing = (hi_v - cs) as u128 + 1;
-                    ((count as u128 * missing) / span) as u64
-                }
-            }
+        let distance = match &component.distance {
+            StackDistance::Infinite => DistanceValues::Infinite,
+            StackDistance::Constant(e) => DistanceValues::Constant(e.eval(bindings)?),
+            StackDistance::Varying { lo, hi } => DistanceValues::Varying {
+                lo: lo.eval(bindings)?,
+                hi: hi.eval(bindings)?,
+            },
         };
-        Ok(ComponentPrediction { count, misses })
+        predict_from_values(count_i, distance, cache_size)
     }
 
     /// Total predicted misses for a fully associative LRU cache of

@@ -354,7 +354,7 @@ impl Shared {
         ));
         snap.push((
             "ops".to_string(),
-            Value::Array(api::OPS.iter().map(|o| Value::from(*o)).collect()),
+            Value::Array(api::ops().iter().map(|o| Value::from(*o)).collect()),
         ));
         vec![("stats", Value::Object(snap))]
     }

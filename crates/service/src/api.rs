@@ -1,10 +1,13 @@
-//! The typed, versioned protocol layer.
+//! The versioned protocol layer: envelope, error vocabulary, routing and
+//! reply builders.
 //!
 //! Every request line decodes **once** into an [`Envelope`] (the fields
-//! every request shares: `v`, `id`, `request_id`, `op`) plus a typed
-//! [`Request`]; the engine dispatches on the enum instead of poking at raw
-//! [`Value`]s, and every reply is built by [`reply`] / [`error_reply`] so
-//! success and failure share one envelope shape:
+//! every request shares: `v`, `id`, `request_id`, `op`); the engine then
+//! resolves the op against the [`crate::ops`] registry — one module per op,
+//! each owning its own schema — and every reply is built by [`reply`] /
+//! [`error_reply`] (thin wrappers over the fleet-shared
+//! [`sdlo_wire::envelope`] builders) so success and failure share one
+//! envelope shape:
 //!
 //! ```text
 //! {"id":…, "request_id":"…", "v":1, "ok":true,  …body…}
@@ -16,8 +19,9 @@
 //! Requests may carry `"v": 1`; an absent `v` means 1. Every reply carries
 //! the protocol version it speaks ([`PROTOCOL_VERSION`]). A request with an
 //! unknown or non-integer `v` fails with the `unsupported_version` error
-//! kind before its `op` is even looked at, so clients can probe for support
-//! safely. `stats` advertises `protocol_version` and the supported [`OPS`].
+//! kind ([`check_version`]) before its `op` is even looked at, so clients
+//! can probe for support safely. `stats` advertises `protocol_version` and
+//! the supported [`ops`].
 
 use sdlo_ir::Program;
 use sdlo_symbolic::Bindings;
@@ -29,11 +33,12 @@ use sdlo_wire::{
 /// The (single) protocol version this build speaks.
 pub const PROTOCOL_VERSION: u64 = 1;
 
-/// Ops served to clients, advertised by `stats`. Test-only ops (`sleep`)
-/// are deliberately absent.
-pub const OPS: &[&str] = &[
-    "analyze", "predict", "advise", "batch", "lint", "stats", "metrics", "debug",
-];
+/// Ops served to clients, advertised by `stats`: the registry's advertised
+/// entries in registration order. Test-only ops (`sleep`) are deliberately
+/// absent.
+pub fn ops() -> &'static [&'static str] {
+    crate::ops::advertised()
+}
 
 /// Every error kind the service can put in an error envelope, transport
 /// errors included — the single source of truth for the wire strings.
@@ -97,8 +102,12 @@ impl ApiError {
     }
 }
 
-fn schema(message: impl Into<String>) -> ApiError {
+pub(crate) fn schema(message: impl Into<String>) -> ApiError {
     ApiError::new(ErrorKind::Schema, message)
+}
+
+pub(crate) fn fail(kind: ErrorKind, message: impl Into<String>) -> ApiError {
+    ApiError::new(kind, message)
 }
 
 impl From<WireError> for ApiError {
@@ -162,94 +171,11 @@ pub enum LintSpec {
     Inline(Program),
 }
 
-#[derive(Debug)]
-pub struct Analyze {
-    pub program: ProgramSpec,
-}
-
-#[derive(Debug)]
-pub struct Predict {
-    pub program: ProgramSpec,
-    pub bindings: Bindings,
-    pub cache: u64,
-    pub per_array: bool,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SearchMode {
-    Pruned,
-    Exhaustive,
-}
-
-/// What `advise` searches against: concrete loop bounds, or the §6
-/// bounds-free variant.
-#[derive(Debug)]
-pub enum AdviseTarget {
-    Bound {
-        bindings: Bindings,
-        mode: SearchMode,
-    },
-    BoundsFree {
-        bounds: Vec<String>,
-        nominal: i128,
-    },
-}
-
-#[derive(Debug)]
-pub struct Advise {
-    pub program: ProgramSpec,
-    pub cache: u64,
-    pub space: SearchSpace,
-    pub target: AdviseTarget,
-    /// Wall-clock budget for the tile search, from dispatch.
-    pub deadline_ms: Option<u64>,
-    /// Model-evaluation cap for the tile search.
-    pub max_evals: Option<usize>,
-}
-
-#[derive(Debug)]
-pub struct Batch {
-    /// Sub-requests, still raw: each goes through the full parse → dispatch
-    /// → encode cycle (and failures must not fail the batch).
-    pub requests: Vec<Value>,
-}
-
-#[derive(Debug)]
-pub struct Lint {
-    pub program: LintSpec,
-}
-
-#[derive(Debug)]
-pub struct Sleep {
-    pub millis: u64,
-}
-
-/// The `debug` op: introspection queries against the process's flight
-/// recorder. `what` defaults to `trace_dump`.
-#[derive(Debug)]
-pub struct DebugQuery {
-    pub what: String,
-}
-
-/// One fully parsed request, ready to dispatch.
-#[derive(Debug)]
-pub enum Request {
-    Analyze(Analyze),
-    Predict(Predict),
-    Advise(Advise),
-    Batch(Batch),
-    Lint(Lint),
-    Stats,
-    Metrics,
-    Debug(DebugQuery),
-    Sleep(Sleep),
-}
-
-/// Parse one request document. The envelope always comes back (error
-/// replies need `id`/`request_id`); the body parses only if the version is
-/// supported and the op's schema holds.
-pub fn parse_request(request: &Value) -> (Envelope, Result<Request, ApiError>) {
-    let envelope = Envelope {
+/// Extract the shared request fields. The envelope always comes back, even
+/// from requests whose body will fail its op's schema — error replies need
+/// `id`/`request_id`.
+pub fn parse_envelope(request: &Value) -> Envelope {
+    Envelope {
         v: match request.get("v") {
             None => Some(PROTOCOL_VERSION),
             Some(v) => v.as_u64(),
@@ -269,88 +195,23 @@ pub fn parse_request(request: &Value) -> (Envelope, Result<Request, ApiError>) {
             .get("server_timing")
             .and_then(Value::as_bool)
             .unwrap_or(false),
-    };
-    let body = parse_body(&envelope, request);
-    (envelope, body)
+    }
 }
 
-fn parse_body(envelope: &Envelope, request: &Value) -> Result<Request, ApiError> {
+/// The version gate, applied by the engine **before** the op is looked up
+/// in the registry, so probing an unknown version is always safe.
+pub fn check_version(envelope: &Envelope) -> Result<(), ApiError> {
     match envelope.v {
-        Some(PROTOCOL_VERSION) => {}
-        Some(v) => {
-            return Err(ApiError::new(
-                ErrorKind::UnsupportedVersion,
-                format!(
-                    "protocol version {v} is not supported (this build speaks v{PROTOCOL_VERSION})"
-                ),
-            ))
-        }
-        None => {
-            return Err(ApiError::new(
-                ErrorKind::UnsupportedVersion,
-                "`v` must be an integer protocol version",
-            ))
-        }
-    }
-    match envelope.op.as_str() {
-        "analyze" => Ok(Request::Analyze(Analyze {
-            program: program_spec(request)?,
-        })),
-        "predict" => Ok(Request::Predict(Predict {
-            program: program_spec(request)?,
-            bindings: bindings(request)?,
-            cache: cache_elements(request)?,
-            per_array: request
-                .get("per_array")
-                .and_then(Value::as_bool)
-                .unwrap_or(false),
-        })),
-        "advise" => parse_advise(request).map(Request::Advise),
-        "batch" => {
-            let items = request
-                .get("requests")
-                .and_then(Value::as_array)
-                .ok_or_else(|| schema("`requests` must be an array"))?;
-            if items
-                .iter()
-                .any(|i| i.get("op").and_then(Value::as_str) == Some("batch"))
-            {
-                return Err(ApiError::new(
-                    ErrorKind::Unsupported,
-                    "nested batch requests",
-                ));
-            }
-            Ok(Request::Batch(Batch {
-                requests: items.to_vec(),
-            }))
-        }
-        "lint" => {
-            let spec = request
-                .get("program")
-                .ok_or_else(|| schema("missing `program` field"))?;
-            let program = if let Some(name) = spec.as_str() {
-                LintSpec::Builtin(name.to_string())
-            } else {
-                LintSpec::Inline(program_from_value_unchecked(spec)?)
-            };
-            Ok(Request::Lint(Lint { program }))
-        }
-        "stats" => Ok(Request::Stats),
-        "metrics" => Ok(Request::Metrics),
-        "debug" => Ok(Request::Debug(DebugQuery {
-            what: request
-                .get("what")
-                .and_then(Value::as_str)
-                .unwrap_or("trace_dump")
-                .to_string(),
-        })),
-        "sleep" => Ok(Request::Sleep(Sleep {
-            millis: request.get("millis").and_then(Value::as_u64).unwrap_or(10),
-        })),
-        "" => Err(ApiError::new(ErrorKind::Unsupported, "missing `op` field")),
-        op => Err(ApiError::new(
-            ErrorKind::Unsupported,
-            format!("unknown op `{op}`"),
+        Some(PROTOCOL_VERSION) => Ok(()),
+        Some(v) => Err(ApiError::new(
+            ErrorKind::UnsupportedVersion,
+            format!(
+                "protocol version {v} is not supported (this build speaks v{PROTOCOL_VERSION})"
+            ),
+        )),
+        None => Err(ApiError::new(
+            ErrorKind::UnsupportedVersion,
+            "`v` must be an integer protocol version",
         )),
     }
 }
@@ -374,7 +235,9 @@ fn trace_context(v: &Value) -> Option<TraceContext> {
     })
 }
 
-fn program_spec(request: &Value) -> Result<ProgramSpec, ApiError> {
+/// Decode a request's `program` field (builtin name or inline object).
+/// Shared by every program-bearing op module.
+pub(crate) fn program_spec(request: &Value) -> Result<ProgramSpec, ApiError> {
     let spec = request
         .get("program")
         .ok_or_else(|| schema("missing `program` field"))?;
@@ -385,7 +248,7 @@ fn program_spec(request: &Value) -> Result<ProgramSpec, ApiError> {
     }
 }
 
-fn bindings(request: &Value) -> Result<Bindings, ApiError> {
+pub(crate) fn bindings(request: &Value) -> Result<Bindings, ApiError> {
     Ok(request
         .get("bindings")
         .map(bindings_from_value)
@@ -393,117 +256,11 @@ fn bindings(request: &Value) -> Result<Bindings, ApiError> {
         .unwrap_or_default())
 }
 
-fn cache_elements(request: &Value) -> Result<u64, ApiError> {
+pub(crate) fn cache_elements(request: &Value) -> Result<u64, ApiError> {
     request
         .get("cache")
         .and_then(Value::as_u64)
         .ok_or_else(|| schema("missing or non-integer `cache` (elements)"))
-}
-
-fn parse_advise(request: &Value) -> Result<Advise, ApiError> {
-    let program = program_spec(request)?;
-    let cache = cache_elements(request)?;
-    let space = decode_space(request)?;
-    let target = if let Some(bf) = request.get("bounds_free") {
-        let bounds: Vec<String> = bf
-            .get("bounds")
-            .and_then(Value::as_array)
-            .ok_or_else(|| schema("`bounds_free.bounds` must be an array"))?
-            .iter()
-            .map(|v| {
-                v.as_str()
-                    .map(str::to_string)
-                    .ok_or_else(|| schema("bound symbols must be strings"))
-            })
-            .collect::<Result<_, _>>()?;
-        let nominal = bf
-            .get("nominal")
-            .and_then(Value::as_i64)
-            .unwrap_or(1_000_000) as i128;
-        AdviseTarget::BoundsFree { bounds, nominal }
-    } else {
-        let mode = match request
-            .get("mode")
-            .and_then(Value::as_str)
-            .unwrap_or("pruned")
-        {
-            "pruned" => SearchMode::Pruned,
-            "exhaustive" => SearchMode::Exhaustive,
-            other => {
-                return Err(schema(format!(
-                    "unknown mode `{other}` (expected pruned | exhaustive)"
-                )))
-            }
-        };
-        AdviseTarget::Bound {
-            bindings: bindings(request)?,
-            mode,
-        }
-    };
-    let deadline_ms = match request.get("deadline_ms") {
-        None => None,
-        Some(v) => Some(
-            v.as_u64()
-                .ok_or_else(|| schema("`deadline_ms` must be a non-negative integer"))?,
-        ),
-    };
-    let max_evals = match request.get("max_evals") {
-        None => None,
-        Some(v) => Some(
-            v.as_u64()
-                .ok_or_else(|| schema("`max_evals` must be a non-negative integer"))?
-                as usize,
-        ),
-    };
-    Ok(Advise {
-        program,
-        cache,
-        space,
-        target,
-        deadline_ms,
-        max_evals,
-    })
-}
-
-fn decode_space(request: &Value) -> Result<SearchSpace, ApiError> {
-    let v = request
-        .get("space")
-        .ok_or_else(|| schema("missing `space` {syms, max, min}"))?;
-    let syms: Vec<String> = v
-        .get("syms")
-        .and_then(Value::as_array)
-        .ok_or_else(|| schema("`space.syms` must be an array of strings"))?
-        .iter()
-        .map(|s| {
-            s.as_str()
-                .map(str::to_string)
-                .ok_or_else(|| schema("`space.syms` must be strings"))
-        })
-        .collect::<Result<_, _>>()?;
-    let max: Vec<u64> = v
-        .get("max")
-        .and_then(Value::as_array)
-        .ok_or_else(|| schema("`space.max` must be an array of integers"))?
-        .iter()
-        .map(|m| {
-            m.as_u64()
-                .ok_or_else(|| schema("`space.max` must be non-negative"))
-        })
-        .collect::<Result<_, _>>()?;
-    if syms.is_empty() || syms.len() != max.len() {
-        return Err(schema(
-            "`space.syms` and `space.max` must align and be non-empty",
-        ));
-    }
-    let min = v.get("min").and_then(Value::as_u64).unwrap_or(4).max(1);
-    if max.iter().any(|m| *m < min) {
-        return Err(schema("every `space.max` must be ≥ `space.min`"));
-    }
-    Ok(SearchSpace {
-        tile_syms: syms,
-        max,
-        min,
-    })
 }
 
 /// Grid points this space spans: candidates per dimension are the powers of
@@ -588,39 +345,27 @@ fn builtin_shape_hash(name: &str) -> Option<u64> {
 }
 
 // -- reply builders ----------------------------------------------------------
-
-fn envelope_fields(id: Option<Value>, request_id: &str, ok: bool) -> Vec<(String, Value)> {
-    let mut fields: Vec<(String, Value)> = Vec::new();
-    if let Some(id) = id {
-        fields.push(("id".to_string(), id));
-    }
-    fields.push(("request_id".to_string(), Value::from(request_id)));
-    fields.push(("v".to_string(), Value::from(PROTOCOL_VERSION)));
-    fields.push(("ok".to_string(), Value::from(ok)));
-    fields
-}
+//
+// Thin wrappers over the fleet-shared [`sdlo_wire::envelope`] builders:
+// this process contributes only its protocol version and its error-kind
+// vocabulary; the pinned field order has exactly one definition, in
+// `sdlo-wire`.
 
 /// A success reply: `{"id":…, "request_id":…, "v":1, "ok":true, …body…}`.
 pub fn reply(id: Option<Value>, request_id: &str, body: Vec<(&'static str, Value)>) -> Value {
-    let mut fields = envelope_fields(id, request_id, true);
-    for (k, v) in body {
-        fields.push((k.to_string(), v));
-    }
-    Value::Object(fields)
+    sdlo_wire::envelope::reply(id, request_id, PROTOCOL_VERSION, body)
 }
 
 /// The unified error envelope:
 /// `{"id":…, "request_id":…, "v":1, "ok":false, "error":{"kind":…, "message":…}}`.
 pub fn error_reply(id: Option<Value>, request_id: &str, error: &ApiError) -> Value {
-    let mut fields = envelope_fields(id, request_id, false);
-    fields.push((
-        "error".to_string(),
-        Value::obj(vec![
-            ("kind", Value::from(error.kind.as_str())),
-            ("message", Value::from(error.message.as_str())),
-        ]),
-    ));
-    Value::Object(fields)
+    sdlo_wire::envelope::error_reply(
+        id,
+        request_id,
+        PROTOCOL_VERSION,
+        error.kind.as_str(),
+        &error.message,
+    )
 }
 
 /// Encode one flight-recorder record for `debug` / `stats` replies. Key
@@ -688,16 +433,15 @@ mod tests {
 
     #[test]
     fn trace_context_parses_leniently() {
-        let (env, body) = parse_request(&parse(
+        let env = parse_envelope(&parse(
             r#"{"op":"stats","trace":{"trace_id":"abcd1234abcd1234","parent_span":7}}"#,
         ));
-        assert!(body.is_ok());
         let trace = env.trace.unwrap();
         assert_eq!(trace.trace_id, "abcd1234abcd1234");
         assert_eq!(trace.parent_span, Some(7));
 
         // parent_span optional.
-        let (env, _) = parse_request(&parse(r#"{"op":"stats","trace":{"trace_id":"t1"}}"#));
+        let env = parse_envelope(&parse(r#"{"op":"stats","trace":{"trace_id":"t1"}}"#));
         assert_eq!(env.trace.unwrap().parent_span, None);
 
         // Malformed trace never fails the request — it just disappears.
@@ -707,97 +451,45 @@ mod tests {
             r#"{"op":"stats","trace":{"trace_id":""}}"#,
             r#"{"op":"stats","trace":{"trace_id":42}}"#,
         ] {
-            let (env, body) = parse_request(&parse(bad));
+            let env = parse_envelope(&parse(bad));
             assert!(env.trace.is_none(), "{bad}");
-            assert!(body.is_ok(), "{bad}");
         }
     }
 
     #[test]
     fn server_timing_flag_defaults_off() {
-        let (env, _) = parse_request(&parse(r#"{"op":"stats"}"#));
+        let env = parse_envelope(&parse(r#"{"op":"stats"}"#));
         assert!(!env.server_timing);
-        let (env, _) = parse_request(&parse(r#"{"op":"stats","server_timing":true}"#));
+        let env = parse_envelope(&parse(r#"{"op":"stats","server_timing":true}"#));
         assert!(env.server_timing);
-        let (env, _) = parse_request(&parse(r#"{"op":"stats","server_timing":"yes"}"#));
+        let env = parse_envelope(&parse(r#"{"op":"stats","server_timing":"yes"}"#));
         assert!(!env.server_timing);
-    }
-
-    #[test]
-    fn debug_op_parses_with_default_what() {
-        let (_, body) = parse_request(&parse(r#"{"op":"debug"}"#));
-        let Ok(Request::Debug(d)) = body else {
-            panic!("expected debug")
-        };
-        assert_eq!(d.what, "trace_dump");
-        let (_, body) = parse_request(&parse(r#"{"op":"debug","what":"trace_dump"}"#));
-        assert!(matches!(body, Ok(Request::Debug(_))));
-        assert!(OPS.contains(&"debug"));
     }
 
     #[test]
     fn version_defaults_to_one_and_gates_first() {
-        let (env, body) = parse_request(&parse(r#"{"op":"stats"}"#));
+        let env = parse_envelope(&parse(r#"{"op":"stats"}"#));
         assert_eq!(env.v, Some(1));
-        assert!(matches!(body, Ok(Request::Stats)));
+        assert!(check_version(&env).is_ok());
 
-        let (env, body) = parse_request(&parse(r#"{"op":"stats","v":1}"#));
+        let env = parse_envelope(&parse(r#"{"op":"stats","v":1}"#));
         assert_eq!(env.v, Some(1));
-        assert!(body.is_ok());
+        assert!(check_version(&env).is_ok());
 
-        // Unknown version loses even against a bad op: probing is safe.
-        let (_, body) = parse_request(&parse(r#"{"op":"nope","v":2}"#));
-        assert_eq!(body.unwrap_err().kind, ErrorKind::UnsupportedVersion);
-        let (_, body) = parse_request(&parse(r#"{"op":"stats","v":"x"}"#));
-        assert_eq!(body.unwrap_err().kind, ErrorKind::UnsupportedVersion);
-    }
-
-    #[test]
-    fn unknown_and_missing_ops_are_unsupported() {
-        let (_, body) = parse_request(&parse(r#"{"op":"frobnicate"}"#));
-        let err = body.unwrap_err();
-        assert_eq!(err.kind, ErrorKind::Unsupported);
-        assert!(err.message.contains("frobnicate"));
-        let (env, body) = parse_request(&parse(r#"{"id":3}"#));
-        assert_eq!(env.op, "");
-        assert_eq!(body.unwrap_err().kind, ErrorKind::Unsupported);
-    }
-
-    #[test]
-    fn advise_parses_budget_fields() {
-        let (_, body) = parse_request(&parse(
-            r#"{"op":"advise","program":"tiled_matmul","cache":4096,
-                "bindings":{"Ni":64,"Nj":64,"Nk":64},
-                "space":{"syms":["Ti","Tj","Tk"],"max":[64,64,64],"min":4},
-                "deadline_ms":250,"max_evals":1000}"#,
-        ));
-        let Ok(Request::Advise(a)) = body else {
-            panic!("expected advise")
-        };
-        assert_eq!(a.deadline_ms, Some(250));
-        assert_eq!(a.max_evals, Some(1000));
-        assert!(matches!(
-            a.target,
-            AdviseTarget::Bound {
-                mode: SearchMode::Pruned,
-                ..
-            }
-        ));
-
-        let (_, body) = parse_request(&parse(
-            r#"{"op":"advise","program":"x","cache":1,
-                "space":{"syms":["T"],"max":[8],"min":4},
-                "deadline_ms":"soon"}"#,
-        ));
-        assert_eq!(body.unwrap_err().kind, ErrorKind::Schema);
-    }
-
-    #[test]
-    fn nested_batches_are_rejected_at_parse_time() {
-        let (_, body) = parse_request(&parse(
-            r#"{"op":"batch","requests":[{"op":"batch","requests":[]}]}"#,
-        ));
-        assert_eq!(body.unwrap_err().kind, ErrorKind::Unsupported);
+        // Unknown version must fail even when the op is also bad — the
+        // engine applies this gate before the registry lookup, so probing
+        // is safe.
+        let env = parse_envelope(&parse(r#"{"op":"nope","v":2}"#));
+        assert_eq!(
+            check_version(&env).unwrap_err().kind,
+            ErrorKind::UnsupportedVersion
+        );
+        let env = parse_envelope(&parse(r#"{"op":"stats","v":"x"}"#));
+        assert_eq!(env.v, None);
+        assert_eq!(
+            check_version(&env).unwrap_err().kind,
+            ErrorKind::UnsupportedVersion
+        );
     }
 
     #[test]

@@ -118,6 +118,20 @@ impl<V> ShardedCache<V> {
             })
     }
 
+    /// Lookup by canonical hash alone, for callers that reference a shape
+    /// by hash without carrying the program (the `revise` op's base). The
+    /// hash is the entry's *name* rather than its full key, so this serves
+    /// whichever cached program bears it — acceptable because a client can
+    /// only learn a base hash from a reply about that very program.
+    pub fn get_by_hash(&self, hash: u64) -> Option<Arc<V>> {
+        let mut shard = self.shard(hash).lock().unwrap();
+        let now = self.touch();
+        shard.entries.iter_mut().find(|e| e.hash == hash).map(|e| {
+            e.last_used = now;
+            Arc::clone(&e.value)
+        })
+    }
+
     /// Number of cached shapes across all shards.
     pub fn len(&self) -> usize {
         self.shards

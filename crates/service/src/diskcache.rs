@@ -197,6 +197,37 @@ impl DiskCache {
         }
     }
 
+    /// Look up an entry by canonical hash alone, returning the stored
+    /// canonical program alongside the model. Used by the `revise` op,
+    /// whose base is a hash with no program attached; the entry is
+    /// **self-authenticating** instead of caller-verified — the stored
+    /// program must canonicalize back to the hash that names the file, so
+    /// a re-keyed or colliding file can never establish a session for the
+    /// wrong shape.
+    pub fn load_by_hash(&self, hash: u64) -> Option<(Program, MissModel)> {
+        let span = sdlo_trace::span("cache.disk_load");
+        let text = match std::fs::read_to_string(self.path_for(hash)) {
+            Ok(t) => t,
+            Err(_) => return None,
+        };
+        let v = sdlo_wire::parse(&text).ok()?;
+        let program = program_from_value(v.get("payload")?.get("program")?).ok()?;
+        if sdlo_ir::canon::canonicalize(&program).hash != hash {
+            span.attr("outcome", "self-auth hash mismatch");
+            return None;
+        }
+        match Self::decode(&text, hash, &program) {
+            Ok(model) => {
+                span.attr("outcome", "hit");
+                Some((program, model))
+            }
+            Err(why) => {
+                span.attr("outcome", why);
+                None
+            }
+        }
+    }
+
     /// Persist one built model: temp file + atomic rename, creating the
     /// cache directory on first use. An existing (possibly corrupt) entry
     /// for the same hash is overwritten.

@@ -30,9 +30,11 @@
 //! `"program"` is either a builtin name (`"matmul"`, `"tiled_matmul"`, …)
 //! or an inline program object (see `sdlo-wire`).
 //!
-//! Requests are decoded once into the typed [`crate::api::Request`] enum
-//! and dispatched on it; replies are built by the [`crate::api`] envelope
-//! builders, so every response — success or failure — shares one shape:
+//! Each request's shared fields decode once into a [`crate::api::Envelope`];
+//! the op is then resolved against the [`crate::ops`] registry (one module
+//! per op, each owning its body schema) and served. Replies are built by
+//! the [`crate::api`] envelope builders, so every response — success or
+//! failure — shares one shape:
 //! `{"id":…,"request_id":…,"v":1,"ok":true,…}` or
 //! `{"id":…,"request_id":…,"v":1,"ok":false,"error":{"kind":…,"message":…}}`.
 //! See the [`crate::api`] docs for versioning rules.
@@ -47,26 +49,22 @@
 //! (`service.request`) so daemon traces correlate with client logs, and is
 //! present on error replies too.
 
-use crate::api::{
-    self, Advise, AdviseTarget, Analyze, ApiError, Batch, DebugQuery, ErrorKind, Lint, LintSpec,
-    Predict, ProgramSpec, Request, RoutingKey, SearchMode, Sleep,
-};
+use crate::api::{self, fail, ApiError, Envelope, ErrorKind, ProgramSpec, RoutingKey};
 use crate::cache::ShardedCache;
 use crate::diskcache::{DiskCache, DiskOutcome};
 use crate::metrics::{Kind, Metrics};
-use rayon::prelude::*;
 use sdlo_core::model::MissModel;
 use sdlo_ir::canon::{canonicalize, Canonical};
 use sdlo_ir::programs::{builtin, BUILTIN_NAMES as BUILTINS};
 use sdlo_ir::Program;
 use sdlo_symbolic::{Bindings, Sym};
-use sdlo_tilesearch::{SearchBudget, SearchSpace, TileSearcher};
+use sdlo_tilesearch::SearchSpace;
 use sdlo_trace::flight::{FlightRecord, FlightRecorder};
 use sdlo_trace::AttrValue;
-use sdlo_wire::{component_to_value, diagnostic_to_value, outcome_to_value, Value};
+use sdlo_wire::Value;
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Engine limits and cache sizing.
 #[derive(Debug, Clone)]
@@ -95,6 +93,11 @@ pub struct EngineConfig {
     /// Requests slower than this total (µs) get their span tree captured by
     /// the flight recorder. 0 disables slow captures.
     pub slow_threshold_micros: u64,
+    /// Live `revise` sessions (reactive model DAGs) held at once; the
+    /// least-recently-revised session is evicted past this. An evicted base
+    /// is not an error — the next `revise` against it falls back to a full
+    /// DAG build.
+    pub revise_sessions: usize,
 }
 
 impl Default for EngineConfig {
@@ -109,7 +112,76 @@ impl Default for EngineConfig {
             cache_dir: None,
             flight_capacity: 256,
             slow_threshold_micros: 100_000,
+            revise_sessions: 32,
         }
+    }
+}
+
+/// The engine's live `revise` sessions: canonical shape hash → reactive
+/// [`ModelDag`](sdlo_core::ModelDag), LRU-bounded. Sessions are mutated in
+/// place under one lock — a `revise` delta is exactly the cheap path the
+/// DAG exists for, so the critical section is short; cold DAG builds happen
+/// *outside* the lock and are inserted afterwards.
+pub(crate) struct ReviseSessions {
+    capacity: usize,
+    tick: u64,
+    entries: Vec<ReviseEntry>,
+}
+
+struct ReviseEntry {
+    hash: u64,
+    dag: sdlo_core::ModelDag,
+    last_used: u64,
+}
+
+impl ReviseSessions {
+    fn new(capacity: usize) -> Self {
+        ReviseSessions {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The live DAG for `hash`, touched for LRU, if any.
+    pub(crate) fn dag_mut(&mut self, hash: u64) -> Option<&mut sdlo_core::ModelDag> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.iter_mut().find(|e| e.hash == hash).map(|e| {
+            e.last_used = tick;
+            &mut e.dag
+        })
+    }
+
+    /// Install (or replace) the session for `hash`, evicting the
+    /// least-recently-revised session at capacity.
+    pub(crate) fn insert(&mut self, hash: u64, dag: sdlo_core::ModelDag) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.hash == hash) {
+            e.dag = dag;
+            e.last_used = tick;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty sessions");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push(ReviseEntry {
+            hash,
+            dag,
+            last_used: tick,
+        });
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -133,13 +205,15 @@ pub struct Resolved {
 /// The tile-advisor engine. Cheap to share (`Arc<Engine>`); all state is
 /// internally synchronized.
 pub struct Engine {
-    config: EngineConfig,
-    cache: ShardedCache<CachedModel>,
+    pub(crate) config: EngineConfig,
+    pub(crate) cache: ShardedCache<CachedModel>,
     /// Persistent tier behind the in-memory cache, when configured.
     disk: Option<DiskCache>,
-    metrics: Arc<Metrics>,
+    pub(crate) metrics: Arc<Metrics>,
     /// Always-on ring of recent requests + slow-request span captures.
-    flight: Arc<FlightRecorder>,
+    pub(crate) flight: Arc<FlightRecorder>,
+    /// Live `revise` sessions (reactive model DAGs), LRU-bounded.
+    pub(crate) revise: std::sync::Mutex<ReviseSessions>,
     /// Monotone source for server-generated request ids.
     req_seq: std::sync::atomic::AtomicU64,
 }
@@ -155,11 +229,9 @@ pub struct RequestMeta {
     pub server_timing: bool,
 }
 
-type OpResult = Result<Vec<(&'static str, Value)>, ApiError>;
-
-fn fail(kind: ErrorKind, message: impl Into<String>) -> ApiError {
-    ApiError::new(kind, message)
-}
+/// What an op returns: the reply body fields in wire order, or an error on
+/// its way into the unified envelope.
+pub type OpResult = Result<Vec<(&'static str, Value)>, ApiError>;
 
 impl Engine {
     pub fn new(config: EngineConfig) -> Self {
@@ -169,12 +241,14 @@ impl Engine {
             config.flight_capacity,
             config.slow_threshold_micros,
         ));
+        let revise = std::sync::Mutex::new(ReviseSessions::new(config.revise_sessions));
         Engine {
             config,
             cache,
             disk,
             metrics: Arc::new(Metrics::default()),
             flight,
+            revise,
             req_seq: std::sync::atomic::AtomicU64::new(1),
         }
     }
@@ -242,7 +316,7 @@ impl Engine {
     /// amend the write phase in once the reply is actually flushed.
     pub fn handle_timed(&self, request: &Value, queue_micros: u64) -> (Value, RequestMeta) {
         let started = Instant::now();
-        let (envelope, parsed) = api::parse_request(request);
+        let envelope = api::parse_envelope(request);
         let kind = Kind::from_op(&envelope.op);
         let request_id = envelope
             .request_id
@@ -258,7 +332,7 @@ impl Engine {
         let root_span = span.id();
         let in_flight = &self.metrics.kind(kind).in_flight;
         in_flight.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let outcome = parsed.and_then(|req| self.dispatch(req, started));
+        let outcome = self.dispatch(request, &envelope, started);
         in_flight.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
         let micros = started.elapsed().as_micros() as u64;
         self.metrics.record(kind, micros, outcome.is_ok());
@@ -320,23 +394,34 @@ impl Engine {
         )
     }
 
-    fn dispatch(&self, request: Request, started: Instant) -> OpResult {
-        match request {
-            Request::Analyze(r) => self.op_analyze(r),
-            Request::Predict(r) => self.op_predict(r),
-            Request::Advise(r) => self.op_advise(r),
-            Request::Batch(r) => self.op_batch(r, started),
-            Request::Lint(r) => self.op_lint(r),
-            Request::Stats => self.op_stats(),
-            Request::Metrics => self.op_metrics(),
-            Request::Debug(r) => self.op_debug(r),
-            Request::Sleep(r) => self.op_sleep(r),
-        }
+    /// Gate the version, resolve the op against the registry, serve it.
+    /// The two failure modes that belong to no op — unsupported version and
+    /// unknown/missing `op` — are produced here, never in an op module.
+    fn dispatch(&self, request: &Value, envelope: &Envelope, started: Instant) -> OpResult {
+        api::check_version(envelope)?;
+        let Some(op) = crate::ops::find(&envelope.op) else {
+            return Err(if envelope.op.is_empty() {
+                fail(ErrorKind::Unsupported, "missing `op` field")
+            } else {
+                fail(
+                    ErrorKind::Unsupported,
+                    format!("unknown op `{}`", envelope.op),
+                )
+            });
+        };
+        op.serve(
+            self,
+            &crate::ops::OpCtx {
+                request,
+                envelope,
+                started,
+            },
+        )
     }
 
     // -- program resolution + memoized analysis ----------------------------
 
-    fn resolve_spec(&self, spec: ProgramSpec) -> Result<Resolved, ApiError> {
+    pub(crate) fn resolve_spec(&self, spec: ProgramSpec) -> Result<Resolved, ApiError> {
         match spec {
             ProgramSpec::Builtin(name) => builtin_resolved(&name).ok_or_else(|| {
                 fail(
@@ -359,7 +444,7 @@ impl Engine {
 
     /// Fetch (or build) the memoized model for an already-canonicalized
     /// program. This is the expensive middle every request funnels through.
-    fn model_for(&self, resolved: &Resolved) -> (Arc<CachedModel>, bool) {
+    pub(crate) fn model_for(&self, resolved: &Resolved) -> (Arc<CachedModel>, bool) {
         let canonical = &resolved.canonical;
         let hash = canonical.hash;
         let (cached, hit) = self.cache.get_or_build(hash, &canonical.program, || {
@@ -376,6 +461,32 @@ impl Engine {
         };
         counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         (cached, hit)
+    }
+
+    /// The cached model bearing `hash` by hash alone (the `revise` op's
+    /// base): memory first, then the disk tier. A disk hit is promoted into
+    /// the in-memory cache so the revise session and ordinary requests for
+    /// the same shape share one model. No builder is available — a hash
+    /// names a shape only after some request has built it.
+    pub(crate) fn model_by_hash(&self, hash: u64) -> Option<Arc<CachedModel>> {
+        use std::sync::atomic::Ordering::Relaxed;
+        if let Some(cached) = self.cache.get_by_hash(hash) {
+            self.metrics.cache_hits.fetch_add(1, Relaxed);
+            return Some(cached);
+        }
+        let (program, model) = self.disk.as_ref()?.load_by_hash(hash)?;
+        self.metrics.disk_hits.fetch_add(1, Relaxed);
+        // The stored program is already canonical (verified by
+        // `load_by_hash`); re-canonicalizing just rebuilds the `Canonical`
+        // wrapper the cache entry wants.
+        let canonical = Arc::new(canonicalize(&program));
+        let (cached, _) = self
+            .cache
+            .get_or_build(hash, &canonical.program, || CachedModel {
+                canonical: Arc::clone(&canonical),
+                model,
+            });
+        Some(cached)
     }
 
     /// In-memory miss path: consult the persisted tier first; only build —
@@ -427,7 +538,7 @@ impl Engine {
     }
 
     /// Map a canonical `ArrayId` back to the requester's array name.
-    fn original_name(
+    pub(crate) fn original_name(
         program: &Program,
         canonical: &Canonical,
     ) -> impl Fn(sdlo_ir::ArrayId) -> String {
@@ -444,273 +555,6 @@ impl Engine {
         }
     }
 
-    // -- ops ----------------------------------------------------------------
-
-    fn op_analyze(&self, request: Analyze) -> OpResult {
-        let resolved = self.resolve_spec(request.program)?;
-        let program = &resolved.program;
-        let (cached, hit) = self.model_for(&resolved);
-        let name_of = Self::original_name(program, &cached.canonical);
-        let components: Vec<Value> = cached
-            .model
-            .components()
-            .iter()
-            .map(|c| component_to_value(c, &name_of))
-            .collect();
-        let free: Vec<Value> = program
-            .free_symbols()
-            .iter()
-            .map(|s| Value::from(s.name()))
-            .collect();
-        Ok(vec![
-            ("program", Value::from(program.name.as_str())),
-            (
-                "shape",
-                Value::from(format!("{:016x}", cached.canonical.hash)),
-            ),
-            ("cache_hit", Value::from(hit)),
-            ("free_symbols", Value::Array(free)),
-            ("components", Value::Array(components)),
-        ])
-    }
-
-    fn op_predict(&self, request: Predict) -> OpResult {
-        let resolved = self.resolve_spec(request.program)?;
-        let program = &resolved.program;
-        self.require_bound(program, &request.bindings, &[])?;
-        let (cached, hit) = self.model_for(&resolved);
-        let misses = cached
-            .model
-            .predict_misses(&request.bindings, request.cache)
-            .map_err(|e| fail(ErrorKind::Eval, e.to_string()))?;
-        let mut body = vec![
-            ("misses", Value::from(misses)),
-            ("cache_hit", Value::from(hit)),
-            (
-                "shape",
-                Value::from(format!("{:016x}", cached.canonical.hash)),
-            ),
-        ];
-        if request.per_array {
-            let name_of = Self::original_name(program, &cached.canonical);
-            let by_array = cached
-                .model
-                .predict_by_array(&request.bindings, request.cache)
-                .map_err(|e| fail(ErrorKind::Eval, e.to_string()))?;
-            body.push((
-                "by_array",
-                Value::Object(
-                    by_array
-                        .iter()
-                        .map(|(id, m)| (name_of(*id), Value::from(*m)))
-                        .collect(),
-                ),
-            ));
-        }
-        Ok(body)
-    }
-
-    fn op_advise(&self, request: Advise) -> OpResult {
-        let resolved = self.resolve_spec(request.program)?;
-        let program = &resolved.program;
-        self.check_grid(&request.space)?;
-        let space = request.space;
-        let (cached, hit) = self.model_for(&resolved);
-        let budget = SearchBudget {
-            deadline: request
-                .deadline_ms
-                .map(|ms| Instant::now() + Duration::from_millis(ms)),
-            max_evaluations: request.max_evals,
-        };
-
-        let outcome = match request.target {
-            AdviseTarget::BoundsFree { bounds, nominal } => {
-                let mut covered: Vec<&str> = bounds.iter().map(String::as_str).collect();
-                let tile_strs: Vec<&str> = space.tile_syms.iter().map(String::as_str).collect();
-                covered.extend(&tile_strs);
-                self.require_covered(program, &covered)?;
-                let bound_refs: Vec<&str> = bounds.iter().map(String::as_str).collect();
-                TileSearcher::bounds_free_with(
-                    &cached.model,
-                    &bound_refs,
-                    nominal,
-                    request.cache,
-                    space.clone(),
-                    &budget,
-                )
-            }
-            AdviseTarget::Bound { bindings, mode } => {
-                self.require_bound(program, &bindings, &space.tile_syms)?;
-                let searcher =
-                    TileSearcher::new(&cached.model, bindings, request.cache, space.clone());
-                match mode {
-                    SearchMode::Pruned => searcher.pruned_with(&budget),
-                    SearchMode::Exhaustive => searcher.exhaustive_with(&budget),
-                }
-            }
-        };
-        if !outcome.completed {
-            self.metrics
-                .searches_cancelled
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        }
-        Ok(vec![
-            ("outcome", outcome_to_value(&space.tile_syms, &outcome)),
-            ("completed", Value::from(outcome.completed)),
-            ("wall_micros", Value::from(outcome.wall_micros)),
-            ("cache_hit", Value::from(hit)),
-            (
-                "shape",
-                Value::from(format!("{:016x}", cached.canonical.hash)),
-            ),
-        ])
-    }
-
-    fn op_batch(&self, request: Batch, started: Instant) -> OpResult {
-        let items = request.requests;
-        if items.len() > self.config.max_batch {
-            return Err(fail(
-                ErrorKind::Limit,
-                format!(
-                    "batch of {} exceeds max_batch={}",
-                    items.len(),
-                    self.config.max_batch
-                ),
-            ));
-        }
-        let budget = Duration::from_millis(self.config.max_request_millis);
-        let responses: Vec<Value> = items
-            .iter()
-            .collect::<Vec<_>>()
-            .into_par_iter()
-            .map(|item| {
-                if started.elapsed() > budget {
-                    let err = fail(
-                        ErrorKind::DeadlineExceeded,
-                        "batch exceeded the request time budget",
-                    );
-                    return api::error_reply(
-                        item.get("id").cloned(),
-                        &self.next_request_id(),
-                        &err,
-                    );
-                }
-                self.handle(item)
-            })
-            .collect();
-        Ok(vec![("responses", Value::Array(responses))])
-    }
-
-    fn op_lint(&self, request: Lint) -> OpResult {
-        use std::sync::atomic::Ordering::Relaxed;
-        let program = match request.program {
-            LintSpec::Builtin(name) => builtin(&name).ok_or_else(|| {
-                fail(
-                    ErrorKind::Schema,
-                    format!(
-                        "unknown builtin program `{name}` (expected one of {})",
-                        BUILTINS.join(", ")
-                    ),
-                )
-            })?,
-            // Validation was deliberately skipped at parse time: structural
-            // problems are exactly what the `structure` diagnostic reports.
-            LintSpec::Inline(program) => program,
-        };
-        let diags = sdlo_analysis::lint(&program);
-        let counts = sdlo_analysis::SeverityCounts::of(&diags);
-        // Dependence info is only meaningful for structurally valid trees;
-        // for the invalid inline programs `lint` deliberately accepts, the
-        // `deps` field is null.
-        let deps = match program.validate() {
-            Ok(()) => sdlo_wire::dep_summary_to_value(&sdlo_deps::analyze(&program).summary()),
-            Err(_) => Value::Null,
-        };
-        self.metrics
-            .lint_diag_errors
-            .fetch_add(counts.errors as u64, Relaxed);
-        self.metrics
-            .lint_diag_warnings
-            .fetch_add(counts.warnings as u64, Relaxed);
-        self.metrics
-            .lint_diag_infos
-            .fetch_add(counts.infos as u64, Relaxed);
-        Ok(vec![
-            ("program", Value::from(program.name.as_str())),
-            (
-                "diagnostics",
-                Value::Array(diags.iter().map(diagnostic_to_value).collect()),
-            ),
-            (
-                "summary",
-                Value::obj(vec![
-                    ("error", Value::from(counts.errors)),
-                    ("warning", Value::from(counts.warnings)),
-                    ("info", Value::from(counts.infos)),
-                ]),
-            ),
-            ("deps", deps),
-        ])
-    }
-
-    fn op_stats(&self) -> OpResult {
-        let mut snap = match self.metrics.snapshot() {
-            Value::Object(fields) => fields,
-            _ => unreachable!("snapshot is an object"),
-        };
-        snap.push((
-            "slowest".to_string(),
-            Value::Object(
-                self.flight
-                    .slowest_per_op()
-                    .into_iter()
-                    .map(|(op, r)| {
-                        (
-                            op,
-                            Value::obj(vec![
-                                ("total_micros", Value::from(r.total_micros)),
-                                ("request_id", Value::from(r.request_id.as_str())),
-                                ("trace_id", Value::from(r.trace_id.as_str())),
-                            ]),
-                        )
-                    })
-                    .collect(),
-            ),
-        ));
-        snap.push(("cached_shapes".to_string(), Value::from(self.cache.len())));
-        snap.push((
-            "protocol_version".to_string(),
-            Value::from(api::PROTOCOL_VERSION),
-        ));
-        snap.push((
-            "ops".to_string(),
-            Value::Array(api::OPS.iter().map(|o| Value::from(*o)).collect()),
-        ));
-        Ok(vec![("stats", Value::Object(snap))])
-    }
-
-    /// The `debug` op: dump the flight recorder. The reply carries the raw
-    /// request ring, the retained slow captures (each with its span subtree
-    /// rendered as its own Chrome document) and the whole span ring as one
-    /// Chrome document, plus the process's unix epoch anchor so
-    /// `tables trace-merge` can align dumps from different processes.
-    fn op_debug(&self, query: DebugQuery) -> OpResult {
-        if query.what != "trace_dump" {
-            return Err(fail(
-                ErrorKind::Schema,
-                format!("unknown debug query `{}` (expected trace_dump)", query.what),
-            ));
-        }
-        Ok(api::flight_dump_body(&self.flight))
-    }
-
-    fn op_metrics(&self) -> OpResult {
-        Ok(vec![
-            ("content_type", Value::from("text/plain; version=0.0.4")),
-            ("text", Value::from(self.prometheus())),
-        ])
-    }
-
     /// The full Prometheus text exposition, including the cache-size gauge
     /// that lives outside [`Metrics`]. Used by the `metrics` op and by the
     /// transport's raw-scrape path.
@@ -718,20 +562,11 @@ impl Engine {
         self.metrics.prometheus(self.cache.len() as u64)
     }
 
-    fn op_sleep(&self, request: Sleep) -> OpResult {
-        if !self.config.enable_test_ops {
-            return Err(fail(ErrorKind::Unsupported, "test ops are disabled"));
-        }
-        let millis = request.millis.min(5_000);
-        std::thread::sleep(Duration::from_millis(millis));
-        Ok(vec![("slept_millis", Value::from(millis))])
-    }
-
     // -- request validation helpers -----------------------------------------
 
     /// Grid-size cap: the schema checks already ran at parse time; the cap
     /// is engine policy.
-    fn check_grid(&self, space: &SearchSpace) -> Result<(), ApiError> {
+    pub(crate) fn check_grid(&self, space: &SearchSpace) -> Result<(), ApiError> {
         let points = api::grid_points(space);
         if points > self.config.max_search_points as u64 {
             return Err(fail(
@@ -746,7 +581,7 @@ impl Engine {
     }
 
     /// Every free symbol of the program must be bound, except `except`.
-    fn require_bound(
+    pub(crate) fn require_bound(
         &self,
         program: &Program,
         bindings: &Bindings,
@@ -770,7 +605,11 @@ impl Engine {
     }
 
     /// Every free symbol must appear in `covered` (bounds-free advise).
-    fn require_covered(&self, program: &Program, covered: &[&str]) -> Result<(), ApiError> {
+    pub(crate) fn require_covered(
+        &self,
+        program: &Program,
+        covered: &[&str],
+    ) -> Result<(), ApiError> {
         let covered: BTreeSet<&str> = covered.iter().copied().collect();
         let missing: Vec<String> = program
             .free_symbols()

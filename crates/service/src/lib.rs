@@ -15,8 +15,11 @@
 //!
 //! Layers:
 //!
-//! * [`api`] — the typed, versioned protocol: request enum, reply builders,
-//!   the unified error envelope,
+//! * [`api`] — the versioned protocol layer: envelope, error vocabulary,
+//!   routing, reply builders (the unified error envelope),
+//! * [`ops`] — the op registry: one module per protocol op behind a common
+//!   [`ops::ServiceOp`] trait; the registry table drives both dispatch and
+//!   the `stats.ops` advertisement,
 //! * [`engine`] — embeddable request handler (JSON in, JSON out),
 //! * [`server`] — TCP transport: event-driven reactor multiplexing every
 //!   connection onto one thread, bounded worker pool, explicit admission
@@ -31,9 +34,10 @@ pub mod client;
 pub mod diskcache;
 pub mod engine;
 pub mod metrics;
+pub mod ops;
 pub mod server;
 
-pub use api::{ApiError, ErrorKind, Request, RoutingKey, PROTOCOL_VERSION};
+pub use api::{ApiError, ErrorKind, RoutingKey, PROTOCOL_VERSION};
 pub use client::{is_overloaded, Client, RetryPolicy};
 pub use diskcache::{DiskCache, DiskOutcome};
 pub use engine::{Engine, EngineConfig};

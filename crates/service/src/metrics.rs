@@ -23,12 +23,13 @@ pub enum Kind {
     Stats,
     Metrics,
     Debug,
+    Revise,
     Sleep,
     Other,
 }
 
 impl Kind {
-    pub const ALL: [Kind; 10] = [
+    pub const ALL: [Kind; 11] = [
         Kind::Analyze,
         Kind::Predict,
         Kind::Advise,
@@ -37,6 +38,7 @@ impl Kind {
         Kind::Stats,
         Kind::Metrics,
         Kind::Debug,
+        Kind::Revise,
         Kind::Sleep,
         Kind::Other,
     ];
@@ -51,6 +53,7 @@ impl Kind {
             Kind::Stats => "stats",
             Kind::Metrics => "metrics",
             Kind::Debug => "debug",
+            Kind::Revise => "revise",
             Kind::Sleep => "sleep",
             Kind::Other => "other",
         }
@@ -66,6 +69,7 @@ impl Kind {
             "stats" => Kind::Stats,
             "metrics" => Kind::Metrics,
             "debug" => Kind::Debug,
+            "revise" => Kind::Revise,
             "sleep" => Kind::Sleep,
             _ => Kind::Other,
         }
@@ -200,6 +204,19 @@ pub struct Metrics {
     pub lint_diag_warnings: AtomicU64,
     /// `info`-severity diagnostics returned by `lint` requests.
     pub lint_diag_infos: AtomicU64,
+    /// `revise` requests whose base canon hash had no live DAG session
+    /// (answered by falling back toward a full build).
+    pub revise_base_misses: AtomicU64,
+    /// `revise` requests that built a model DAG from scratch (cold start
+    /// or evicted session).
+    pub revise_full_builds: AtomicU64,
+    /// Dirty expression nodes re-evaluated across all `revise` deltas.
+    pub revise_nodes_reevaluated: AtomicU64,
+    /// Expression nodes proven clean (fingerprint or dependency check) and
+    /// reused across all `revise` deltas.
+    pub revise_nodes_reused: AtomicU64,
+    /// Live DAG sessions held by the engine (gauge).
+    pub revise_sessions: AtomicU64,
     /// Per-phase attribution, all ops pooled: microseconds a request spent
     /// queued before a worker picked it up.
     pub queue_wait: Histogram,
@@ -232,6 +249,11 @@ impl Default for Metrics {
             lint_diag_errors: AtomicU64::new(0),
             lint_diag_warnings: AtomicU64::new(0),
             lint_diag_infos: AtomicU64::new(0),
+            revise_base_misses: AtomicU64::new(0),
+            revise_full_builds: AtomicU64::new(0),
+            revise_nodes_reevaluated: AtomicU64::new(0),
+            revise_nodes_reused: AtomicU64::new(0),
+            revise_sessions: AtomicU64::new(0),
             queue_wait: Histogram::default(),
             exec: Histogram::default(),
             write: Histogram::default(),
@@ -302,6 +324,16 @@ impl Metrics {
                         ("info", load(&self.lint_diag_infos)),
                     ]),
                 )]),
+            ),
+            (
+                "revise",
+                Value::obj(vec![
+                    ("sessions", load(&self.revise_sessions)),
+                    ("base_misses", load(&self.revise_base_misses)),
+                    ("full_builds", load(&self.revise_full_builds)),
+                    ("nodes_reevaluated", load(&self.revise_nodes_reevaluated)),
+                    ("nodes_reused", load(&self.revise_nodes_reused)),
+                ]),
             ),
             (
                 "phases",
@@ -416,7 +448,7 @@ impl Metrics {
             let _ = writeln!(out, "{name}_count {cum}");
             let _ = writeln!(out, "{name}_sum {}", h.sum_micros.load(Ordering::Relaxed));
         }
-        let singles: [(&str, &str, u64); 14] = [
+        let singles: [(&str, &str, u64); 19] = [
             (
                 "sdlo_model_cache_hits_total",
                 "counter",
@@ -475,6 +507,27 @@ impl Metrics {
                 load(&self.connections_active),
             ),
             ("sdlo_queue_depth", "gauge", load(&self.queue_depth)),
+            (
+                "sdlo_revise_base_misses_total",
+                "counter",
+                load(&self.revise_base_misses),
+            ),
+            (
+                "sdlo_revise_full_builds_total",
+                "counter",
+                load(&self.revise_full_builds),
+            ),
+            (
+                "sdlo_revise_nodes_reevaluated_total",
+                "counter",
+                load(&self.revise_nodes_reevaluated),
+            ),
+            (
+                "sdlo_revise_nodes_reused_total",
+                "counter",
+                load(&self.revise_nodes_reused),
+            ),
+            ("sdlo_revise_sessions", "gauge", load(&self.revise_sessions)),
         ];
         for (name, ty, v) in singles {
             let _ = writeln!(out, "# TYPE {name} {ty}");

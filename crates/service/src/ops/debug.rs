@@ -1,0 +1,58 @@
+//! `debug` — introspection queries against the process's flight recorder.
+//! `what` defaults to `trace_dump`: the raw request ring, the retained
+//! slow captures (each with its span subtree rendered as its own Chrome
+//! document) and the whole span ring as one Chrome document, plus the
+//! process's unix epoch anchor so `tables trace-merge` can align dumps
+//! from different processes.
+
+use crate::api::{self, ApiError, ErrorKind};
+use crate::engine::{Engine, OpResult};
+use crate::ops::{OpCtx, ServiceOp};
+use sdlo_wire::Value;
+
+struct DebugQuery {
+    what: String,
+}
+
+fn parse(request: &Value) -> Result<DebugQuery, ApiError> {
+    Ok(DebugQuery {
+        what: request
+            .get("what")
+            .and_then(Value::as_str)
+            .unwrap_or("trace_dump")
+            .to_string(),
+    })
+}
+
+pub struct DebugOp;
+
+impl ServiceOp for DebugOp {
+    fn name(&self) -> &'static str {
+        "debug"
+    }
+
+    fn serve(&self, engine: &Engine, ctx: &OpCtx<'_>) -> OpResult {
+        let query = parse(ctx.request)?;
+        if query.what != "trace_dump" {
+            return Err(api::fail(
+                ErrorKind::Schema,
+                format!("unknown debug query `{}` (expected trace_dump)", query.what),
+            ));
+        }
+        Ok(api::flight_dump_body(&engine.flight))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_op_parses_with_default_what() {
+        let q = parse(&sdlo_wire::parse(r#"{"op":"debug"}"#).unwrap()).unwrap();
+        assert_eq!(q.what, "trace_dump");
+        let q = parse(&sdlo_wire::parse(r#"{"op":"debug","what":"trace_dump"}"#).unwrap()).unwrap();
+        assert_eq!(q.what, "trace_dump");
+        assert!(crate::ops::advertised().contains(&"debug"));
+    }
+}

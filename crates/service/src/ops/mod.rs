@@ -1,0 +1,145 @@
+//! The op registry: one module per protocol op, one dispatcher table.
+//!
+//! Each op implements [`ServiceOp`] — parse its own request schema out of
+//! the raw document, validate, execute against the [`Engine`], and return
+//! the reply body fields (the envelope itself is owned by
+//! [`crate::api::reply`] / [`crate::api::error_reply`]). The [`REGISTRY`]
+//! table drives both the engine's dispatch and the `stats.ops`
+//! advertisement, so adding an op is: write the module, add one registry
+//! line. The version gate and the unknown-op error stay centralized in the
+//! engine, **before** the registry lookup, so clients can probe versions
+//! safely.
+//!
+//! Registration order is wire-visible: [`advertised`] preserves it, and the
+//! `stats.ops` golden test pins it.
+
+pub mod advise;
+pub mod analyze;
+pub mod batch;
+pub mod debug;
+pub mod lint;
+pub mod metrics;
+pub mod predict;
+pub mod revise;
+pub mod sleep;
+pub mod stats;
+
+use crate::api::Envelope;
+use crate::engine::{Engine, OpResult};
+use sdlo_wire::Value;
+use std::time::Instant;
+
+/// Everything an op gets to see about the request being served: the raw
+/// document (each op owns its body schema), the already-extracted shared
+/// [`Envelope`] fields, and when the engine picked the request up (`batch`
+/// charges its sub-requests against this).
+pub struct OpCtx<'a> {
+    pub request: &'a Value,
+    pub envelope: &'a Envelope,
+    pub started: Instant,
+}
+
+/// One protocol op: a name for the dispatcher plus the parse → validate →
+/// execute pipeline. Implementations are stateless unit structs; all state
+/// lives in the [`Engine`].
+pub trait ServiceOp: Sync {
+    /// The wire name dispatched on (`"analyze"`, `"predict"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Whether `stats.ops` advertises this op. Test-only ops opt out.
+    fn advertised(&self) -> bool {
+        true
+    }
+
+    /// Parse the request body, validate it and execute. Returns the reply
+    /// body fields in wire order.
+    fn serve(&self, engine: &Engine, ctx: &OpCtx<'_>) -> OpResult;
+}
+
+/// Every op this build serves, in advertisement order.
+static REGISTRY: &[&dyn ServiceOp] = &[
+    &analyze::AnalyzeOp,
+    &predict::PredictOp,
+    &advise::AdviseOp,
+    &batch::BatchOp,
+    &lint::LintOp,
+    &stats::StatsOp,
+    &metrics::MetricsOp,
+    &debug::DebugOp,
+    &revise::ReviseOp,
+    &sleep::SleepOp,
+];
+
+/// Resolve an op name against the registry.
+pub fn find(name: &str) -> Option<&'static dyn ServiceOp> {
+    REGISTRY.iter().copied().find(|op| op.name() == name)
+}
+
+/// The advertised op names in registration order (the `stats.ops` list).
+pub fn advertised() -> &'static [&'static str] {
+    static NAMES: std::sync::OnceLock<Vec<&'static str>> = std::sync::OnceLock::new();
+    NAMES.get_or_init(|| {
+        REGISTRY
+            .iter()
+            .filter(|op| op.advertised())
+            .map(|op| op.name())
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ErrorKind;
+    use crate::engine::{Engine, EngineConfig};
+
+    fn parse(s: &str) -> Value {
+        sdlo_wire::parse(s).unwrap()
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_advertised_in_order() {
+        let mut names: Vec<&str> = REGISTRY.iter().map(|op| op.name()).collect();
+        let adv = advertised();
+        assert_eq!(
+            adv,
+            &[
+                "analyze", "predict", "advise", "batch", "lint", "stats", "metrics", "debug",
+                "revise",
+            ],
+        );
+        // Unadvertised ops still dispatch.
+        assert!(find("sleep").is_some());
+        assert!(!find("sleep").unwrap().advertised());
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), REGISTRY.len(), "duplicate op name");
+    }
+
+    #[test]
+    fn unknown_and_missing_ops_are_unsupported() {
+        let e = Engine::new(EngineConfig::default());
+        let resp = e.handle(&parse(r#"{"op":"frobnicate"}"#));
+        let err = resp.get("error").unwrap();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("unsupported"));
+        assert!(err
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("frobnicate"));
+        let resp = e.handle(&parse(r#"{"id":3}"#));
+        let err = resp.get("error").unwrap();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("unsupported"));
+        assert_eq!(
+            err.get("message").unwrap().as_str(),
+            Some("missing `op` field")
+        );
+        // The version gate wins over the op lookup.
+        let resp = e.handle(&parse(r#"{"op":"frobnicate","v":2}"#));
+        assert_eq!(
+            resp.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some(ErrorKind::UnsupportedVersion.as_str())
+        );
+    }
+}

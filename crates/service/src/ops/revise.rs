@@ -1,0 +1,224 @@
+//! `revise` — incremental re-evaluation of a live model DAG.
+//!
+//! A client that sweeps tile sizes (or cache capacities) over one program
+//! shape should not pay a full model evaluation per point. `revise` keeps a
+//! per-shape [`sdlo_core::ModelDag`] session on the engine, keyed by the
+//! canonical shape hash (`base`), and applies a structured delta — new
+//! symbol bindings and/or a new tracked cache-size set — re-evaluating only
+//! the expression nodes whose input fingerprints actually moved.
+//!
+//! ## Session lifecycle
+//!
+//! * **Warm** (`revised: true`): the base names a live DAG; the delta is
+//!   applied transactionally in place. An evaluation error (e.g. a binding
+//!   driving a distance negative) leaves the session untouched.
+//! * **Cold** (`revised: false`): no live DAG. The model is recovered from
+//!   the request's optional `program` (which must canonicalize to `base`),
+//!   the in-memory model cache, or the disk tier — in that order — and a
+//!   fresh DAG is built from the delta, which must then carry
+//!   `cache_sizes` and bindings for every free symbol. Sessions are
+//!   LRU-bounded ([`crate::EngineConfig::revise_sessions`]); eviction just
+//!   means the next revise against that base is cold again.
+//!
+//! The answers are byte-identical to `predict` over the same points — the
+//! DAG shares the §5 miss formula with the batch path — so `revise` is
+//! purely a latency/throughput optimization, never a different model.
+
+use crate::api::{self, schema, ApiError, ErrorKind, ProgramSpec};
+use crate::engine::{Engine, OpResult};
+use crate::ops::{OpCtx, ServiceOp};
+use sdlo_core::dag::{DagDelta, ModelDag};
+use sdlo_wire::Value;
+use std::sync::atomic::Ordering::Relaxed;
+
+#[derive(Debug)]
+struct Revise {
+    /// Canonical shape hash naming the session (and the model on a cold
+    /// start).
+    base: u64,
+    delta: DagDelta,
+    /// Optional program spec to establish a session for a shape the engine
+    /// has never seen. Must canonicalize to `base`.
+    program: Option<ProgramSpec>,
+}
+
+fn parse(request: &Value) -> Result<Revise, ApiError> {
+    let base_str = request
+        .get("base")
+        .and_then(Value::as_str)
+        .ok_or_else(|| schema("missing `base` canonical shape hash"))?;
+    let base = (base_str.len() == 16)
+        .then(|| u64::from_str_radix(base_str, 16).ok())
+        .flatten()
+        .ok_or_else(|| schema("`base` must be a 16-hex canonical shape hash"))?;
+    let delta = sdlo_wire::delta_from_value(
+        request
+            .get("delta")
+            .ok_or_else(|| schema("missing `delta` object"))?,
+    )
+    .map_err(|e| schema(e.to_string()))?;
+    let program = match request.get("program") {
+        Some(_) => Some(api::program_spec(request)?),
+        None => None,
+    };
+    Ok(Revise {
+        base,
+        delta,
+        program,
+    })
+}
+
+/// Reply body shared by the warm and cold paths. `misses` is keyed by the
+/// decimal cache size so sweep clients can index replies without tracking
+/// array order.
+fn body(
+    base: u64,
+    revised: bool,
+    misses: &[(u64, u64)],
+    sessions: usize,
+    reevaluated: u64,
+    reused: u64,
+    exprs: usize,
+) -> Vec<(&'static str, Value)> {
+    vec![
+        ("revised", Value::from(revised)),
+        ("base", Value::from(format!("{base:016x}"))),
+        (
+            "misses",
+            Value::Object(
+                misses
+                    .iter()
+                    .map(|(size, count)| (size.to_string(), Value::from(*count)))
+                    .collect(),
+            ),
+        ),
+        (
+            "revise",
+            Value::obj(vec![
+                ("sessions", Value::from(sessions as u64)),
+                ("nodes_reevaluated", Value::from(reevaluated)),
+                ("nodes_reused", Value::from(reused)),
+                ("exprs", Value::from(exprs as u64)),
+            ]),
+        ),
+    ]
+}
+
+pub struct ReviseOp;
+
+impl ServiceOp for ReviseOp {
+    fn name(&self) -> &'static str {
+        "revise"
+    }
+
+    fn serve(&self, engine: &Engine, ctx: &OpCtx<'_>) -> OpResult {
+        let request = parse(ctx.request)?;
+        let metrics = &engine.metrics;
+
+        // Warm path: the base names a live DAG. The delta applies in place
+        // under the session lock — this is exactly the cheap operation the
+        // DAG exists for, so holding the lock across it is fine.
+        {
+            let mut sessions = engine.revise.lock().unwrap();
+            if let Some(dag) = sessions.dag_mut(request.base) {
+                let outcome = dag
+                    .revise(&request.delta)
+                    .map_err(|e| api::fail(ErrorKind::Eval, e.to_string()))?;
+                let exprs = dag.expr_count();
+                let live = sessions.len();
+                metrics
+                    .revise_nodes_reevaluated
+                    .fetch_add(outcome.nodes_reevaluated, Relaxed);
+                metrics
+                    .revise_nodes_reused
+                    .fetch_add(outcome.nodes_reused, Relaxed);
+                return Ok(body(
+                    request.base,
+                    true,
+                    &outcome.misses,
+                    live,
+                    outcome.nodes_reevaluated,
+                    outcome.nodes_reused,
+                    exprs,
+                ));
+            }
+        }
+
+        // Cold path: recover the model, build a fresh DAG outside the
+        // session lock, then install it.
+        metrics.revise_base_misses.fetch_add(1, Relaxed);
+        let cached = if let Some(spec) = request.program {
+            let resolved = engine.resolve_spec(spec)?;
+            if resolved.canonical.hash != request.base {
+                return Err(schema(format!(
+                    "`program` canonicalizes to `{:016x}`, which is not base `{:016x}`",
+                    resolved.canonical.hash, request.base
+                )));
+            }
+            engine.model_for(&resolved).0
+        } else {
+            engine.model_by_hash(request.base).ok_or_else(|| {
+                schema(format!(
+                    "unknown base `{:016x}`; include `program` to establish the session",
+                    request.base
+                ))
+            })?
+        };
+        let Some(sizes) = request.delta.cache_sizes.clone() else {
+            return Err(schema(
+                "`delta.cache_sizes` is required to establish a new revise session",
+            ));
+        };
+        engine.require_bound(&cached.canonical.program, &request.delta.bindings, &[])?;
+        let dag = {
+            let _span = sdlo_trace::span(sdlo_trace::names::REVISE_FULL_BUILD);
+            ModelDag::new(&cached.model, request.delta.bindings.clone(), &sizes)
+                .map_err(|e| api::fail(ErrorKind::Eval, e.to_string()))?
+        };
+        metrics.revise_full_builds.fetch_add(1, Relaxed);
+        let misses = dag.misses();
+        let exprs = dag.expr_count();
+        let live = {
+            let mut sessions = engine.revise.lock().unwrap();
+            sessions.insert(request.base, dag);
+            sessions.len()
+        };
+        metrics.revise_sessions.store(live as u64, Relaxed);
+        Ok(body(request.base, false, &misses, live, 0, 0, exprs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(s: &str) -> Value {
+        sdlo_wire::parse(s).unwrap()
+    }
+
+    #[test]
+    fn base_hash_is_validated_strictly() {
+        let err = parse(&doc(r#"{"op":"revise","delta":{}}"#)).unwrap_err();
+        assert_eq!(err.message, "missing `base` canonical shape hash");
+        for bad in ["abc", "zzzzzzzzzzzzzzzz", "00112233445566778899"] {
+            let err = parse(&doc(&format!(
+                r#"{{"op":"revise","base":"{bad}","delta":{{}}}}"#
+            )))
+            .unwrap_err();
+            assert_eq!(err.message, "`base` must be a 16-hex canonical shape hash");
+        }
+        let ok = parse(&doc(r#"{"op":"revise","base":"00ff00ff00ff00ff",
+                "delta":{"bindings":{"Ti":32},"cache_sizes":[1024]}}"#))
+        .unwrap();
+        assert_eq!(ok.base, 0x00ff_00ff_00ff_00ff);
+        assert_eq!(ok.delta.cache_sizes.as_deref(), Some(&[1024u64][..]));
+        assert!(ok.program.is_none());
+    }
+
+    #[test]
+    fn delta_is_required() {
+        let err = parse(&doc(r#"{"op":"revise","base":"0011223344556677"}"#)).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Schema);
+        assert_eq!(err.message, "missing `delta` object");
+    }
+}

@@ -1,0 +1,34 @@
+//! `sleep` — test-only op the loopback tests use to make backpressure
+//! deterministic. Gated behind `enable_test_ops` and never advertised.
+
+use crate::api::{self, ErrorKind};
+use crate::engine::{Engine, OpResult};
+use crate::ops::{OpCtx, ServiceOp};
+use sdlo_wire::Value;
+use std::time::Duration;
+
+pub struct SleepOp;
+
+impl ServiceOp for SleepOp {
+    fn name(&self) -> &'static str {
+        "sleep"
+    }
+
+    fn advertised(&self) -> bool {
+        false
+    }
+
+    fn serve(&self, engine: &Engine, ctx: &OpCtx<'_>) -> OpResult {
+        if !engine.config.enable_test_ops {
+            return Err(api::fail(ErrorKind::Unsupported, "test ops are disabled"));
+        }
+        let millis = ctx
+            .request
+            .get("millis")
+            .and_then(Value::as_u64)
+            .unwrap_or(10)
+            .min(5_000);
+        std::thread::sleep(Duration::from_millis(millis));
+        Ok(vec![("slept_millis", Value::from(millis))])
+    }
+}

@@ -145,7 +145,7 @@ fn lint_stats_metrics_reply_keys_are_stable() {
         .collect();
     assert_eq!(
         ops,
-        ["analyze", "predict", "advise", "batch", "lint", "stats", "metrics", "debug"]
+        ["analyze", "predict", "advise", "batch", "lint", "stats", "metrics", "debug", "revise"]
     );
 
     let metrics = parse(&e.handle_line(r#"{"op":"metrics"}"#));
@@ -491,4 +491,101 @@ fn advise_best_is_deterministic_over_the_wire() {
         let again = parse(&e.handle_line(req));
         assert_eq!(again.path(&["outcome", "best"]).unwrap().render(), best);
     }
+}
+
+// -- revise ------------------------------------------------------------------
+
+#[test]
+fn revise_reply_is_byte_stable() {
+    let e = engine();
+    let base = shape_hash("tiled_matmul");
+
+    // Cold start: program attached, full bindings + cache sizes. The reply
+    // key order and the miss count (Table 3 golden) are the v1 contract.
+    let reply = e.handle_line(&format!(
+        r#"{{"op":"revise","id":1,"request_id":"rv-1","base":"{base}","program":"tiled_matmul","delta":{{"bindings":{{"Ni":512,"Nj":512,"Nk":512,"Ti":64,"Tj":64,"Tk":64}},"cache_sizes":[8192]}}}}"#
+    ));
+    let cold = parse(&reply);
+    assert_eq!(
+        keys(&cold),
+        [
+            "id",
+            "request_id",
+            "v",
+            "ok",
+            "revised",
+            "base",
+            "misses",
+            "revise"
+        ]
+    );
+    assert_eq!(cold.get("revised").unwrap().as_bool(), Some(false));
+    assert_eq!(cold.get("base").unwrap().as_str(), Some(base.as_str()));
+    assert_eq!(
+        cold.path(&["misses", "8192"]).unwrap().as_u64(),
+        Some(6_291_456)
+    );
+    assert_eq!(
+        keys(cold.get("revise").unwrap()),
+        ["sessions", "nodes_reevaluated", "nodes_reused", "exprs"]
+    );
+    assert_eq!(
+        cold.path(&["revise", "sessions"]).unwrap().as_u64(),
+        Some(1)
+    );
+
+    // Warm: same base, tile-only delta — no program needed, and the answer
+    // must be byte-identical to a fresh predict over the same point.
+    let warm = parse(&e.handle_line(&format!(
+        r#"{{"op":"revise","base":"{base}","delta":{{"bindings":{{"Ti":32,"Tj":32,"Tk":32}}}}}}"#
+    )));
+    assert_eq!(warm.get("revised").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        warm.path(&["misses", "8192"]).unwrap().as_u64(),
+        Some(8_650_752)
+    );
+    assert!(
+        warm.path(&["revise", "nodes_reevaluated"])
+            .unwrap()
+            .as_u64()
+            > Some(0)
+    );
+    let predict = parse(&e.handle_line(
+        r#"{"op":"predict","program":"tiled_matmul","bindings":{"Ni":512,"Nj":512,"Nk":512,"Ti":32,"Tj":32,"Tk":32},"cache":8192}"#,
+    ));
+    assert_eq!(
+        warm.path(&["misses", "8192"]).unwrap().as_u64(),
+        predict.get("misses").unwrap().as_u64()
+    );
+}
+
+#[test]
+fn revise_error_envelopes_are_byte_stable() {
+    let e = engine();
+
+    // Unknown base with no program to establish the session.
+    let reply = e.handle_line(
+        r#"{"op":"revise","request_id":"rv-e1","base":"00000000deadbeef","delta":{"bindings":{},"cache_sizes":[1024]}}"#,
+    );
+    assert_eq!(
+        reply,
+        r#"{"request_id":"rv-e1","v":1,"ok":false,"error":{"kind":"schema","message":"unknown base `00000000deadbeef`; include `program` to establish the session"}}"#
+    );
+
+    // Malformed base hash.
+    let reply = e.handle_line(r#"{"op":"revise","request_id":"rv-e2","base":"xyz","delta":{}}"#);
+    assert_eq!(
+        reply,
+        r#"{"request_id":"rv-e2","v":1,"ok":false,"error":{"kind":"schema","message":"`base` must be a 16-hex canonical shape hash"}}"#
+    );
+
+    // Cold start without cache sizes: the delta cannot seed a DAG.
+    let base = shape_hash("matmul");
+    let reply = e.handle_line(&format!(
+        r#"{{"op":"revise","request_id":"rv-e3","base":"{base}","program":"matmul","delta":{{"bindings":{{"Ni":64,"Nj":64,"Nk":64}}}}}}"#
+    ));
+    assert_eq!(
+        reply,
+        r#"{"request_id":"rv-e3","v":1,"ok":false,"error":{"kind":"schema","message":"`delta.cache_sizes` is required to establish a new revise session"}}"#
+    );
 }

@@ -22,6 +22,7 @@
 //! predicts tiles before the problem size is known.
 
 use rayon::prelude::*;
+use sdlo_core::dag::{DagDelta, ModelDag};
 use sdlo_core::{MissModel, StackDistance};
 use sdlo_ir::Bindings;
 use sdlo_symbolic::Sym;
@@ -298,6 +299,78 @@ impl<'a> TileSearcher<'a> {
         Evaluation { tiles, misses }
     }
 
+    /// Miss counts for `tuples`, in order, evaluated via per-worker
+    /// reactive DAG sweeps: the tuples are split into contiguous chunks,
+    /// each chunk lazily builds one [`ModelDag`] from its first admitted
+    /// tuple and *revises* it for every subsequent tuple, re-evaluating
+    /// only the tile-dependent expression nodes instead of the whole model.
+    ///
+    /// Semantics are unchanged from per-tuple [`misses`](Self::misses):
+    /// the DAG shares the §5 miss formula with the batch evaluator, so
+    /// counts are byte-identical; [`CancelToken::admit`] is still charged
+    /// once per tuple; and chunks flatten back in input order, so the
+    /// caller's grid-order reduction stays deterministic.
+    fn sweep_misses(&self, tuples: Vec<Vec<u64>>, token: &CancelToken) -> Vec<Option<Evaluation>> {
+        if tuples.is_empty() {
+            return Vec::new();
+        }
+        // ~4 chunks per worker balances stragglers against DAG-build
+        // amortization; tiny inputs stay sequential-ish with a floor of 8
+        // tuples per DAG.
+        let per_chunk = tuples
+            .len()
+            .div_ceil((rayon::current_num_threads() * 4).max(1))
+            .max(8);
+        let chunks: Vec<&[Vec<u64>]> = tuples.chunks(per_chunk).collect();
+        let swept: Vec<Vec<Option<Evaluation>>> = chunks
+            .into_par_iter()
+            .map(|chunk| {
+                let mut dag: Option<ModelDag> = None;
+                chunk
+                    .iter()
+                    .map(|tiles| {
+                        if !token.admit() {
+                            return None;
+                        }
+                        let misses = match dag.as_mut() {
+                            None => {
+                                let built = ModelDag::new(
+                                    self.model,
+                                    self.bindings_for(tiles),
+                                    &[self.cache_size],
+                                )
+                                .expect("model evaluation");
+                                let m = built
+                                    .misses_for(self.cache_size)
+                                    .expect("cache size is tracked");
+                                dag = Some(built);
+                                m
+                            }
+                            Some(d) => {
+                                let mut bindings = Bindings::new();
+                                for (s, t) in self.space.tile_syms.iter().zip(tiles) {
+                                    bindings.set(s.as_str(), *t as i128);
+                                }
+                                d.revise(&DagDelta {
+                                    bindings,
+                                    cache_sizes: None,
+                                })
+                                .expect("model evaluation");
+                                d.misses_for(self.cache_size)
+                                    .expect("cache size is tracked")
+                            }
+                        };
+                        Some(Evaluation {
+                            tiles: tiles.clone(),
+                            misses,
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        swept.into_iter().flatten().collect()
+    }
+
     /// Exhaustive baseline: a full miss-count evaluation at every grid
     /// point.
     pub fn exhaustive(&self) -> SearchOutcome {
@@ -317,17 +390,7 @@ impl<'a> TileSearcher<'a> {
         let token = CancelToken::new(budget);
         let seed = budget.is_limited().then(|| self.seed_evaluation(&token));
 
-        let results: Vec<Option<Evaluation>> = self
-            .grid()
-            .into_par_iter()
-            .map(|tiles| {
-                if !token.admit() {
-                    return None;
-                }
-                let misses = self.misses(&tiles);
-                Some(Evaluation { tiles, misses })
-            })
-            .collect();
+        let results = self.sweep_misses(self.grid(), &token);
 
         let mut best = seed;
         let mut evaluated = 0u64;
@@ -421,17 +484,9 @@ impl<'a> TileSearcher<'a> {
         }
         let frontier_kept = frontier_tiles.len();
 
-        // Phase 2: miss counts for the frontier, in parallel.
-        let evaluated: Vec<Option<Evaluation>> = frontier_tiles
-            .into_par_iter()
-            .map(|tiles| {
-                if !token.admit() {
-                    return None;
-                }
-                let misses = self.misses(&tiles);
-                Some(Evaluation { tiles, misses })
-            })
-            .collect();
+        // Phase 2: miss counts for the frontier, via parallel reactive DAG
+        // sweeps.
+        let evaluated = self.sweep_misses(frontier_tiles, &token);
 
         let mut best = seed;
         let mut frontier = Vec::new();
@@ -667,6 +722,20 @@ mod tests {
                 "cs={cs}: pruned best {:?} vs exhaustive {:?}",
                 pr.best, ex.best
             );
+        }
+    }
+
+    #[test]
+    fn dag_sweep_matches_per_point_evaluation() {
+        // The reactive sweep must be invisible: every grid point's count
+        // equals a fresh full evaluation of the same tuple.
+        let model = MissModel::build(&programs::tiled_matmul());
+        let s = searcher_matmul(&model, 256, 2048);
+        let token = CancelToken::new(&SearchBudget::unlimited());
+        let swept = s.sweep_misses(s.grid(), &token);
+        assert_eq!(swept.len(), 7usize.pow(3)); // candidates 4..=256 per dim
+        for e in swept.into_iter().flatten() {
+            assert_eq!(e.misses, s.misses(&e.tiles), "tiles {:?}", e.tiles);
         }
     }
 

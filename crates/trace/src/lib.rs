@@ -39,6 +39,24 @@ pub mod chrome;
 pub mod flight;
 pub mod log;
 
+/// Span-name constants for families that cross crate boundaries, so the
+/// emitting crate and the tooling that aggregates by name (`tables profile`,
+/// the flight recorder, dashboards) cannot drift apart. Single-crate span
+/// names (`model.build`, `tilesearch.*`, `cachesim.replay`, …) stay string
+/// literals at their emission site.
+pub mod names {
+    /// Reactive-model family: building the dependency DAG from a built
+    /// model (`sdlo-core`).
+    pub const REVISE_DAG_BUILD: &str = "revise.dag_build";
+    /// Applying one structured delta to a live DAG (`sdlo-core`).
+    pub const REVISE_APPLY_DELTA: &str = "revise.apply_delta";
+    /// Base-miss fallback: establishing a revise session from a cold or
+    /// cached model (`sdlo-service`).
+    pub const REVISE_FULL_BUILD: &str = "revise.full_build";
+    /// One chunk of a DAG-driven tile sweep (`sdlo-tilesearch`).
+    pub const REVISE_SWEEP: &str = "revise.sweep";
+}
+
 use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::BTreeMap;

@@ -100,6 +100,60 @@ pub fn bindings_from_value(v: &Value) -> Result<Bindings, WireError> {
 }
 
 // ---------------------------------------------------------------------------
+// Revise deltas
+// ---------------------------------------------------------------------------
+
+/// Decode a `revise` delta: `{"bindings":{…}?, "cache_sizes":[…]?}`. Both
+/// fields are optional — an empty delta is a legal no-op that re-reads the
+/// DAG's current answer.
+pub fn delta_from_value(v: &Value) -> Result<sdlo_core::dag::DagDelta, WireError> {
+    v.as_object()
+        .ok_or_else(|| schema("delta: expected an object"))?;
+    let bindings = match v.get("bindings") {
+        None => Bindings::new(),
+        Some(b) => bindings_from_value(b)?,
+    };
+    let cache_sizes =
+        match v.get("cache_sizes") {
+            None => None,
+            Some(cs) => {
+                let arr = cs
+                    .as_array()
+                    .ok_or_else(|| schema("delta: `cache_sizes` must be an array of integers"))?;
+                if arr.is_empty() {
+                    return Err(schema(
+                        "delta: `cache_sizes` must be non-empty when present",
+                    ));
+                }
+                let mut sizes = Vec::with_capacity(arr.len());
+                for s in arr {
+                    sizes.push(s.as_u64().ok_or_else(|| {
+                        schema("delta: `cache_sizes` must be non-negative integers")
+                    })?);
+                }
+                Some(sizes)
+            }
+        };
+    Ok(sdlo_core::dag::DagDelta {
+        bindings,
+        cache_sizes,
+    })
+}
+
+/// Encode a `revise` delta (client side; round-trips through
+/// [`delta_from_value`]).
+pub fn delta_to_value(delta: &sdlo_core::dag::DagDelta) -> Value {
+    let mut fields = vec![("bindings", bindings_to_value(&delta.bindings))];
+    if let Some(sizes) = &delta.cache_sizes {
+        fields.push((
+            "cache_sizes",
+            Value::Array(sizes.iter().map(|s| Value::from(*s)).collect()),
+        ));
+    }
+    Value::obj(fields)
+}
+
+// ---------------------------------------------------------------------------
 // Program
 // ---------------------------------------------------------------------------
 

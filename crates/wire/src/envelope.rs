@@ -1,0 +1,104 @@
+//! The protocol reply envelope — the **single** definition of its pinned
+//! field order.
+//!
+//! Every reply in the fleet (service backends and the router front alike)
+//! opens with the same fields in the same order:
+//!
+//! ```text
+//! {"id":…, "request_id":"…", "v":N, "ok":true,  …body…}
+//! {"id":…, "request_id":"…", "v":N, "ok":false, "error":{"kind":…, "message":…}}
+//! ```
+//!
+//! `id` is present only when the request carried one. The order is part of
+//! the wire format (golden-tested byte-for-byte in `sdlo-service`), which
+//! is why the builders live here rather than being copied per process: a
+//! reorder would have to happen in exactly one place, and would fail the
+//! goldens once, not per-copy.
+
+use crate::json::Value;
+
+/// The shared envelope prefix: `id?`, `request_id`, `v`, `ok` — in exactly
+/// that order.
+pub fn envelope_fields(
+    id: Option<Value>,
+    request_id: &str,
+    version: u64,
+    ok: bool,
+) -> Vec<(String, Value)> {
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_string(), id));
+    }
+    fields.push(("request_id".to_string(), Value::from(request_id)));
+    fields.push(("v".to_string(), Value::from(version)));
+    fields.push(("ok".to_string(), Value::from(ok)));
+    fields
+}
+
+/// A success reply: the envelope prefix followed by the op's body fields in
+/// the order given.
+pub fn reply(
+    id: Option<Value>,
+    request_id: &str,
+    version: u64,
+    body: Vec<(&'static str, Value)>,
+) -> Value {
+    let mut fields = envelope_fields(id, request_id, version, true);
+    for (k, v) in body {
+        fields.push((k.to_string(), v));
+    }
+    Value::Object(fields)
+}
+
+/// The unified error envelope: the prefix with `ok:false` plus one
+/// `error:{kind, message}` object.
+pub fn error_reply(
+    id: Option<Value>,
+    request_id: &str,
+    version: u64,
+    kind: &str,
+    message: &str,
+) -> Value {
+    let mut fields = envelope_fields(id, request_id, version, false);
+    fields.push((
+        "error".to_string(),
+        Value::obj(vec![
+            ("kind", Value::from(kind)),
+            ("message", Value::from(message)),
+        ]),
+    ));
+    Value::Object(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_order_is_pinned() {
+        let ok = reply(
+            Some(Value::from(7u64)),
+            "req-00000001",
+            1,
+            vec![("answer", Value::from(42u64))],
+        );
+        assert_eq!(
+            ok.render(),
+            r#"{"id":7,"request_id":"req-00000001","v":1,"ok":true,"answer":42}"#
+        );
+        let err = error_reply(None, "req-00000002", 1, "limit", "too big");
+        assert_eq!(
+            err.render(),
+            r#"{"request_id":"req-00000002","v":1,"ok":false,"error":{"kind":"limit","message":"too big"}}"#
+        );
+    }
+
+    #[test]
+    fn id_is_omitted_when_absent() {
+        let fields = envelope_fields(None, "r", 1, true);
+        assert_eq!(fields[0].0, "request_id");
+        let fields = envelope_fields(Some(Value::from("x")), "r", 2, false);
+        assert_eq!(fields[0].0, "id");
+        assert_eq!(fields[2].1.as_u64(), Some(2));
+    }
+}

@@ -17,12 +17,13 @@
 //!   downstream analysis can assume well-formedness.
 
 pub mod codec;
+pub mod envelope;
 pub mod json;
 
 pub use codec::{
-    bindings_from_value, bindings_to_value, component_to_value, dep_summary_to_value,
-    diagnostic_to_value, evaluation_to_value, outcome_to_value, program_from_value,
-    program_from_value_unchecked, program_to_value, stored_component_from_value,
-    stored_component_to_value, WireError,
+    bindings_from_value, bindings_to_value, component_to_value, delta_from_value, delta_to_value,
+    dep_summary_to_value, diagnostic_to_value, evaluation_to_value, outcome_to_value,
+    program_from_value, program_from_value_unchecked, program_to_value,
+    stored_component_from_value, stored_component_to_value, WireError,
 };
 pub use json::{parse, JsonError, Value};
